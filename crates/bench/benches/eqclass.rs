@@ -1,0 +1,61 @@
+//! Ablation: equivalence-class solver (cost independent of n) versus the
+//! naive per-row solver (O(n·d³) per constraint) — the paper's first
+//! speed-up claim, measured head-to-head on identical problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sider_data::synthetic::runtime_dataset;
+use sider_maxent::constraint::{cluster_constraints, margin_constraints};
+use sider_maxent::naive::NaiveSolver;
+use sider_maxent::{Constraint, RowSet, Solver};
+use std::hint::black_box;
+
+fn problem(n: usize) -> (sider_linalg::Matrix, Vec<Constraint>) {
+    let ds = runtime_dataset(n, 8, 2, 13);
+    let labels = ds.primary_labels().expect("labels");
+    let mut cs = margin_constraints(&ds.matrix).expect("margins");
+    for c in 0..2 {
+        cs.extend(
+            cluster_constraints(
+                &ds.matrix,
+                RowSet::from_indices(&labels.class_indices(c)),
+                format!("c{c}"),
+            )
+            .expect("cluster"),
+        );
+    }
+    (ds.matrix.clone(), cs)
+}
+
+fn bench_eqclass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eqclass_vs_naive");
+    group.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let (data, cs) = problem(n);
+        group.bench_with_input(BenchmarkId::new("eqclass", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = Solver::new(&data, cs.clone()).expect("solver");
+                for _ in 0..5 {
+                    s.sweep(1e12);
+                }
+                black_box(s.lambdas()[0])
+            })
+        });
+        // The naive path is quadratic-ish in problem size; skip the
+        // largest n to keep bench time sane.
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut s = NaiveSolver::new(&data, cs.clone()).expect("solver");
+                    for _ in 0..5 {
+                        s.sweep(1e12);
+                    }
+                    black_box(s.lambdas()[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eqclass);
+criterion_main!(benches);

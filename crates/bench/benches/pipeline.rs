@@ -1,0 +1,57 @@
+//! End-to-end pipeline stages on an interactive-scale dataset
+//! (paper §III: every stage except OPTIM/ICA must feel instant):
+//! whitening, background sampling, PCA view, and a full
+//! view→mark→update→view cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sider_core::{EdaSession, SimulatedUser};
+use sider_maxent::FitOpts;
+use sider_projection::Method;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let dataset = sider_data::synthetic::xhat5(1000, 42);
+
+    // Pre-fitted session for the stage benches.
+    let mut session = EdaSession::new(dataset.clone(), 11).expect("session");
+    session.add_margin_constraints().expect("margins");
+    session
+        .update_background(&FitOpts::default())
+        .expect("update");
+
+    group.bench_function("whiten_1000x5", |b| {
+        b.iter(|| black_box(session.whitened().expect("whiten")))
+    });
+
+    let bg = session.background().clone();
+    group.bench_function("sample_1000x5", |b| {
+        let mut rng = sider_stats::Rng::seed_from_u64(5);
+        b.iter(|| black_box(bg.sample(&mut rng)))
+    });
+
+    group.bench_function("pca_view_1000x5", |b| {
+        let mut s = session.clone();
+        b.iter(|| black_box(s.next_view(&Method::Pca).expect("view")))
+    });
+
+    group.bench_function("full_interaction_cycle", |b| {
+        b.iter(|| {
+            let mut s = EdaSession::new(dataset.clone(), 11).expect("session");
+            let mut user = SimulatedUser::new(6, 25, 33);
+            let view = s.next_view(&Method::Pca).expect("view");
+            for cluster in user.perceive_clusters(&view) {
+                s.add_cluster_constraint(&cluster).expect("constraint");
+            }
+            s.update_background(&FitOpts::default()).expect("update");
+            black_box(s.next_view(&Method::Pca).expect("view"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

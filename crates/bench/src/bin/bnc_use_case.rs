@@ -1,0 +1,91 @@
+//! Figs. 7–8 — the British National Corpus use case (paper §IV-B), on
+//! the BNC-like simulated corpus (see DESIGN.md for the substitution).
+//!
+//! Paper reference measurements:
+//! * first selection ≈ 'transcribed conversations', Jaccard 0.928;
+//! * second selection ≈ 'academic prose' + 'broadsheet newspaper'
+//!   (Jaccard 0.63 / 0.35);
+//! * afterwards "no apparent difference" (low PCA scores).
+
+use sider_bench::out_dir;
+use sider_core::report::{format_convergence, TextTable};
+use sider_core::{EdaSession, SimulatedUser};
+use sider_maxent::FitOpts;
+use sider_projection::Method;
+use sider_stats::metrics::{jaccard, jaccard_per_class};
+
+fn main() {
+    let dataset = sider_data::bnc::bnc_like_corpus(&sider_data::bnc::BncOpts::default(), 2018);
+    let genres = dataset.primary_labels().expect("labels").clone();
+    println!(
+        "BNC-like corpus: {} texts × {} top words; genre sizes {:?}",
+        dataset.n(),
+        dataset.d(),
+        genres.class_sizes()
+    );
+    let fit = FitOpts {
+        lambda_tol: 1e-4,
+        moment_tol: 1e-4,
+        max_sweeps: 2000,
+        time_cutoff: Some(std::time::Duration::from_secs(10)),
+        ..FitOpts::default()
+    };
+    let mut session = EdaSession::new(dataset, 5).expect("session");
+    session.add_margin_constraints().expect("margins");
+    session.update_background(&fit).expect("update");
+
+    let mut user = SimulatedUser::new(5, 20, 17);
+    let mut marked: Vec<Vec<usize>> = Vec::new();
+    let mut summary = TextTable::new(&[
+        "view", "top PCA score", "selection size", "best genre", "Jaccard", "2nd genre", "Jaccard",
+    ]);
+
+    for step in 1..=4 {
+        let view = session.next_view(&Method::Pca).expect("view");
+        let top = view.scores()[0];
+        if top < 0.02 {
+            summary.row(vec![
+                step.to_string(),
+                format!("{top:.3}"),
+                "-".into(),
+                "(no striking difference)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            break;
+        }
+        let clusters = user.perceive_clusters(&view);
+        let Some(selection) = clusters
+            .iter()
+            .rev()
+            .find(|c| marked.iter().all(|m| jaccard(c, m) < 0.5))
+            .cloned()
+        else {
+            break;
+        };
+        marked.push(selection.clone());
+        let js = jaccard_per_class(&selection, &genres.assignments, 4);
+        let mut ranked: Vec<(usize, f64)> = js.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        summary.row(vec![
+            step.to_string(),
+            format!("{top:.3}"),
+            selection.len().to_string(),
+            genres.class_names[ranked[0].0].clone(),
+            format!("{:.3}", ranked[0].1),
+            genres.class_names[ranked[1].0].clone(),
+            format!("{:.3}", ranked[1].1),
+        ]);
+        view.to_scatter_plot(&format!("BNC view {step}"), Some(&selection))
+            .save(out_dir().join(format!("fig7_8_view{step}.svg")))
+            .expect("svg");
+        session.add_cluster_constraint(&selection).expect("constraint");
+        let report = session.update_background(&fit).expect("update");
+        eprintln!("view {step} update: {}", format_convergence(&report));
+    }
+
+    println!("\nBNC exploration summary (paper: conversations 0.928; then academic 0.63 / broadsheet 0.35; then no striking difference):");
+    println!("{}", summary.render());
+    println!("views written to {}/fig7_8_view*.svg", out_dir().display());
+}

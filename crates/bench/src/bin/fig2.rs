@@ -1,0 +1,93 @@
+//! Fig. 2 — the 3-D introduction walkthrough (paper §I).
+//!
+//! Writes the three panels as SVGs and prints cluster-recovery metrics:
+//! (a) first informative projection + prior background sample — three
+//! clusters visible; (b) same projection after the user's cluster
+//! constraints — background matches data; (c) next informative view —
+//! the hidden C/D split along X3.
+
+use sider_bench::out_dir;
+use sider_core::report::{format_convergence, TextTable};
+use sider_core::{EdaSession, SimulatedUser};
+use sider_maxent::FitOpts;
+use sider_projection::{project, IcaOpts, Method};
+use sider_stats::metrics::best_class_match;
+
+fn main() {
+    let dataset = sider_data::synthetic::three_d_four_clusters(2018);
+    let labels = dataset.primary_labels().expect("labels").clone();
+    let mut session = EdaSession::new(dataset, 7).expect("session");
+    let mut user = SimulatedUser::new(6, 5, 42);
+    let out = out_dir();
+
+    // (a) initial informative PCA view.
+    let view_a = session.next_view(&Method::Pca).expect("view a");
+    println!("Fig 2a axes:\n  {}\n  {}", view_a.axis_labels[0], view_a.axis_labels[1]);
+    view_a
+        .to_scatter_plot("Fig 2a: initial view, prior background", None)
+        .save(out.join("fig2a.svg"))
+        .expect("svg");
+    let clusters = user.perceive_clusters(&view_a);
+    let mut t = TextTable::new(&["perceived cluster", "size", "best class", "Jaccard"]);
+    for (i, c) in clusters.iter().enumerate() {
+        let (cls, j) = best_class_match(c, &labels.assignments, 4);
+        t.row(vec![
+            format!("{}", i + 1),
+            c.len().to_string(),
+            labels.class_names[cls].clone(),
+            format!("{j:.3}"),
+        ]);
+        session.add_cluster_constraint(c).expect("constraint");
+    }
+    println!("\n{} clusters perceived (paper: 3, with C∪D merged):", clusters.len());
+    println!("{}", t.render());
+
+    let report = session
+        .update_background(&FitOpts::default())
+        .expect("update");
+    println!("background update: {}", format_convergence(&report));
+
+    // (b) same axes, updated background.
+    {
+        let mut rng = sider_stats::Rng::seed_from_u64(99);
+        let sample = session.background().sample(&mut rng);
+        let proj = project(&sample, &view_a.projection.axes);
+        let pts: Vec<(f64, f64)> = (0..proj.rows()).map(|i| (proj[(i, 0)], proj[(i, 1)])).collect();
+        sider_plot::ScatterPlot::new(
+            "Fig 2b: same view, updated background",
+            view_a.axis_labels[0].clone(),
+            view_a.axis_labels[1].clone(),
+        )
+        .series(sider_plot::scatter::Series::background(pts))
+        .series(sider_plot::scatter::Series::data(view_a.points()))
+        .save(out.join("fig2b.svg"))
+        .expect("svg");
+    }
+
+    // (c) the next informative view reveals the split.
+    let view_c = session
+        .next_view(&Method::Ica(IcaOpts::default()))
+        .expect("view c");
+    println!(
+        "\nFig 2c axes (paper: dominated by X3):\n  {}\n  {}",
+        view_c.axis_labels[0], view_c.axis_labels[1]
+    );
+    let clusters_c = user.perceive_clusters(&view_c);
+    let mut t = TextTable::new(&["perceived cluster", "size", "best class", "Jaccard"]);
+    for (i, c) in clusters_c.iter().enumerate() {
+        let (cls, j) = best_class_match(c, &labels.assignments, 4);
+        t.row(vec![
+            format!("{}", i + 1),
+            c.len().to_string(),
+            labels.class_names[cls].clone(),
+            format!("{j:.3}"),
+        ]);
+    }
+    println!("{} clusters now visible (paper: the third splits into two):", clusters_c.len());
+    println!("{}", t.render());
+    view_c
+        .to_scatter_plot("Fig 2c: next informative view — hidden split", None)
+        .save(out.join("fig2c.svg"))
+        .expect("svg");
+    println!("panels written to {}/fig2{{a,b,c}}.svg", out.display());
+}

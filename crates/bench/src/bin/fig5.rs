@@ -1,0 +1,103 @@
+//! Fig. 5 — adversarial convergence (paper §II-A-2).
+//!
+//! Reproduces both panels: the analytic fixed points of constraint sets
+//! C_A (Eq. 12) and C_B (Eq. 13), and the convergence trace of `(Σ₁)₁₁`
+//! showing one-pass convergence for C_A versus harmonic `∝ 1/τ` decay
+//! for C_B. Writes the log–log chart to `out/fig5b.svg`.
+
+use sider_bench::out_dir;
+use sider_core::report::TextTable;
+use sider_linalg::Matrix;
+use sider_maxent::{Constraint, RowSet, Solver};
+use sider_plot::LineChart;
+
+fn axis_constraints(data: &Matrix, rows: &[usize], tag: &str) -> Vec<Constraint> {
+    let rows = RowSet::from_indices(rows);
+    let e1 = vec![1.0, 0.0];
+    let e2 = vec![0.0, 1.0];
+    vec![
+        Constraint::linear(data, rows.clone(), e1.clone(), format!("{tag}-l1")).unwrap(),
+        Constraint::quadratic(data, rows.clone(), e1, format!("{tag}-q1")).unwrap(),
+        Constraint::linear(data, rows.clone(), e2.clone(), format!("{tag}-l2")).unwrap(),
+        Constraint::quadratic(data, rows, e2, format!("{tag}-q2")).unwrap(),
+    ]
+}
+
+fn main() {
+    let data = sider_data::synthetic::adversarial_toy();
+    let case_a = axis_constraints(&data, &[0, 2], "a");
+    let mut case_b = case_a.clone();
+    case_b.extend(axis_constraints(&data, &[1, 2], "b"));
+
+    let sweeps = 1000usize;
+    let mut trace_a = Vec::with_capacity(sweeps);
+    let mut trace_b = Vec::with_capacity(sweeps);
+    let mut solver_a = Solver::new(&data, case_a).expect("solver A");
+    let mut solver_b = Solver::new(&data, case_b).expect("solver B");
+    for t in 1..=sweeps {
+        solver_a.sweep(1e12);
+        solver_b.sweep(1e12);
+        trace_a.push((t as f64, solver_a.params_for_row(0).sigma[(0, 0)]));
+        trace_b.push((t as f64, solver_b.params_for_row(0).sigma[(0, 0)]));
+    }
+
+    // Panel (a): the fixed points, against the analytic solutions.
+    println!("Case A fixed point (paper Eq. 12: m1=m3=(1/2,0), m2=0, Σ1=diag(1/4,0), Σ2=I):");
+    let mut ta = TextTable::new(&["row", "mean", "Σ diagonal"]);
+    for row in 0..3 {
+        let p = solver_a.params_for_row(row);
+        ta.row(vec![
+            format!("{}", row + 1),
+            format!("({:+.4}, {:+.4})", p.m[0], p.m[1]),
+            format!("({:.4}, {:.4})", p.sigma[(0, 0)], p.sigma[(1, 1)]),
+        ]);
+    }
+    println!("{}", ta.render());
+
+    println!("Case B fixed point (paper Eq. 13: m1=(1,0), m2=(0,1), m3=0, all Σ → 0):");
+    let mut tb = TextTable::new(&["row", "mean", "Σ diagonal"]);
+    for row in 0..3 {
+        let p = solver_b.params_for_row(row);
+        tb.row(vec![
+            format!("{}", row + 1),
+            format!("({:+.4}, {:+.4})", p.m[0], p.m[1]),
+            format!("({:.2e}, {:.2e})", p.sigma[(0, 0)], p.sigma[(1, 1)]),
+        ]);
+    }
+    println!("{}", tb.render());
+
+    // Panel (b): convergence trace.
+    println!("(Σ₁)₁₁ vs sweep (paper Fig. 5b):");
+    let mut tc = TextTable::new(&["sweep", "case A", "case B"]);
+    for &s in &[1usize, 2, 5, 10, 50, 100, 500, 1000] {
+        tc.row(vec![
+            s.to_string(),
+            format!("{:.6e}", trace_a[s - 1].1),
+            format!("{:.6e}", trace_b[s - 1].1),
+        ]);
+    }
+    println!("{}", tc.render());
+
+    // Harmonic decay check for case B.
+    let tail: Vec<(f64, f64)> = trace_b
+        .iter()
+        .filter(|&&(t, _)| t >= 100.0)
+        .map(|&(t, v)| (t.ln(), v.ln()))
+        .collect();
+    let n = tail.len() as f64;
+    let mx = tail.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = tail.iter().map(|p| p.1).sum::<f64>() / n;
+    let slope = tail.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>()
+        / tail.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum::<f64>();
+    println!("case B log–log slope (sweeps ≥ 100): {slope:.3}  — paper: (Σ₁)₁₁ ∝ τ⁻¹");
+
+    let path = out_dir().join("fig5b.svg");
+    LineChart::new("Fig 5b: convergence of (Σ₁)₁₁", "iterations", "(Σ₁)₁₁")
+        .log_x()
+        .log_y()
+        .series("Case A", trace_a)
+        .series("Case B", trace_b)
+        .save(&path)
+        .expect("svg");
+    println!("chart written to {}", path.display());
+}

@@ -1,0 +1,179 @@
+//! Table II — the runtime experiment (paper §IV-A).
+//!
+//! Grid: n ∈ {2048, 4096, 8192}, d ∈ {16, 32, 64, 128}, k ∈ {1, 2, 4, 8}.
+//! For each dataset: margin constraints (2d) plus, for k > 1, cluster
+//! constraints per cluster (2dk). Reported: median wall-clock of OPTIM
+//! (fitting the background distribution, no time cutoff) and ICA, plus
+//! the stage timings the paper says stay under 2 s (INIT, PREPROCESS,
+//! WHITENING, SAMPLE, PCA).
+//!
+//! Flags: `--reps N` (default 3; the paper used 10), `--max-d D`
+//! (default 128), `--max-n N` (default 8192), `--quick` (tiny grid for
+//! smoke tests).
+
+use sider_bench::{fmt_secs, median_duration, out_dir, time, Args};
+use sider_core::report::TextTable;
+use sider_data::synthetic::runtime_dataset;
+use sider_maxent::constraint::{cluster_constraints, margin_constraints};
+use sider_maxent::{FitOpts, RowSet, Solver};
+use sider_projection::{fastica, pca_directions, IcaOpts};
+use sider_stats::Rng;
+use std::time::Duration;
+
+struct CellTimes {
+    init: Duration,
+    optim: Duration,
+    preprocess: Duration,
+    whitening: Duration,
+    sample: Duration,
+    pca: Duration,
+    ica: Duration,
+    sweeps: usize,
+}
+
+fn run_cell(n: usize, d: usize, k: usize, seed: u64) -> CellTimes {
+    let ds = runtime_dataset(n, d, k, seed);
+    let data = &ds.matrix;
+    let labels = ds.primary_labels().expect("labels").clone();
+
+    // INIT: constraint construction + solver setup (equivalence classes).
+    let ((mut solver, _), init) = time(|| {
+        let mut cs = margin_constraints(data).expect("margins");
+        if k > 1 {
+            for c in 0..k {
+                cs.extend(
+                    cluster_constraints(
+                        data,
+                        RowSet::from_indices(&labels.class_indices(c)),
+                        format!("c{c}"),
+                    )
+                    .expect("cluster"),
+                );
+            }
+        }
+        let solver = Solver::new(data, cs).expect("solver");
+        (solver, ())
+    });
+
+    // OPTIM: fit without any time cutoff (paper Table II setup).
+    let (report, optim) = time(|| {
+        solver.fit(&FitOpts {
+            max_sweeps: 1000,
+            ..FitOpts::default()
+        })
+    });
+
+    // PREPROCESS: build the distribution (spectral transforms per class).
+    let (bg, preprocess) = time(|| solver.distribution());
+
+    let (whitened, whitening) = time(|| bg.whiten(data).expect("whiten"));
+
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5A5A);
+    let (_sampled, sample) = time(|| bg.sample(&mut rng));
+
+    let (_pca, pca) = time(|| pca_directions(&whitened).expect("pca"));
+
+    let mut rng_ica = Rng::seed_from_u64(seed ^ 0xA5A5);
+    let (_ica, ica) = time(|| fastica(&whitened, &IcaOpts::default(), &mut rng_ica));
+
+    CellTimes {
+        init,
+        optim,
+        preprocess,
+        whitening,
+        sample,
+        pca,
+        ica,
+        sweeps: report.sweeps,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps: usize = args.get_or("reps", 3);
+    let (ns, ds_, ks): (Vec<usize>, Vec<usize>, Vec<usize>) = if args.flag("quick") {
+        (vec![2048], vec![16, 32], vec![1, 2])
+    } else {
+        let max_d = args.get_or("max-d", 128usize);
+        let max_n = args.get_or("max-n", 8192usize);
+        (
+            [2048, 4096, 8192].into_iter().filter(|&n| n <= max_n).collect(),
+            [16, 32, 64, 128].into_iter().filter(|&d| d <= max_d).collect(),
+            vec![1, 2, 4, 8],
+        )
+    };
+    println!(
+        "Table II reproduction: median wall-clock over {reps} run(s), no time cutoff."
+    );
+    println!("(The paper's numbers are single-threaded R 3.4.0 on a 2.2 GHz MacBook Air;\n ours are this machine — compare scaling shapes, not absolute values.)\n");
+
+    let mut table = TextTable::new(&[
+        "n", "d", "OPTIM (k=1,2,4,8)", "ICA (k=1,2,4,8)", "sweeps",
+    ]);
+    let mut stage_worst = [Duration::ZERO; 5];
+    let mut csv = String::from("n,d,k,init,optim,preprocess,whitening,sample,pca,ica,sweeps\n");
+
+    for &n in &ns {
+        for &d in &ds_ {
+            let mut optim_cells = Vec::new();
+            let mut ica_cells = Vec::new();
+            let mut sweeps_cells = Vec::new();
+            for &k in &ks {
+                let mut optims = Vec::new();
+                let mut icas = Vec::new();
+                let mut sweeps = 0;
+                for rep in 0..reps {
+                    let t = run_cell(n, d, k, 1000 + rep as u64);
+                    eprintln!(
+                        "  [n={n} d={d} k={k} rep={rep}] optim {:.2}s, ica {:.2}s, {} sweeps",
+                        t.optim.as_secs_f64(),
+                        t.ica.as_secs_f64(),
+                        t.sweeps
+                    );
+                    optims.push(t.optim);
+                    icas.push(t.ica);
+                    sweeps = sweeps.max(t.sweeps);
+                    stage_worst[0] = stage_worst[0].max(t.init);
+                    stage_worst[1] = stage_worst[1].max(t.preprocess);
+                    stage_worst[2] = stage_worst[2].max(t.whitening);
+                    stage_worst[3] = stage_worst[3].max(t.sample);
+                    stage_worst[4] = stage_worst[4].max(t.pca);
+                    csv.push_str(&format!(
+                        "{n},{d},{k},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
+                        t.init.as_secs_f64(),
+                        t.optim.as_secs_f64(),
+                        t.preprocess.as_secs_f64(),
+                        t.whitening.as_secs_f64(),
+                        t.sample.as_secs_f64(),
+                        t.pca.as_secs_f64(),
+                        t.ica.as_secs_f64(),
+                        t.sweeps,
+                    ));
+                }
+                optim_cells.push(fmt_secs(median_duration(&mut optims)));
+                ica_cells.push(fmt_secs(median_duration(&mut icas)));
+                sweeps_cells.push(sweeps.to_string());
+            }
+            table.row(vec![
+                n.to_string(),
+                d.to_string(),
+                format!("{{{}}}", optim_cells.join(", ")),
+                format!("{{{}}}", ica_cells.join(", ")),
+                format!("{{{}}}", sweeps_cells.join(",")),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "worst stage timings across the grid (paper: each < 2 s):\n  INIT {:.2}s  PREPROCESS {:.2}s  WHITENING {:.2}s  SAMPLE {:.2}s  PCA {:.2}s",
+        stage_worst[0].as_secs_f64(),
+        stage_worst[1].as_secs_f64(),
+        stage_worst[2].as_secs_f64(),
+        stage_worst[3].as_secs_f64(),
+        stage_worst[4].as_secs_f64(),
+    );
+    let path = out_dir().join("table2.csv");
+    std::fs::create_dir_all(out_dir()).expect("mkdir out");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("\nper-run timings written to {}", path.display());
+}

@@ -1,0 +1,145 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` (see DESIGN.md §4 for the index):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig2` | Fig. 2 — 3-D synthetic walkthrough |
+//! | `fig3_pairplot` | Fig. 3 — X̂₅ pairplot |
+//! | `fig4_table1` | Fig. 4 + Table I — X̂₅ ICA iterations & scores |
+//! | `fig5` | Fig. 5 — adversarial convergence curves |
+//! | `fig6` | Fig. 6 — whitened X̂₅ pairplots per stage |
+//! | `table2` | Table II — OPTIM / ICA runtime grid |
+//! | `bnc_use_case` | Figs. 7–8 — BNC exploration (simulated corpus) |
+//! | `segmentation_use_case` | Fig. 9 — segmentation exploration |
+//!
+//! Criterion micro-benchmarks live in `benches/` (OPTIM scaling, ICA,
+//! Woodbury-vs-inverse and equivalence-class ablations).
+
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning its result and the wall-clock duration.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median of a slice of durations (empty ⇒ zero).
+pub fn median_duration(durations: &mut [Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.sort();
+    durations[durations.len() / 2]
+}
+
+/// Format seconds with one decimal, like the paper's Table II cells.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Minimal command-line flag parser: `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (for tests).
+    pub fn from_args(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .inspect(|_| {
+                        iter.next();
+                    })
+                    .unwrap_or_else(|| "true".to_string());
+                pairs.push((key.to_string(), value));
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Look up a flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag (present without value, or `--key true`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+/// Output directory for experiment artifacts (`out/` by default,
+/// override with `SIDER_OUT`).
+pub fn out_dir() -> std::path::PathBuf {
+    std::env::var_os("SIDER_OUT")
+        .map(Into::into)
+        .unwrap_or_else(|| "out".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn median_of_durations() {
+        let mut ds = vec![
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ];
+        assert_eq!(median_duration(&mut ds), Duration::from_millis(20));
+        assert_eq!(median_duration(&mut []), Duration::ZERO);
+    }
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let args = Args::from_args(
+            ["--reps", "5", "--quick", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_or("reps", 1usize), 5);
+        assert!(args.flag("quick"));
+        assert_eq!(args.get("out"), Some("/tmp/x"));
+        assert_eq!(args.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn fmt_secs_one_decimal() {
+        assert_eq!(fmt_secs(Duration::from_millis(1234)), "1.2");
+        assert_eq!(fmt_secs(Duration::ZERO), "0.0");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the session layer.
+
+use sider_maxent::MaxEntError;
+use sider_projection::ProjectionError;
+use std::fmt;
+
+/// Errors surfaced by the interactive session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Constraint construction or background fitting failed.
+    MaxEnt(MaxEntError),
+    /// Projection pursuit failed.
+    Projection(ProjectionError),
+    /// A selection was empty or out of bounds.
+    BadSelection(String),
+    /// The dataset failed validation.
+    BadDataset(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MaxEnt(e) => write!(f, "background distribution: {e}"),
+            CoreError::Projection(e) => write!(f, "projection pursuit: {e}"),
+            CoreError::BadSelection(msg) => write!(f, "bad selection: {msg}"),
+            CoreError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::MaxEnt(e) => Some(e),
+            CoreError::Projection(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MaxEntError> for CoreError {
+    fn from(e: MaxEntError) -> Self {
+        CoreError::MaxEnt(e)
+    }
+}
+
+impl From<ProjectionError> for CoreError {
+    fn from(e: ProjectionError) -> Self {
+        CoreError::Projection(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = MaxEntError::EmptyRowSet.into();
+        assert!(e.to_string().contains("background"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = ProjectionError::EmptyData.into();
+        assert!(e.to_string().contains("projection"));
+        let e = CoreError::BadSelection("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,423 @@
+//! The interactive EDA session.
+
+use crate::error::CoreError;
+use crate::view::ViewState;
+use crate::Result;
+use sider_data::Dataset;
+use sider_linalg::Matrix;
+use sider_maxent::constraint::{
+    cluster_constraints, margin_constraints, one_cluster_constraints, twod_constraints,
+};
+use sider_maxent::{
+    BackgroundDistribution, Constraint, ConvergenceReport, FitOpts, RowSet, Solver,
+};
+use sider_projection::{most_informative_projection, project, Method};
+use sider_stats::Rng;
+
+/// Kinds of knowledge the user can feed the system (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeKind {
+    /// Per-column mean + variance over the full data (2d constraints).
+    Margin,
+    /// Mean + covariance of the full data (2d constraints).
+    OneCluster,
+    /// Mean + covariance of a marked point cluster (2d constraints).
+    Cluster,
+    /// Mean + variance along the two current view axes (4 constraints).
+    TwoD,
+}
+
+/// A record of one knowledge statement added to the session.
+#[derive(Debug, Clone)]
+pub struct KnowledgeRecord {
+    /// Kind of statement.
+    pub kind: KnowledgeKind,
+    /// The selection it was derived from (empty for whole-data kinds) —
+    /// kept so sessions can be snapshotted and replayed.
+    pub rows: Vec<usize>,
+    /// View axes, for [`KnowledgeKind::TwoD`] statements.
+    pub axes: Option<Matrix>,
+    /// Primitive constraints generated.
+    pub n_constraints: usize,
+    /// Label prefix of the generated constraints.
+    pub tag: String,
+}
+
+impl KnowledgeRecord {
+    /// Rows involved.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The SIDER session: dataset + accumulated constraints + fitted
+/// background distribution.
+///
+/// The background starts at the spherical unit Gaussian prior; adding
+/// knowledge marks the session *dirty* until [`EdaSession::update_background`]
+/// refits (mirroring the SIDER UI, where recomputation is an explicit
+/// user-triggered action because it may take seconds — §III).
+#[derive(Debug, Clone)]
+pub struct EdaSession {
+    dataset: Dataset,
+    constraints: Vec<Constraint>,
+    knowledge: Vec<KnowledgeRecord>,
+    background: BackgroundDistribution,
+    dirty: bool,
+    rng: Rng,
+    last_report: Option<ConvergenceReport>,
+}
+
+impl EdaSession {
+    /// Start a session on a dataset. `seed` drives background sampling and
+    /// ICA initialization, making whole sessions reproducible.
+    pub fn new(dataset: Dataset, seed: u64) -> Result<Self> {
+        dataset.validate().map_err(CoreError::BadDataset)?;
+        if dataset.n() == 0 || dataset.d() == 0 {
+            return Err(CoreError::BadDataset("empty dataset".into()));
+        }
+        let background = BackgroundDistribution::prior(dataset.n(), dataset.d());
+        Ok(EdaSession {
+            dataset,
+            constraints: Vec::new(),
+            knowledge: Vec::new(),
+            background,
+            dirty: false,
+            rng: Rng::seed_from_u64(seed),
+            last_report: None,
+        })
+    }
+
+    /// The dataset under exploration.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The raw data matrix.
+    pub fn data(&self) -> &Matrix {
+        &self.dataset.matrix
+    }
+
+    /// The current background distribution (as of the last update).
+    pub fn background(&self) -> &BackgroundDistribution {
+        &self.background
+    }
+
+    /// Knowledge statements added so far.
+    pub fn knowledge(&self) -> &[KnowledgeRecord] {
+        &self.knowledge
+    }
+
+    /// Total primitive constraints accumulated.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether knowledge was added since the last background update.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Convergence report of the last update.
+    pub fn last_report(&self) -> Option<&ConvergenceReport> {
+        self.last_report.as_ref()
+    }
+
+    fn selection_rowset(&self, rows: &[usize]) -> Result<RowSet> {
+        if rows.is_empty() {
+            return Err(CoreError::BadSelection("selection is empty".into()));
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.dataset.n()) {
+            return Err(CoreError::BadSelection(format!(
+                "row {bad} out of bounds for {} rows",
+                self.dataset.n()
+            )));
+        }
+        Ok(RowSet::from_indices(rows))
+    }
+
+    fn push(
+        &mut self,
+        kind: KnowledgeKind,
+        tag: String,
+        rows: Vec<usize>,
+        axes: Option<Matrix>,
+        cs: Vec<Constraint>,
+    ) {
+        self.knowledge.push(KnowledgeRecord {
+            kind,
+            rows,
+            axes,
+            n_constraints: cs.len(),
+            tag,
+        });
+        self.constraints.extend(cs);
+        self.dirty = true;
+    }
+
+    /// Tell the system the marginal mean/variance of every column.
+    pub fn add_margin_constraints(&mut self) -> Result<()> {
+        let cs = margin_constraints(self.data())?;
+        self.push(KnowledgeKind::Margin, "margin".into(), Vec::new(), None, cs);
+        Ok(())
+    }
+
+    /// Tell the system the overall mean/covariance of the data
+    /// (the first move of the segmentation use case, Fig. 9b).
+    pub fn add_one_cluster_constraint(&mut self) -> Result<()> {
+        let cs = one_cluster_constraints(self.data())?;
+        self.push(
+            KnowledgeKind::OneCluster,
+            "1cluster".into(),
+            Vec::new(),
+            None,
+            cs,
+        );
+        Ok(())
+    }
+
+    /// Mark a point set as a cluster ("this set of points forms a
+    /// cluster") — the paper's primary interaction.
+    pub fn add_cluster_constraint(&mut self, rows: &[usize]) -> Result<()> {
+        let rowset = self.selection_rowset(rows)?;
+        let tag = format!("cluster{}", self.knowledge.len());
+        let cs = cluster_constraints(self.data(), rowset, tag.clone())?;
+        self.push(
+            KnowledgeKind::Cluster,
+            tag,
+            rows.to_vec(),
+            None,
+            cs,
+        );
+        Ok(())
+    }
+
+    /// All rows belonging to class `class` of label set `set` — SIDER's
+    /// "add data points to a selection by using pre-defined classes".
+    pub fn select_class(&self, set: usize, class: usize) -> Result<Vec<usize>> {
+        let ls = self
+            .dataset
+            .labels
+            .get(set)
+            .ok_or_else(|| CoreError::BadSelection(format!("no label set {set}")))?;
+        if class >= ls.n_classes() {
+            return Err(CoreError::BadSelection(format!(
+                "label set '{}' has no class {class}",
+                ls.title
+            )));
+        }
+        Ok(ls.class_indices(class))
+    }
+
+    /// Record the selection's mean/variance along the two axes of the
+    /// current view (4 constraints).
+    pub fn add_twod_constraint(&mut self, rows: &[usize], axes: &Matrix) -> Result<()> {
+        if axes.shape().0 != 2 || axes.cols() != self.dataset.d() {
+            return Err(CoreError::BadSelection(format!(
+                "axes must be 2x{}, got {}x{}",
+                self.dataset.d(),
+                axes.rows(),
+                axes.cols()
+            )));
+        }
+        let rowset = self.selection_rowset(rows)?;
+        let tag = format!("view{}", self.knowledge.len());
+        let cs = twod_constraints(
+            self.data(),
+            rowset,
+            axes.row(0),
+            axes.row(1),
+            tag.clone(),
+        )?;
+        self.push(
+            KnowledgeKind::TwoD,
+            tag,
+            rows.to_vec(),
+            Some(axes.clone()),
+            cs,
+        );
+        Ok(())
+    }
+
+    /// Re-solve the MaxEnt problem with all accumulated constraints
+    /// (paper Problem 1) and install the new background distribution.
+    pub fn update_background(&mut self, opts: &FitOpts) -> Result<ConvergenceReport> {
+        let mut solver = Solver::new(self.data(), self.constraints.clone())?;
+        let report = solver.fit(opts);
+        self.background = solver.distribution();
+        self.dirty = false;
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Whiten the data against the current background (paper Eq. 14).
+    pub fn whitened(&self) -> Result<Matrix> {
+        Ok(self.background.whiten(self.data())?)
+    }
+
+    /// How much the accumulated feedback has constrained the model, in
+    /// nats: the relative entropy of the background distribution from the
+    /// spherical prior (`−S` of the paper's Problem 1). Zero for a fresh
+    /// session; grows with every absorbed knowledge statement.
+    pub fn information_nats(&self) -> f64 {
+        self.background.total_kl_from_prior()
+    }
+
+    /// Drop the most recent knowledge statement (and its primitive
+    /// constraints). The background distribution still reflects the last
+    /// update; call [`EdaSession::update_background`] to refit without the
+    /// removed knowledge. Returns the removed record, or `None` if no
+    /// knowledge was added yet.
+    pub fn undo_last_knowledge(&mut self) -> Option<KnowledgeRecord> {
+        let record = self.knowledge.pop()?;
+        let keep = self.constraints.len() - record.n_constraints;
+        self.constraints.truncate(keep);
+        self.dirty = true;
+        Some(record)
+    }
+
+    /// Compute the next most-informative view: whiten, run projection
+    /// pursuit, project the raw data and a fresh background sample onto
+    /// the found directions (paper Fig. 1, steps b–c).
+    pub fn next_view(&mut self, method: &Method) -> Result<ViewState> {
+        let whitened = self.whitened()?;
+        let projection = most_informative_projection(&whitened, method, &mut self.rng)?;
+        let projected_data = project(self.data(), &projection.axes);
+        let background_sample = self.background.sample(&mut self.rng);
+        let projected_background = project(&background_sample, &projection.axes);
+        let axis_labels = projection.labels(&self.dataset.column_names, 5);
+        Ok(ViewState {
+            projection,
+            projected_data,
+            projected_background,
+            axis_labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_data::synthetic::three_d_four_clusters;
+
+    fn session() -> EdaSession {
+        EdaSession::new(three_d_four_clusters(2018), 7).unwrap()
+    }
+
+    #[test]
+    fn new_session_is_clean_prior() {
+        let s = session();
+        assert_eq!(s.n_constraints(), 0);
+        assert!(!s.is_dirty());
+        assert_eq!(s.background().n(), 150);
+        // Prior whitening = identity.
+        let y = s.whitened().unwrap();
+        assert!(y.max_abs_diff(s.data()) < 1e-12);
+    }
+
+    #[test]
+    fn adding_knowledge_marks_dirty_and_counts_constraints() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        assert!(s.is_dirty());
+        assert_eq!(s.n_constraints(), 6); // 2d for d=3
+        s.add_cluster_constraint(&[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(s.n_constraints(), 12);
+        s.add_one_cluster_constraint().unwrap();
+        assert_eq!(s.n_constraints(), 18);
+        let axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        s.add_twod_constraint(&[0, 1, 2], &axes).unwrap();
+        assert_eq!(s.n_constraints(), 22);
+        assert_eq!(s.knowledge().len(), 4);
+        assert_eq!(s.knowledge()[0].kind, KnowledgeKind::Margin);
+        assert_eq!(s.knowledge()[3].kind, KnowledgeKind::TwoD);
+    }
+
+    #[test]
+    fn update_background_clears_dirty_and_changes_whitening() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        let report = s.update_background(&FitOpts::default()).unwrap();
+        assert!(report.converged);
+        assert!(!s.is_dirty());
+        assert!(s.last_report().is_some());
+        // Whitening is no longer the identity.
+        let y = s.whitened().unwrap();
+        assert!(y.max_abs_diff(s.data()) > 0.01);
+    }
+
+    #[test]
+    fn next_view_shapes_and_labels() {
+        let mut s = session();
+        let view = s.next_view(&Method::Pca).unwrap();
+        assert_eq!(view.projected_data.shape(), (150, 2));
+        assert_eq!(view.projected_background.shape(), (150, 2));
+        assert!(view.axis_labels[0].starts_with("PCA1["));
+        assert_eq!(view.projection.axes.shape(), (2, 3));
+    }
+
+    #[test]
+    fn bad_selections_rejected() {
+        let mut s = session();
+        assert!(matches!(
+            s.add_cluster_constraint(&[]),
+            Err(CoreError::BadSelection(_))
+        ));
+        assert!(matches!(
+            s.add_cluster_constraint(&[999]),
+            Err(CoreError::BadSelection(_))
+        ));
+        let bad_axes = Matrix::zeros(2, 2);
+        assert!(matches!(
+            s.add_twod_constraint(&[0], &bad_axes),
+            Err(CoreError::BadSelection(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::unlabeled("empty", Matrix::zeros(0, 0));
+        assert!(EdaSession::new(ds, 1).is_err());
+    }
+
+    #[test]
+    fn information_grows_with_knowledge() {
+        let mut s = session();
+        assert_eq!(s.information_nats(), 0.0);
+        s.add_margin_constraints().unwrap();
+        s.update_background(&FitOpts::default()).unwrap();
+        let after_margins = s.information_nats();
+        assert!(after_margins > 0.0);
+        s.add_cluster_constraint(&(0..50).collect::<Vec<_>>()).unwrap();
+        s.update_background(&FitOpts::default()).unwrap();
+        assert!(s.information_nats() > after_margins);
+    }
+
+    #[test]
+    fn undo_removes_constraints_and_marks_dirty() {
+        let mut s = session();
+        assert!(s.undo_last_knowledge().is_none());
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(s.n_constraints(), 12);
+        let removed = s.undo_last_knowledge().unwrap();
+        assert_eq!(removed.kind, KnowledgeKind::Cluster);
+        assert_eq!(s.n_constraints(), 6);
+        assert!(s.is_dirty());
+        // Refit returns to margins-only state.
+        s.update_background(&FitOpts::default()).unwrap();
+        assert_eq!(s.knowledge().len(), 1);
+    }
+
+    #[test]
+    fn session_is_deterministic_given_seed() {
+        let mut a = session();
+        let mut b = session();
+        let va = a.next_view(&Method::Pca).unwrap();
+        let vb = b.next_view(&Method::Pca).unwrap();
+        assert_eq!(
+            va.projected_background.max_abs_diff(&vb.projected_background),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! The simulated analyst.
+//!
+//! The paper's experiments are driven by a human looking at scatter plots
+//! and marking the point sets she perceives as clusters. This module
+//! replaces the human with a reproducible stand-in: k-means over the 2-D
+//! projected points with silhouette-based selection of the cluster count
+//! ("how many clusters do I see?"). The [`explore`] driver then runs the
+//! full interactive loop of paper Fig. 1 and records the per-iteration
+//! projection scores — which is exactly how we regenerate Table I.
+
+use crate::session::EdaSession;
+use crate::view::ViewState;
+use crate::Result;
+use sider_maxent::FitOpts;
+use sider_projection::Method;
+use sider_stats::kmeans::{choose_k, cluster_members};
+use sider_stats::Rng;
+
+/// The simulated user's "perception" parameters.
+#[derive(Debug, Clone)]
+pub struct SimulatedUser {
+    /// Maximum number of clusters the user would distinguish in one view.
+    pub k_max: usize,
+    /// Clusters smaller than this are ignored (a human would not mark a
+    /// 2-point "cluster").
+    pub min_cluster_size: usize,
+    rng: Rng,
+}
+
+impl SimulatedUser {
+    /// A user who can see up to `k_max` clusters.
+    pub fn new(k_max: usize, min_cluster_size: usize, seed: u64) -> Self {
+        SimulatedUser {
+            k_max,
+            min_cluster_size,
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Look at a view and return the clusters perceived there, sorted by
+    /// descending size. Clusters below `min_cluster_size` are dropped.
+    pub fn perceive_clusters(&mut self, view: &ViewState) -> Vec<Vec<usize>> {
+        let (fit, k) = choose_k(&view.projected_data, self.k_max, &mut self.rng);
+        let mut clusters: Vec<Vec<usize>> = (0..k)
+            .map(|j| cluster_members(&fit.assignments, j))
+            .filter(|c| c.len() >= self.min_cluster_size)
+            .collect();
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        clusters
+    }
+}
+
+/// Configuration of the exploration loop.
+#[derive(Debug, Clone)]
+pub struct ExplorationConfig {
+    /// Projection pursuit method for the views.
+    pub method: Method,
+    /// Background-update options.
+    pub fit: FitOpts,
+    /// Stop after this many iterations regardless of scores.
+    pub max_iterations: usize,
+    /// Stop when the top |score| of a view falls below this ("no notable
+    /// differences between the data and the background distribution").
+    pub score_threshold: f64,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        ExplorationConfig {
+            method: Method::Pca,
+            fit: FitOpts::default(),
+            max_iterations: 10,
+            score_threshold: 0.01,
+        }
+    }
+}
+
+/// What happened in one iteration of the loop.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// All component scores of the view shown (Table I rows).
+    pub scores: Vec<f64>,
+    /// The two axis captions.
+    pub axis_labels: [String; 2],
+    /// Clusters the user marked this iteration (possibly empty on the
+    /// final iteration).
+    pub marked_clusters: Vec<Vec<usize>>,
+    /// Whether the loop stopped after this view (scores under threshold).
+    pub stopped: bool,
+}
+
+/// Run the interactive loop: show view → mark clusters → update →
+/// repeat (paper Fig. 1). Returns the per-iteration records.
+pub fn explore(
+    session: &mut EdaSession,
+    user: &mut SimulatedUser,
+    config: &ExplorationConfig,
+) -> Result<Vec<IterationRecord>> {
+    let mut records = Vec::new();
+    for iteration in 1..=config.max_iterations {
+        let view = session.next_view(&config.method)?;
+        let top_score = view
+            .projection
+            .all_scores
+            .iter()
+            .fold(0.0_f64, |m, s| m.max(s.abs()));
+        if top_score < config.score_threshold {
+            records.push(IterationRecord {
+                iteration,
+                scores: view.projection.all_scores.clone(),
+                axis_labels: view.axis_labels.clone(),
+                marked_clusters: Vec::new(),
+                stopped: true,
+            });
+            break;
+        }
+        let clusters = user.perceive_clusters(&view);
+        for cluster in &clusters {
+            session.add_cluster_constraint(cluster)?;
+        }
+        session.update_background(&config.fit)?;
+        records.push(IterationRecord {
+            iteration,
+            scores: view.projection.all_scores.clone(),
+            axis_labels: view.axis_labels.clone(),
+            marked_clusters: clusters,
+            stopped: false,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_data::synthetic::three_d_four_clusters;
+    use sider_stats::metrics::jaccard;
+
+    #[test]
+    fn user_sees_three_clusters_in_initial_pca_view() {
+        // Paper Fig. 2a: the first two principal components show three
+        // clusters (the two small ones overlap).
+        let ds = three_d_four_clusters(2018);
+        let labels = ds.primary_labels().unwrap().clone();
+        let mut session = EdaSession::new(ds, 1).unwrap();
+        let view = session.next_view(&Method::Pca).unwrap();
+        let mut user = SimulatedUser::new(6, 5, 42);
+        let clusters = user.perceive_clusters(&view);
+        assert_eq!(clusters.len(), 3, "expected 3 visible clusters");
+        // The merged cluster must contain both C and D.
+        let cd: Vec<usize> = labels
+            .class_indices(2)
+            .into_iter()
+            .chain(labels.class_indices(3))
+            .collect();
+        let best = clusters
+            .iter()
+            .map(|c| jaccard(c, &cd))
+            .fold(0.0, f64::max);
+        assert!(best > 0.8, "merged C∪D not found, best jaccard {best}");
+    }
+
+    #[test]
+    fn fig2_storyline_reveals_fourth_cluster() {
+        // The full Fig. 2 storyline, step by step:
+        // (a) initial PCA view shows 3 clusters; the user marks them;
+        // (b) after the background update the ICA view reveals the C/D
+        //     split along X3 (with an exactly-converged optimizer the
+        //     paper's tiny residual PCA signal vanishes, so the principled
+        //     detector of the remaining bimodality is the ICA objective);
+        // (c) after marking C and D separately, scores collapse.
+        let ds = three_d_four_clusters(2018);
+        let labels = ds.primary_labels().unwrap().clone();
+        let mut session = EdaSession::new(ds, 1).unwrap();
+        let mut user = SimulatedUser::new(6, 5, 42);
+
+        // (a) initial PCA view: 3 clusters, C∪D merged.
+        let view1 = session.next_view(&Method::Pca).unwrap();
+        assert!(view1.scores()[0] > 0.05, "initial view uninformative");
+        let clusters1 = user.perceive_clusters(&view1);
+        assert_eq!(clusters1.len(), 3);
+        for c in &clusters1 {
+            session.add_cluster_constraint(c).unwrap();
+        }
+        session.update_background(&FitOpts::default()).unwrap();
+
+        // (b) next ICA view: the X3 direction dominates and splits C/D.
+        let view2 = session
+            .next_view(&Method::Ica(sider_projection::IcaOpts::default()))
+            .unwrap();
+        let x3_weight = view2.projection.axes.row(0)[2].abs();
+        assert!(x3_weight > 0.8, "top axis not X3-like: {:?}", view2.projection.axes.row(0));
+        let clusters2 = user.perceive_clusters(&view2);
+        let c_idx = labels.class_indices(2);
+        let d_idx = labels.class_indices(3);
+        let best_split = clusters2
+            .iter()
+            .map(|cl| jaccard(cl, &c_idx).max(jaccard(cl, &d_idx)))
+            .fold(0.0, f64::max);
+        assert!(best_split > 0.7, "C/D split not perceived: {best_split}");
+        for c in &clusters2 {
+            session.add_cluster_constraint(c).unwrap();
+        }
+        session.update_background(&FitOpts::default()).unwrap();
+
+        // (c) once the background explains the data, the variance-based
+        // PCA scores collapse (ICA scores at n=150 are dominated by the
+        // finite-sample noise floor of the negentropy estimate, so we
+        // check the exact second-moment criterion instead — the paper's
+        // Fig. 2c scores are likewise tiny, 2.2e−4).
+        let view3 = session.next_view(&Method::Pca).unwrap();
+        let final_top = view3
+            .projection
+            .all_scores
+            .iter()
+            .fold(0.0_f64, |m, s| m.max(s.abs()));
+        assert!(
+            final_top < 0.01 && final_top < view1.scores()[0] * 0.1,
+            "PCA scores did not collapse: {} → {final_top}",
+            view1.scores()[0]
+        );
+    }
+
+    #[test]
+    fn loop_stops_on_low_scores() {
+        // Pure Gaussian data: the first PCA view should already be
+        // uninformative once margins are known.
+        let mut rng = Rng::seed_from_u64(5);
+        let m = rng.standard_normal_matrix(300, 3);
+        let ds = sider_data::Dataset::unlabeled("gauss", m);
+        let mut session = EdaSession::new(ds, 2).unwrap();
+        session.add_margin_constraints().unwrap();
+        session.update_background(&FitOpts::default()).unwrap();
+        let mut user = SimulatedUser::new(4, 5, 3);
+        let config = ExplorationConfig {
+            max_iterations: 4,
+            score_threshold: 0.05,
+            ..Default::default()
+        };
+        let records = explore(&mut session, &mut user, &config).unwrap();
+        assert!(records.last().unwrap().stopped, "{records:?}");
+        assert!(records.last().unwrap().marked_clusters.is_empty());
+    }
+
+    #[test]
+    fn min_cluster_size_filters_noise() {
+        let ds = three_d_four_clusters(9);
+        let mut session = EdaSession::new(ds, 4).unwrap();
+        let view = session.next_view(&Method::Pca).unwrap();
+        let mut user = SimulatedUser::new(6, 40, 11);
+        let clusters = user.perceive_clusters(&view);
+        assert!(clusters.iter().all(|c| c.len() >= 40));
+    }
+}

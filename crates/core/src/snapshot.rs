@@ -1,0 +1,262 @@
+//! Session snapshots: save and replay accumulated knowledge.
+//!
+//! SIDER lets the analyst reuse "previously saved groupings" (paper
+//! §III). A snapshot stores the *knowledge statements* (selections and
+//! kinds), not the fitted parameters: replaying them against the same
+//! dataset deterministically reconstructs the same constraints, and one
+//! `update_background` call reproduces the same background distribution.
+//!
+//! The format is a line-oriented text format (no external serialization
+//! dependency):
+//!
+//! ```text
+//! sider-session v1
+//! dataset three-d-four-clusters 150 3
+//! margin
+//! one-cluster
+//! cluster 0,1,2,5
+//! twod 3,4,5 | 1,0,0 ; 0,1,0
+//! ```
+
+use crate::error::CoreError;
+use crate::session::{EdaSession, KnowledgeKind};
+use crate::Result;
+use sider_linalg::Matrix;
+
+/// Serialize the session's knowledge statements.
+pub fn save(session: &EdaSession) -> String {
+    let mut out = String::from("sider-session v1\n");
+    out.push_str(&format!(
+        "dataset {} {} {}\n",
+        session.dataset().name.replace(' ', "_"),
+        session.dataset().n(),
+        session.dataset().d()
+    ));
+    for record in session.knowledge() {
+        match record.kind {
+            KnowledgeKind::Margin => out.push_str("margin\n"),
+            KnowledgeKind::OneCluster => out.push_str("one-cluster\n"),
+            KnowledgeKind::Cluster => {
+                out.push_str("cluster ");
+                out.push_str(&join_indices(&record.rows));
+                out.push('\n');
+            }
+            KnowledgeKind::TwoD => {
+                out.push_str("twod ");
+                out.push_str(&join_indices(&record.rows));
+                out.push_str(" | ");
+                let axes = record.axes.as_ref().expect("twod records carry axes");
+                out.push_str(&join_floats(axes.row(0)));
+                out.push_str(" ; ");
+                out.push_str(&join_floats(axes.row(1)));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn join_indices(rows: &[usize]) -> String {
+    rows.iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_floats(vals: &[f64]) -> String {
+    vals.iter()
+        .map(|v| format!("{v:e}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_indices(s: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| CoreError::BadSelection(format!("bad row index: {t}")))
+        })
+        .collect()
+}
+
+fn parse_floats(s: &str) -> Result<Vec<f64>> {
+    s.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| CoreError::BadSelection(format!("bad axis value: {t}")))
+        })
+        .collect()
+}
+
+/// Replay a snapshot's knowledge statements into a session over the same
+/// dataset (checked by shape). The background is *not* refitted — call
+/// [`EdaSession::update_background`] afterwards.
+pub fn apply(session: &mut EdaSession, snapshot: &str) -> Result<usize> {
+    let mut lines = snapshot.lines().map(str::trim).filter(|l| !l.is_empty());
+    match lines.next() {
+        Some("sider-session v1") => {}
+        other => {
+            return Err(CoreError::BadDataset(format!(
+                "not a sider session snapshot (header {other:?})"
+            )))
+        }
+    }
+    let meta = lines
+        .next()
+        .ok_or_else(|| CoreError::BadDataset("missing dataset line".into()))?;
+    let parts: Vec<&str> = meta.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != "dataset" {
+        return Err(CoreError::BadDataset(format!("bad dataset line: {meta}")));
+    }
+    let (n, d): (usize, usize) = (
+        parts[2]
+            .parse()
+            .map_err(|_| CoreError::BadDataset("bad n".into()))?,
+        parts[3]
+            .parse()
+            .map_err(|_| CoreError::BadDataset("bad d".into()))?,
+    );
+    if n != session.dataset().n() || d != session.dataset().d() {
+        return Err(CoreError::BadDataset(format!(
+            "snapshot is for a {n}x{d} dataset, session has {}x{}",
+            session.dataset().n(),
+            session.dataset().d()
+        )));
+    }
+    let mut applied = 0;
+    for line in lines {
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "margin" => session.add_margin_constraints()?,
+            "one-cluster" => session.add_one_cluster_constraint()?,
+            "cluster" => {
+                let rows = parse_indices(rest)?;
+                session.add_cluster_constraint(&rows)?;
+            }
+            "twod" => {
+                let (rows_part, axes_part) = rest
+                    .split_once('|')
+                    .ok_or_else(|| CoreError::BadSelection("twod needs axes".into()))?;
+                let rows = parse_indices(rows_part)?;
+                let (a1, a2) = axes_part
+                    .split_once(';')
+                    .ok_or_else(|| CoreError::BadSelection("twod needs two axes".into()))?;
+                let axis1 = parse_floats(a1)?;
+                let axis2 = parse_floats(a2)?;
+                let axes = Matrix::from_rows(&[axis1, axis2]);
+                session.add_twod_constraint(&rows, &axes)?;
+            }
+            other => {
+                return Err(CoreError::BadSelection(format!(
+                    "unknown knowledge kind: {other}"
+                )))
+            }
+        }
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_maxent::FitOpts;
+
+    fn session() -> EdaSession {
+        EdaSession::new(sider_data::synthetic::three_d_four_clusters(2018), 7).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_reproduces_background() {
+        let mut original = session();
+        original.add_margin_constraints().unwrap();
+        original.add_cluster_constraint(&[0, 1, 2, 3, 4, 5]).unwrap();
+        let view_axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        original.add_twod_constraint(&[10, 11, 12], &view_axes).unwrap();
+        original.update_background(&FitOpts::default()).unwrap();
+
+        let text = save(&original);
+        let mut restored = session();
+        let applied = apply(&mut restored, &text).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(restored.n_constraints(), original.n_constraints());
+        restored.update_background(&FitOpts::default()).unwrap();
+
+        // The reconstructed background must match row by row.
+        for row in [0usize, 5, 11, 100] {
+            let a = original.background().mean(row);
+            let b = restored.background().mean(row);
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            assert!(
+                original
+                    .background()
+                    .cov(row)
+                    .max_abs_diff(restored.background().cov(row))
+                    < 1e-12
+            );
+        }
+        // Information content identical.
+        assert!(
+            (original.information_nats() - restored.information_nats()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn snapshot_is_human_readable() {
+        let mut s = session();
+        s.add_one_cluster_constraint().unwrap();
+        s.add_cluster_constraint(&[3, 1, 2]).unwrap();
+        let text = save(&s);
+        assert!(text.starts_with("sider-session v1\n"));
+        assert!(text.contains("dataset three-d-four-clusters 150 3"));
+        assert!(text.contains("one-cluster"));
+        assert!(text.contains("cluster 3,1,2")); // selection order preserved
+    }
+
+    #[test]
+    fn rejects_wrong_dataset_shape() {
+        let mut small = EdaSession::new(
+            sider_data::Dataset::unlabeled("tiny", sider_linalg::Matrix::zeros(2, 2).add(&sider_linalg::Matrix::identity(2))),
+            1,
+        )
+        .unwrap();
+        let mut donor = session();
+        donor.add_margin_constraints().unwrap();
+        let text = save(&donor);
+        assert!(matches!(
+            apply(&mut small, &text),
+            Err(CoreError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_input() {
+        let mut s = session();
+        assert!(apply(&mut s, "not a snapshot").is_err());
+        assert!(apply(&mut s, "sider-session v1\n").is_err());
+        assert!(apply(
+            &mut s,
+            "sider-session v1\ndataset x 150 3\nfrobnicate 1,2\n"
+        )
+        .is_err());
+        assert!(apply(
+            &mut s,
+            "sider-session v1\ndataset x 150 3\ncluster 1,banana\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_applies_zero_statements() {
+        let mut s = session();
+        let text = "sider-session v1\ndataset x 150 3\n";
+        assert_eq!(apply(&mut s, text).unwrap(), 0);
+        assert!(!s.is_dirty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The view state: everything the SIDER scatter plot shows.
+
+use sider_linalg::Matrix;
+use sider_plot::scatter::{EllipseOverlay, ScatterPlot, Series};
+use sider_plot::style::colors;
+use sider_projection::Projection;
+use sider_stats::ellipse::Ellipse;
+
+/// One 2-D view of the data against the background distribution —
+/// the contents of the SIDER main scatter plot (paper §III):
+/// data points, a background sample, displacement segments, axis captions
+/// with informativeness scores.
+#[derive(Debug, Clone)]
+pub struct ViewState {
+    /// The chosen projection (axes, scores, method).
+    pub projection: Projection,
+    /// Raw data projected onto the axes (`n × 2`).
+    pub projected_data: Matrix,
+    /// A background-distribution sample projected onto the axes (`n × 2`,
+    /// row-aligned with the data).
+    pub projected_background: Matrix,
+    /// Formatted axis captions (e.g. `PCA1[0.093] = +0.71 (X1) …`).
+    pub axis_labels: [String; 2],
+}
+
+impl ViewState {
+    /// Projected data as point tuples.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        (0..self.projected_data.rows())
+            .map(|i| (self.projected_data[(i, 0)], self.projected_data[(i, 1)]))
+            .collect()
+    }
+
+    /// Projected background sample as point tuples.
+    pub fn background_points(&self) -> Vec<(f64, f64)> {
+        (0..self.projected_background.rows())
+            .map(|i| {
+                (
+                    self.projected_background[(i, 0)],
+                    self.projected_background[(i, 1)],
+                )
+            })
+            .collect()
+    }
+
+    /// Displacement segments connecting each data point to its background
+    /// counterpart (the gray lines of the SIDER plot).
+    pub fn displacements(&self) -> Vec<((f64, f64), (f64, f64))> {
+        self.points()
+            .into_iter()
+            .zip(self.background_points())
+            .collect()
+    }
+
+    /// Axis informativeness scores.
+    pub fn scores(&self) -> [f64; 2] {
+        self.projection.scores
+    }
+
+    /// 95 % confidence ellipses of a selection: `(data, background)` —
+    /// the solid and dotted blue ellipsoids of the SIDER UI (§III).
+    /// `None` when the selection has fewer than 2 points.
+    pub fn selection_ellipses(&self, selection: &[usize]) -> Option<(Ellipse, Ellipse)> {
+        if selection.len() < 2 {
+            return None;
+        }
+        let dx: Vec<f64> = selection
+            .iter()
+            .map(|&i| self.projected_data[(i, 0)])
+            .collect();
+        let dy: Vec<f64> = selection
+            .iter()
+            .map(|&i| self.projected_data[(i, 1)])
+            .collect();
+        let bx: Vec<f64> = selection
+            .iter()
+            .map(|&i| self.projected_background[(i, 0)])
+            .collect();
+        let by: Vec<f64> = selection
+            .iter()
+            .map(|&i| self.projected_background[(i, 1)])
+            .collect();
+        let data_e = Ellipse::from_points(&dx, &dy, 0.95)?;
+        let bg_e = Ellipse::from_points(&bx, &by, 0.95)?;
+        Some((data_e, bg_e))
+    }
+
+    /// Build the full SIDER-style scatter plot for this view: black data,
+    /// gray background ghosts with displacement segments, optional red
+    /// selection with blue confidence ellipses.
+    pub fn to_scatter_plot(&self, title: &str, selection: Option<&[usize]>) -> ScatterPlot {
+        let mut plot = ScatterPlot::new(
+            title,
+            self.axis_labels[0].clone(),
+            self.axis_labels[1].clone(),
+        )
+        .segments(self.displacements())
+        .series(Series::background(self.background_points()))
+        .series(Series::data(self.points()));
+        if let Some(sel) = selection {
+            let sel_points: Vec<(f64, f64)> = sel
+                .iter()
+                .filter(|&&i| i < self.projected_data.rows())
+                .map(|&i| (self.projected_data[(i, 0)], self.projected_data[(i, 1)]))
+                .collect();
+            plot = plot.series(Series::selection(sel_points));
+            if let Some((de, be)) = self.selection_ellipses(sel) {
+                plot = plot
+                    .ellipse(EllipseOverlay {
+                        polygon: de.polygon(64),
+                        color: colors::ELLIPSE.into(),
+                        dashed: false,
+                    })
+                    .ellipse(EllipseOverlay {
+                        polygon: be.polygon(64),
+                        color: colors::ELLIPSE.into(),
+                        dashed: true,
+                    });
+            }
+        }
+        plot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_projection::Projection;
+
+    fn sample_view() -> ViewState {
+        let axes = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        ViewState {
+            projection: Projection {
+                axes,
+                scores: [0.5, 0.1],
+                all_scores: vec![0.5, 0.1],
+                method: "PCA",
+            },
+            projected_data: Matrix::from_rows(&[
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 0.5],
+                vec![0.5, 2.0],
+            ]),
+            projected_background: Matrix::from_rows(&[
+                vec![0.1, 0.1],
+                vec![0.9, 1.2],
+                vec![1.8, 0.4],
+                vec![0.6, 1.9],
+            ]),
+            axis_labels: ["PCA1[0.5] = +1.00 (X1)".into(), "PCA2[0.1] = +1.00 (X2)".into()],
+        }
+    }
+
+    #[test]
+    fn point_extraction() {
+        let v = sample_view();
+        assert_eq!(v.points().len(), 4);
+        assert_eq!(v.points()[1], (1.0, 1.0));
+        assert_eq!(v.background_points()[0], (0.1, 0.1));
+    }
+
+    #[test]
+    fn displacements_pair_rows() {
+        let v = sample_view();
+        let d = v.displacements();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[2], ((2.0, 0.5), (1.8, 0.4)));
+    }
+
+    #[test]
+    fn scores_come_from_projection() {
+        assert_eq!(sample_view().scores(), [0.5, 0.1]);
+    }
+
+    #[test]
+    fn selection_ellipses_need_two_points() {
+        let v = sample_view();
+        assert!(v.selection_ellipses(&[0]).is_none());
+        let (de, be) = v.selection_ellipses(&[0, 1, 2, 3]).unwrap();
+        assert!(de.semi_axes.0 > 0.0);
+        assert!(be.semi_axes.0 > 0.0);
+    }
+
+    #[test]
+    fn scatter_plot_contains_selection_and_ellipses() {
+        let v = sample_view();
+        let svg = v.to_scatter_plot("test view", Some(&[0, 1, 2])).render();
+        // 4 data filled + 3 selection filled + 4 background outlined.
+        assert_eq!(svg.matches("<circle").count(), 11);
+        assert_eq!(svg.matches("<polygon").count(), 2);
+        assert!(svg.contains("PCA1[0.5]"));
+    }
+
+    #[test]
+    fn scatter_plot_without_selection() {
+        let v = sample_view();
+        let svg = v.to_scatter_plot("plain", None).render();
+        assert_eq!(svg.matches("<polygon").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 8);
+    }
+}

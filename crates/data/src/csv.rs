@@ -1,0 +1,128 @@
+//! Minimal CSV reading/writing for matrices and experiment outputs.
+//!
+//! Deliberately tiny: comma separator, no quoting (our column names never
+//! contain commas), header row with column names. Enough to export every
+//! experiment table and reload it.
+
+use sider_linalg::Matrix;
+use std::io::{self, BufRead, Write};
+
+/// Write a matrix with a header row.
+pub fn write_matrix<W: Write>(
+    out: &mut W,
+    header: &[String],
+    matrix: &Matrix,
+) -> io::Result<()> {
+    assert_eq!(
+        header.len(),
+        matrix.cols(),
+        "csv: header/column mismatch"
+    );
+    writeln!(out, "{}", header.join(","))?;
+    for i in 0..matrix.rows() {
+        let row: Vec<String> = matrix.row(i).iter().map(|v| format!("{v}")).collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serialize to a string.
+pub fn matrix_to_string(header: &[String], matrix: &Matrix) -> String {
+    let mut buf = Vec::new();
+    write_matrix(&mut buf, header, matrix).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("csv output is UTF-8")
+}
+
+/// Parse a CSV with a header row into `(header, matrix)`.
+pub fn read_matrix<R: BufRead>(input: R) -> io::Result<(Vec<String>, Matrix)> {
+    let mut lines = input.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let d = header.len();
+    let mut data: Vec<f64> = Vec::new();
+    let mut rows = 0;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {} fields, expected {}", lineno + 2, fields.len(), d),
+            ));
+        }
+        for f in fields {
+            let v: f64 = f.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number {f:?}: {e}", lineno + 2),
+                )
+            })?;
+            data.push(v);
+        }
+        rows += 1;
+    }
+    Ok((header, Matrix::from_vec(rows, d, data)))
+}
+
+/// Parse from a string.
+pub fn matrix_from_string(s: &str) -> io::Result<(Vec<String>, Matrix)> {
+    read_matrix(io::BufReader::new(s.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.5], vec![-3.0, 0.125]]);
+        let header = vec!["a".to_string(), "b".to_string()];
+        let s = matrix_to_string(&header, &m);
+        let (h2, m2) = matrix_from_string(&s).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(m2.max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn header_first_line() {
+        let m = Matrix::from_rows(&[vec![1.0]]);
+        let s = matrix_to_string(&["col".to_string()], &m);
+        assert!(s.starts_with("col\n"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let (h, m) = matrix_from_string("x,y\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(h, vec!["x", "y"]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(matrix_from_string("x,y\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(matrix_from_string("x\nfoo\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matrix_from_string("").is_err());
+    }
+
+    #[test]
+    fn preserves_precision() {
+        let m = Matrix::from_rows(&[vec![std::f64::consts::PI]]);
+        let s = matrix_to_string(&["pi".to_string()], &m);
+        let (_, m2) = matrix_from_string(&s).unwrap();
+        assert_eq!(m2[(0, 0)], std::f64::consts::PI);
+    }
+}

@@ -1,0 +1,226 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Cholesky factorization `A = L·Lᵀ` with `L` lower-triangular.
+///
+/// Covariance matrices of the background distribution are SPD (or very
+/// nearly so); Cholesky gives the cheapest solves, log-determinants and the
+/// `L·z` construction used when sampling `N(m, Σ)`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize an SPD matrix. Fails with [`LinalgError::NotPositiveDefinite`]
+    /// if a pivot is not strictly positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        a.require_square()?;
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorize with a non-negative ridge added to the diagonal; used when a
+    /// covariance may be positive *semi*-definite (e.g. zero-variance
+    /// directions created by small clusters, paper §II-A-2).
+    pub fn new_with_ridge(a: &Matrix, ridge: f64) -> Result<Self> {
+        let mut b = a.clone();
+        for i in 0..b.rows() {
+            b[(i, i)] += ridge;
+        }
+        Cholesky::new(&b)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut acc = y[i];
+            for k in 0..i {
+                acc -= self.l[(i, k)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Explicit inverse `A⁻¹`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let x = self.solve(&e)?;
+            out.set_col(j, &x);
+        }
+        // The inverse of an SPD matrix is symmetric; enforce it exactly to
+        // keep downstream eigendecompositions clean.
+        out.symmetrize();
+        Ok(out)
+    }
+
+    /// `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// `L z` — maps a standard-normal vector `z` to a sample of `N(0, A)`.
+    pub fn l_times(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.dim(), "l_times: length mismatch");
+        let n = self.dim();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in 0..=i {
+                acc += self.l[(i, k)] * z[k];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn reconstruction_l_lt() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![0.5, -1.5, 2.0];
+        let b = a.matvec(&x_true);
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_is_symmetric_and_correct() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        assert!(inv.is_symmetric(0.0));
+        assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = spd3();
+        let ld = Cholesky::new(&a).unwrap().log_det();
+        let d = crate::lu::det(&a).unwrap();
+        assert!((ld - d.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_log_det_is_zero() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_pd_matrix_rejected_with_pivot_index() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        match Cholesky::new(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ridge_rescues_semidefinite_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]); // rank 1
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_with_ridge(&a, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn l_times_maps_identity_to_l_columns() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let z = vec![1.0, 0.0, 0.0];
+        let out = ch.l_times(&z);
+        assert_eq!(out, ch.l().col(0));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_non_finite() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::INFINITY]]);
+        assert!(matches!(Cholesky::new(&bad), Err(LinalgError::NotFinite)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by all decompositions in this crate.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// An operation requiring a square matrix received a rectangular one.
+    NotSquare { rows: usize, cols: usize },
+    /// Dimensions of the operands do not line up.
+    DimensionMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+    /// Cholesky factorization hit a non-positive pivot.
+    NotPositiveDefinite { pivot: usize },
+    /// LU solve hit an (effectively) zero pivot.
+    Singular { pivot: usize },
+    /// An iterative method (Jacobi eigen / SVD) did not reach the requested
+    /// tolerance within its sweep budget.
+    ConvergenceFailure { sweeps: usize },
+    /// Input contained NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot {pivot})")
+            }
+            LinalgError::ConvergenceFailure { sweeps } => {
+                write!(f, "iteration failed to converge after {sweeps} sweeps")
+            }
+            LinalgError::NotFinite => write!(f, "input contains NaN or infinite entries"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_problem() {
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::DimensionMismatch {
+            expected: (4, 4),
+            got: (4, 5),
+        };
+        assert!(e.to_string().contains("expected 4x4"));
+        let e = LinalgError::NotPositiveDefinite { pivot: 1 };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::Singular { pivot: 0 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::ConvergenceFailure { sweeps: 30 };
+        assert!(e.to_string().contains("30"));
+        assert!(LinalgError::NotFinite.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Singular { pivot: 3 },
+            LinalgError::Singular { pivot: 3 }
+        );
+        assert_ne!(
+            LinalgError::Singular { pivot: 3 },
+            LinalgError::Singular { pivot: 4 }
+        );
+    }
+}

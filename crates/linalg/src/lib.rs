@@ -1,0 +1,50 @@
+//! Dense linear algebra substrate for the `sider-rs` workspace.
+//!
+//! The SIDER algorithm (Puolamäki et al., ICDE 2018) needs a small but
+//! carefully chosen set of dense routines on symmetric positive
+//! (semi-)definite matrices of moderate dimension (`d ≤ a few hundred`):
+//!
+//! * [`Matrix`] — a row-major dense matrix of `f64`.
+//! * [`Lu`] — LU decomposition with partial pivoting (solve / inverse / det).
+//! * [`Cholesky`] — for sampling and solving with covariance matrices.
+//! * [`Qr`] — Householder QR (least squares, orthonormal bases).
+//! * [`SymEigen`] — symmetric eigendecomposition via the cyclic Jacobi
+//!   method, the workhorse behind whitening (Eq. 14 of the paper) and PCA.
+//! * [`Svd`] — singular value decomposition via one-sided Jacobi, used to
+//!   derive cluster-constraint directions (paper §II-A).
+//! * [`woodbury`] — Sherman–Morrison rank-1 covariance updates, the key
+//!   O(d²) trick that makes the MaxEnt optimizer fast (paper §II-A).
+//! * [`sqrtm`] — symmetric square roots, used by the whitening transform.
+//!
+//! Everything is implemented from scratch: no BLAS/LAPACK, no external
+//! linear-algebra crates. Numerical tolerances follow standard choices
+//! (Jacobi sweeps until off-diagonal Frobenius mass is below `1e-12`
+//! relative to the matrix norm).
+
+// Indexed `for` loops are the dominant idiom in this crate's numeric
+// kernels, where several arrays are indexed in lockstep and the index is
+// part of the math; iterator rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod sqrtm;
+pub mod svd;
+pub mod vector;
+pub mod woodbury;
+
+pub use cholesky::Cholesky;
+pub use eigen::{sym_eigen, SymEigen};
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use sqrtm::{sym_inv_sqrt, sym_sqrt};
+pub use svd::{svd, Svd};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,250 @@
+//! LU decomposition with partial pivoting.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU decomposition `P·A = L·U` with partial (row) pivoting.
+///
+/// Used for general square solves, determinants, and the explicit inverses
+/// that the naive reference MaxEnt solver needs (the optimized solver avoids
+/// them via Woodbury updates).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds L (unit diagonal implied),
+    /// upper part holds U.
+    lu: Matrix,
+    /// Row permutation: `piv[i]` is the original index of row `i` of `P·A`.
+    piv: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used by `det`.
+    sign: f64,
+}
+
+/// Pivot magnitudes below this are treated as exact zeros (singularity).
+const PIVOT_EPS: f64 = 1e-300;
+
+impl Lu {
+    /// Factorize a square matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        a.require_square()?;
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < PIVOT_EPS {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                piv.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, piv, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&i| b[i]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, b.cols()),
+                got: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Explicit inverse `A⁻¹`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Convenience: explicit inverse of a square matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::new(a)?.inverse()
+}
+
+/// Convenience: determinant of a square matrix (0.0 when singular).
+pub fn det(a: &Matrix) -> Result<f64> {
+    match Lu::new(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ])
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn det_of_triangular_is_product_of_diagonal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![0.0, 3.0, 1.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
+        assert!((det(&a).unwrap() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_changes_sign_under_row_swap() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((det(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_singular_matrix_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn singular_matrix_fails_to_factorize() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, f64::NAN]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotFinite)));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = Lu::new(&spd3()).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = Lu::new(&a).unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_matrix_solves_all_columns() {
+        let a = spd3();
+        let b = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let x = Lu::new(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-12);
+    }
+}

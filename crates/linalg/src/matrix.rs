@@ -1,0 +1,660 @@
+//! Row-major dense matrix of `f64`.
+
+use crate::error::LinalgError;
+use crate::vector;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// This is the single array type shared by the whole workspace: datasets are
+/// `n × d` matrices, covariance/precision matrices are `d × d`, projection
+/// direction pairs are `2 × d`, and so on.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Build with a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when `rows == cols`.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {} out of bounds", j);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite row `i` with `values`.
+    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "set_row: length mismatch");
+        self.row_mut(i).copy_from_slice(values);
+    }
+
+    /// Overwrite column `j` with `values`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows, "set_col: length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Extract the sub-matrix given by `row_indices` (all columns).
+    pub fn select_rows(&self, row_indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_indices.len(), self.cols);
+        for (k, &i) in row_indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop walks rows of `other` and `out`
+        // contiguously, which matters for the d=128 covariance updates.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for j in 0..other.cols {
+                    out_row[j] += a * orow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_matvec: length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::axpy(x[i], self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// `selfᵀ * self` (Gram matrix), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..d {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scale all entries by `alpha` into a new matrix.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        let data = self.data.iter().map(|a| a * alpha).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn add_assign_scaled(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign_scaled: shape");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Rank-1 update `self += alpha * u vᵀ`.
+    pub fn add_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "add_outer: u length");
+        assert_eq!(v.len(), self.cols, "add_outer: v length");
+        for i in 0..self.rows {
+            let au = alpha * u[i];
+            if au == 0.0 {
+                continue;
+            }
+            vector::axpy(au, v, self.row_mut(i));
+        }
+    }
+
+    /// Quadratic form `xᵀ self x` for a square matrix.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        assert!(self.is_square(), "quad_form: matrix not square");
+        assert_eq!(x.len(), self.rows, "quad_form: length mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            acc += x[i] * vector::dot(self.row(i), x);
+        }
+        acc
+    }
+
+    /// Force exact symmetry: `self = (self + selfᵀ)/2`.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize: matrix not square");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// Maximum absolute deviation from symmetry.
+    pub fn asymmetry(&self) -> f64 {
+        if !self.is_square() {
+            return f64::INFINITY;
+        }
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// True if square and symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square() && self.asymmetry() <= tol
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace: matrix not square");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        vector::max_abs(&self.data)
+    }
+
+    /// True if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        vector::is_finite(&self.data)
+    }
+
+    /// Column means as a vector of length `cols`.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return m;
+        }
+        for i in 0..self.rows {
+            vector::axpy(1.0, self.row(i), &mut m);
+        }
+        vector::scale(&mut m, 1.0 / self.rows as f64);
+        m
+    }
+
+    /// Subtract `center` from every row into a new matrix.
+    pub fn center_rows(&self, center: &[f64]) -> Matrix {
+        assert_eq!(center.len(), self.cols, "center_rows: length mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            vector::axpy(-1.0, center, out.row_mut(i));
+        }
+        out
+    }
+
+    /// Apply `f` to every entry into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Validate that the matrix is square, returning a typed error otherwise.
+    pub fn require_square(&self) -> Result<(), LinalgError> {
+        if self.is_square() {
+            Ok(())
+        } else {
+            Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            })
+        }
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:10.4}", self[(i, j)])?;
+                if j + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 2));
+        assert!(!m.is_square());
+        assert_eq!(m[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.trace(), 3.0);
+        assert_eq!(i3[(0, 1)], 0.0);
+        assert_eq!(i3[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn from_diag_places_entries() {
+        let d = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 3.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 2)], 5.0);
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let m = sample();
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+        assert_eq!(Matrix::identity(3).matmul(&m), m);
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec_agree_with_transpose() {
+        let m = sample();
+        let x = vec![1.0, -1.0];
+        let y = vec![1.0, 0.0, 2.0];
+        assert_eq!(m.matvec(&x), vec![-1.0, -1.0, -1.0]);
+        assert_eq!(m.tr_matvec(&y), m.transpose().matvec(&y));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let m = sample();
+        let g = m.gram();
+        let g2 = m.transpose().matmul(&m);
+        assert!(g.max_abs_diff(&g2) < 1e-12);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 5.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[vec![4.0, 7.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[vec![2.0, 3.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[vec![2.0, 4.0]]));
+        let mut c = a.clone();
+        c.add_assign_scaled(10.0, &b);
+        assert_eq!(c, Matrix::from_rows(&[vec![31.0, 52.0]]));
+    }
+
+    #[test]
+    fn add_outer_rank1() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(m, Matrix::from_rows(&[vec![8.0, 10.0], vec![24.0, 30.0]]));
+    }
+
+    #[test]
+    fn quad_form_matches_explicit() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = [1.0, 2.0];
+        // xᵀMx = 2 + 2 + 2 + 12 = 18
+        assert_eq!(m.quad_form(&x), 18.0);
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![4.0, 1.0]]);
+        assert_eq!(m.asymmetry(), 2.0);
+        assert!(!m.is_symmetric(1e-12));
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let mut m = sample();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+        m.set_row(0, &[9.0, 9.0]);
+        assert_eq!(m.row(0), &[9.0, 9.0]);
+        m.set_col(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn swap_rows_exchanges_contents() {
+        let mut m = sample();
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_picks_subset() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[vec![5.0, 6.0], vec![1.0, 2.0]]));
+    }
+
+    #[test]
+    fn col_means_and_centering() {
+        let m = sample();
+        let means = m.col_means();
+        assert_eq!(means, vec![3.0, 4.0]);
+        let c = m.center_rows(&means);
+        assert_eq!(c.col_means(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!(m.is_finite());
+        let bad = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        assert_eq!(m.map(f64::abs), Matrix::from_rows(&[vec![1.0, 2.0]]));
+    }
+
+    #[test]
+    fn require_square_errors_on_rectangular() {
+        assert!(sample().require_square().is_err());
+        assert!(Matrix::identity(2).require_square().is_ok());
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let big = Matrix::zeros(20, 20);
+        let s = format!("{:?}", big);
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.len() < 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

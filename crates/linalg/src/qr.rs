@@ -1,0 +1,245 @@
+//! Householder QR decomposition.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Thin QR decomposition `A = Q·R` of an `m × n` matrix with `m ≥ n`,
+/// computed with Householder reflections.
+///
+/// Used for least-squares fits in the experiment harness and for the
+/// symmetric decorrelation step of FastICA (orthonormalizing a set of
+/// direction vectors).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `m × n`, orthonormal columns.
+    q: Matrix,
+    /// `n × n`, upper triangular.
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factorize `a` (requires `rows ≥ cols`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, n),
+                got: (m, n),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let mut r = a.clone();
+        // Accumulate Q by applying the reflections to an identity.
+        let mut q_full = Matrix::identity(m);
+        let mut v = vec![0.0; m];
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut norm_x = 0.0;
+            for i in k..m {
+                norm_x += r[(i, k)] * r[(i, k)];
+            }
+            let norm_x = norm_x.sqrt();
+            if norm_x == 0.0 {
+                continue; // column already zero below the diagonal
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+            for i in 0..m {
+                v[i] = if i < k { 0.0 } else { r[(i, k)] };
+            }
+            v[k] -= alpha;
+            let vnorm_sq = vector::norm2_sq(&v[k..]);
+            if vnorm_sq == 0.0 {
+                continue;
+            }
+            let beta = 2.0 / vnorm_sq;
+            // R ← (I - beta v vᵀ) R
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let s = beta * dot;
+                for i in k..m {
+                    r[(i, j)] -= s * v[i];
+                }
+            }
+            // Qᵗ accumulation: Q ← Q (I - beta v vᵀ)
+            for i in 0..m {
+                let mut dot = 0.0;
+                for l in k..m {
+                    dot += q_full[(i, l)] * v[l];
+                }
+                let s = beta * dot;
+                for l in k..m {
+                    q_full[(i, l)] -= s * v[l];
+                }
+            }
+        }
+        // Thin factors.
+        let mut q = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                q[(i, j)] = q_full[(i, j)];
+            }
+        }
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+        Ok(Qr { q, r: r_thin })
+    }
+
+    /// Orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Least-squares solve `min ‖A x − b‖₂` via `R x = Qᵀ b`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (m, 1),
+                got: (b.len(), 1),
+            });
+        }
+        let qtb = self.q.tr_matvec(b);
+        let mut x = qtb;
+        for i in (0..n).rev() {
+            let rii = self.r[(i, i)];
+            if rii.abs() < 1e-300 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// Orthonormalize the **rows** of `w` (in place view of FastICA's stacked
+/// direction vectors) via QR of the transpose. Returns a matrix with
+/// orthonormal rows spanning the same space.
+pub fn orthonormalize_rows(w: &Matrix) -> Result<Matrix> {
+    let qr = Qr::new(&w.transpose())?;
+    Ok(qr.q().transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.5],
+        ])
+    }
+
+    #[test]
+    fn reconstruction_qr() {
+        let a = tall();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(qr.r());
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let qr = Qr::new(&tall()).unwrap();
+        let qtq = qr.q().gram();
+        assert!(qtq.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = Qr::new(&tall()).unwrap();
+        for i in 0..2 {
+            for j in 0..i {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Fit y = a + b t on noisy-ish points; compare with the analytic
+        // normal-equation solution.
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.1, 2.9, 4.2];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { t[i] });
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&y).unwrap();
+        // Normal equations: AᵀA x = Aᵀ y
+        let ata = a.gram();
+        let aty = a.tr_matvec(&y);
+        let x2 = crate::lu::Lu::new(&ata).unwrap().solve(&aty).unwrap();
+        for (u, v) in x.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn exact_system_solved_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0], vec![0.0, 0.0]]);
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&[4.0, 9.0, 0.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-13);
+        assert!((x[1] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::new(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_solve_reports_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn orthonormalize_rows_produces_orthonormal_rows() {
+        let w = Matrix::from_rows(&[vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0]]);
+        let o = orthonormalize_rows(&w).unwrap();
+        let wwt = o.matmul(&o.transpose());
+        assert!(wwt.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn square_orthogonal_input_is_preserved_up_to_sign() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let w = Matrix::from_rows(&[vec![s, s], vec![s, -s]]);
+        let o = orthonormalize_rows(&w).unwrap();
+        // Rows must still be orthonormal and span the same plane.
+        assert!(o.matmul(&o.transpose()).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![f64::NAN]]);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::NotFinite)));
+    }
+}

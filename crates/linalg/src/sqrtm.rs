@@ -1,0 +1,124 @@
+//! Symmetric matrix square roots via eigendecomposition.
+//!
+//! The whitening transform of the paper (Eq. 14) is
+//! `y = U·D^{1/2}·Uᵀ·(x − m)` where `Σ⁻¹ = U·D·Uᵀ` — the symmetric
+//! (direction-preserving) square root of the precision matrix.
+
+use crate::eigen::sym_eigen;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Eigenvalues below this (relative to the largest) are clamped to zero
+/// before taking roots, to absorb round-off on PSD matrices.
+const CLAMP_RTOL: f64 = 1e-13;
+
+fn clamped(values: &[f64]) -> Vec<f64> {
+    let vmax = values.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let floor = CLAMP_RTOL * vmax;
+    values
+        .iter()
+        .map(|&v| if v < floor { 0.0 } else { v })
+        .collect()
+}
+
+/// Symmetric square root `A^{1/2}` of a symmetric PSD matrix
+/// (`A^{1/2}·A^{1/2} = A`). Tiny negative eigenvalues from round-off are
+/// clamped to zero.
+pub fn sym_sqrt(a: &Matrix) -> Result<Matrix> {
+    let e = sym_eigen(a)?;
+    let vals = clamped(&e.values);
+    let n = vals.len();
+    let mut out = Matrix::zeros(n, n);
+    for k in 0..n {
+        let col = e.vectors.col(k);
+        out.add_outer(vals[k].sqrt(), &col, &col);
+    }
+    Ok(out)
+}
+
+/// Symmetric inverse square root `A^{-1/2}` of a symmetric PSD matrix.
+/// Directions with (near-)zero eigenvalue are mapped to zero instead of
+/// infinity — these correspond to fully constrained directions of the
+/// background distribution and carry no variance to whiten.
+pub fn sym_inv_sqrt(a: &Matrix) -> Result<Matrix> {
+    let e = sym_eigen(a)?;
+    let vals = clamped(&e.values);
+    let n = vals.len();
+    let mut out = Matrix::zeros(n, n);
+    for k in 0..n {
+        if vals[k] == 0.0 {
+            continue;
+        }
+        let col = e.vectors.col(k);
+        out.add_outer(1.0 / vals[k].sqrt(), &col, &col);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]])
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = spd();
+        let s = sym_sqrt(&a).unwrap();
+        assert!(s.matmul(&s).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_is_symmetric() {
+        let s = sym_sqrt(&spd()).unwrap();
+        assert!(s.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn inv_sqrt_inverts() {
+        let a = spd();
+        let is = sym_inv_sqrt(&a).unwrap();
+        let prod = is.matmul(&a).matmul(&is);
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let i = Matrix::identity(3);
+        assert!(sym_sqrt(&i).unwrap().max_abs_diff(&i) < 1e-14);
+        assert!(sym_inv_sqrt(&i).unwrap().max_abs_diff(&i) < 1e-14);
+    }
+
+    #[test]
+    fn diagonal_roots() {
+        let a = Matrix::from_diag(&[9.0, 16.0]);
+        let s = sym_sqrt(&a).unwrap();
+        assert!((s[(0, 0)] - 3.0).abs() < 1e-12);
+        assert!((s[(1, 1)] - 4.0).abs() < 1e-12);
+        let is = sym_inv_sqrt(&a).unwrap();
+        assert!((is[(0, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn semidefinite_direction_maps_to_zero() {
+        // Rank-1 PSD matrix: eigenvalues {2, 0}.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let s = sym_sqrt(&a).unwrap();
+        assert!(s.matmul(&s).max_abs_diff(&a) < 1e-12);
+        let is = sym_inv_sqrt(&a).unwrap();
+        // A^{-1/2} A A^{-1/2} should be the projector onto the range of A.
+        let proj = is.matmul(&a).matmul(&is);
+        let expected = a.scale(0.5); // projector onto span{(1,1)}
+        assert!(proj.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn tiny_negative_eigenvalues_clamped() {
+        // Symmetric matrix that is PSD up to round-off.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0 - 1e-16], vec![1.0 - 1e-16, 1.0]]);
+        let s = sym_sqrt(&a).unwrap();
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,282 @@
+//! Singular value decomposition via one-sided Jacobi (Hestenes).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Thin SVD `A = U·diag(s)·Vᵀ` of an `m × n` matrix.
+///
+/// With `r = min(m, n)`: `u` is `m × r`, `s` has length `r` (descending,
+/// non-negative), `vt` is `r × n`. For `m < n` we factorize the transpose
+/// and swap factors.
+///
+/// SIDER uses the SVD to derive the eigenvector directions of a marked
+/// cluster ("cluster constraint", paper §II-A): the right singular vectors
+/// of the centered cluster points are exactly the principal directions.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m × min(m, n)`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (rows), `min(m, n) × n`.
+    pub vt: Matrix,
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the thin SVD of `a`.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        let r = m.min(n);
+        return Ok(Svd {
+            u: Matrix::zeros(m, r),
+            s: vec![0.0; r],
+            vt: Matrix::zeros(r, n),
+        });
+    }
+    if m < n {
+        // SVD of Aᵀ = U s Vᵀ  ⇒  A = V s Uᵀ.
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        });
+    }
+
+    // One-sided Jacobi: rotate column pairs of U (initialized to A) until
+    // all columns are mutually orthogonal; accumulate rotations in V.
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-15;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    u[(i, p)] = c * up - s * uq;
+                    u[(i, q)] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of U; normalize columns.
+    let mut s: Vec<f64> = (0..n).map(|j| vector::norm2(&u.col(j))).collect();
+    for j in 0..n {
+        if s[j] > 1e-300 {
+            let inv = 1.0 / s[j];
+            for i in 0..m {
+                u[(i, j)] *= inv;
+            }
+        } else {
+            s[j] = 0.0;
+            // Leave the (zero) column; it contributes nothing to A.
+        }
+    }
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap());
+    let s_sorted: Vec<f64> = order.iter().map(|&j| s[j]).collect();
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..m {
+            u_sorted[(i, new_j)] = u[(i, old_j)];
+        }
+        for i in 0..n {
+            vt[(new_j, i)] = v[(i, old_j)];
+        }
+    }
+    Ok(Svd {
+        u: u_sorted,
+        s: s_sorted,
+        vt,
+    })
+}
+
+impl Svd {
+    /// Reconstruct `U·diag(s)·Vᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let (m, n) = self.u.shape();
+        let mut scaled = self.u.clone();
+        for j in 0..n {
+            for i in 0..m {
+                scaled[(i, j)] *= self.s[j];
+            }
+        }
+        scaled.matmul(&self.vt)
+    }
+
+    /// Numerical rank at relative tolerance `rtol`.
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        self.s.iter().filter(|&&v| v > rtol * smax).count()
+    }
+
+    /// Right singular vector `k` as an owned vector of length `n`.
+    pub fn right_vector(&self, k: usize) -> Vec<f64> {
+        self.vt.row(k).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 2.0]);
+        let d = svd(&a).unwrap();
+        assert!((d.s[0] - 3.0).abs() < 1e-12);
+        assert!((d.s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let d = svd(&a).unwrap();
+        assert!(d.reconstruct().max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let d = svd(&a).unwrap();
+        assert!(d.reconstruct().max_abs_diff(&a) < 1e-12);
+        assert_eq!(d.u.shape(), (2, 2));
+        assert_eq!(d.s.len(), 2);
+        assert_eq!(d.vt.shape(), (2, 3));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = Matrix::from_rows(&[
+            vec![0.5, -1.0, 2.0],
+            vec![1.5, 0.3, -0.7],
+            vec![-0.2, 0.9, 0.1],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let d = svd(&a).unwrap();
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(d.s.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 0.1],
+            vec![-0.3, 1.0],
+            vec![0.7, 0.7],
+        ]);
+        let d = svd(&a).unwrap();
+        assert!(d.u.gram().max_abs_diff(&Matrix::identity(2)) < 1e-12);
+        let vvt = d.vt.matmul(&d.vt.transpose());
+        assert!(vvt.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_matrix_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let d = svd(&a).unwrap();
+        assert_eq!(d.rank(1e-10), 1);
+        assert!(d.s[1] < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_all_zero_singular_values() {
+        let d = svd(&Matrix::zeros(3, 2)).unwrap();
+        assert_eq!(d.s, vec![0.0, 0.0]);
+        assert_eq!(d.rank(1e-12), 0);
+    }
+
+    #[test]
+    fn singular_values_match_eigen_of_gram() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![-0.4, 1.2, 0.9],
+            vec![0.3, -0.8, 1.1],
+            vec![0.6, 0.1, -0.5],
+        ]);
+        let d = svd(&a).unwrap();
+        let e = crate::eigen::sym_eigen(&a.gram()).unwrap();
+        for (sv, ev) in d.s.iter().zip(&e.values) {
+            assert!((sv * sv - ev).abs() < 1e-10, "s²={} vs λ={}", sv * sv, ev);
+        }
+    }
+
+    #[test]
+    fn right_vectors_are_principal_directions() {
+        // Points spread along (1,1): top right singular vector ∝ (1,1)/√2.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.1],
+            vec![-1.0, -0.9],
+            vec![-2.0, -2.1],
+        ]);
+        let d = svd(&a).unwrap();
+        let v0 = d.right_vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((v0[0] - v0[1]).abs() < 0.1 || (v0[0] + v0[1]).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let d = svd(&Matrix::zeros(0, 0)).unwrap();
+        assert!(d.s.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let a = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(svd(&a).is_err());
+    }
+}

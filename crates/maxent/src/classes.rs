@@ -1,0 +1,178 @@
+//! Row equivalence classes (paper §II-A, first speed-up).
+//!
+//! Two rows affected by exactly the same constraints have identical natural
+//! and dual parameters throughout the optimization, so the solver stores
+//! parameters per *class* instead of per row. The number of classes depends
+//! on how constraints overlap — not on `n` — which is what makes OPTIM's
+//! runtime independent of the number of data points (Table II).
+
+use crate::constraint::Constraint;
+use std::collections::HashMap;
+
+/// The partition of `[n]` into constraint-equivalence classes.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Class id of each row.
+    pub class_of_row: Vec<u32>,
+    /// Number of rows per class.
+    pub class_counts: Vec<usize>,
+    /// For each constraint `t`, the ids of the classes contained in `Iᵗ`
+    /// together with their sizes. (A class is either fully inside `Iᵗ` or
+    /// disjoint from it, by construction.)
+    pub classes_of_constraint: Vec<Vec<(u32, usize)>>,
+    /// One representative row per class (lowest index).
+    pub representative: Vec<usize>,
+}
+
+impl Partition {
+    /// Compute the partition induced by `constraints` on `n` rows.
+    pub fn new(n: usize, constraints: &[Constraint]) -> Partition {
+        // Constraint-membership signature per row.
+        let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (t, c) in constraints.iter().enumerate() {
+            for i in c.rows.iter() {
+                memberships[i].push(t as u32);
+            }
+        }
+        // Group rows by signature. Signatures are built in increasing t, so
+        // they are already sorted and canonical.
+        let mut class_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut class_of_row = vec![0u32; n];
+        let mut class_counts: Vec<usize> = Vec::new();
+        let mut representative: Vec<usize> = Vec::new();
+        let mut class_signature: Vec<Vec<u32>> = Vec::new();
+        for (i, sig) in memberships.into_iter().enumerate() {
+            let next_id = class_counts.len() as u32;
+            let id = *class_ids.entry(sig.clone()).or_insert_with(|| {
+                class_counts.push(0);
+                representative.push(i);
+                class_signature.push(sig);
+                next_id
+            });
+            class_of_row[i] = id;
+            class_counts[id as usize] += 1;
+        }
+        // Invert: classes touched by each constraint.
+        let mut classes_of_constraint: Vec<Vec<(u32, usize)>> =
+            vec![Vec::new(); constraints.len()];
+        for (class, sig) in class_signature.iter().enumerate() {
+            for &t in sig {
+                classes_of_constraint[t as usize].push((class as u32, class_counts[class]));
+            }
+        }
+        Partition {
+            class_of_row,
+            class_counts,
+            classes_of_constraint,
+            representative,
+        }
+    }
+
+    /// Number of equivalence classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.class_of_row.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::rowset::RowSet;
+    use sider_linalg::Matrix;
+
+    fn data(n: usize) -> Matrix {
+        Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64)
+    }
+
+    fn lin(data: &Matrix, rows: &[usize]) -> Constraint {
+        Constraint::linear(data, RowSet::from_indices(rows), vec![1.0, 0.0], "t").unwrap()
+    }
+
+    #[test]
+    fn no_constraints_one_class() {
+        let p = Partition::new(5, &[]);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.class_counts, vec![5]);
+        assert!(p.class_of_row.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn disjoint_clusters_make_disjoint_classes() {
+        let d = data(6);
+        let cs = vec![lin(&d, &[0, 1]), lin(&d, &[2, 3])];
+        let p = Partition::new(6, &cs);
+        // Classes: {0,1}, {2,3}, {4,5}.
+        assert_eq!(p.n_classes(), 3);
+        assert_eq!(p.class_of_row[0], p.class_of_row[1]);
+        assert_eq!(p.class_of_row[2], p.class_of_row[3]);
+        assert_ne!(p.class_of_row[0], p.class_of_row[2]);
+        assert_ne!(p.class_of_row[0], p.class_of_row[4]);
+    }
+
+    #[test]
+    fn overlapping_constraints_split_classes() {
+        // Constraints over {0,1} and {1,2}: classes {0}, {1}, {2}, {3…}.
+        let d = data(4);
+        let cs = vec![lin(&d, &[0, 1]), lin(&d, &[1, 2])];
+        let p = Partition::new(4, &cs);
+        assert_eq!(p.n_classes(), 4);
+        let ids: Vec<u32> = p.class_of_row.clone();
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn full_row_constraints_do_not_split() {
+        let d = data(5);
+        let cs = vec![lin(&d, &[0, 1, 2, 3, 4]), lin(&d, &[0, 1, 2, 3, 4])];
+        let p = Partition::new(5, &cs);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.classes_of_constraint[0], vec![(0, 5)]);
+        assert_eq!(p.classes_of_constraint[1], vec![(0, 5)]);
+    }
+
+    #[test]
+    fn classes_of_constraint_cover_exactly_the_rowset() {
+        let d = data(6);
+        let cs = vec![lin(&d, &[0, 1, 2]), lin(&d, &[2, 3])];
+        let p = Partition::new(6, &cs);
+        for (t, c) in cs.iter().enumerate() {
+            let covered: usize = p.classes_of_constraint[t].iter().map(|&(_, n)| n).sum();
+            assert_eq!(covered, c.rows.len(), "constraint {t}");
+            // Every listed class must be fully inside the row set.
+            for &(class, _) in &p.classes_of_constraint[t] {
+                for (row, &cl) in p.class_of_row.iter().enumerate() {
+                    if cl == class {
+                        assert!(c.rows.contains(row));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_belong_to_their_class() {
+        let d = data(6);
+        let cs = vec![lin(&d, &[0, 1, 2]), lin(&d, &[2, 3])];
+        let p = Partition::new(6, &cs);
+        for (class, &rep) in p.representative.iter().enumerate() {
+            assert_eq!(p.class_of_row[rep] as usize, class);
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let d = data(9);
+        let cs = vec![lin(&d, &[0, 1, 2, 3]), lin(&d, &[3, 4, 5]), lin(&d, &[8])];
+        let p = Partition::new(9, &cs);
+        assert_eq!(p.class_counts.iter().sum::<usize>(), 9);
+        assert_eq!(p.n_rows(), 9);
+    }
+}

@@ -1,0 +1,455 @@
+//! The fitted background distribution: sampling and whitening.
+//!
+//! After optimization every row `i` has a Gaussian `N(m_i, Σ_i)` (shared
+//! within an equivalence class). This module packages those parameters and
+//! implements the two operations the interactive loop needs:
+//!
+//! * **Sampling** a full dataset from the background distribution — the
+//!   gray "ghost" points of the SIDER scatter plot.
+//! * **Whitening** (paper Eq. 14): `y_i = U·D^{1/2}·Uᵀ·(x_i − m_i)` with
+//!   `Σ_i⁻¹ = U·D·Uᵀ`. If the data actually followed the background
+//!   distribution, the whitened data would be spherical unit Gaussian, so
+//!   any structure that projection pursuit finds in `Y` is exactly a
+//!   data-vs-belief difference.
+
+use crate::params::ClassParams;
+use crate::Result;
+use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_stats::Rng;
+
+/// Per-class Gaussian with precomputed spectral transforms.
+#[derive(Debug, Clone)]
+struct ClassModel {
+    m: Vec<f64>,
+    sigma: Matrix,
+    prec: Matrix,
+    /// `U·D^{1/2}·Uᵀ` of the precision — the whitening map.
+    whiten: Matrix,
+    /// Eigenvectors of the precision (columns).
+    u: Matrix,
+    /// `D^{-1/2}` of the precision — per-eigendirection sampling scale.
+    sample_scale: Vec<f64>,
+    /// Eigenvalues of the precision (descending), for entropy accounting.
+    prec_evals: Vec<f64>,
+}
+
+/// The background distribution over `n × d` datasets (rows independent).
+#[derive(Debug, Clone)]
+pub struct BackgroundDistribution {
+    d: usize,
+    class_of_row: Vec<u32>,
+    classes: Vec<ClassModel>,
+}
+
+/// Precision eigenvalues below this are treated as "fully relaxed"
+/// (variance 1/ε would explode; they cannot arise from valid updates and
+/// only appear through round-off).
+const EVAL_FLOOR: f64 = 1e-12;
+
+/// Precision eigenvalues above this are treated as **collapsed**: the
+/// direction was pinned by a zero-variance quadratic constraint whose
+/// multiplier clamped at `FitOpts::lambda_max` (paper §II-A-2 — clusters
+/// with `|I| ≤ d` necessarily produce such directions). The data along a
+/// collapsed direction has *exactly zero* spread for the affected rows —
+/// that is where the `v̂ = 0` target came from — so any residual left by a
+/// partially converged optimizer is an artifact. Whitening therefore maps
+/// collapsed directions to zero instead of amplifying the artifact by
+/// `√λ_max ≈ 10⁶`, and sampling pins them at the mean.
+const EVAL_COLLAPSED: f64 = 1e10;
+
+impl BackgroundDistribution {
+    /// The unconstrained prior: every row is `N(0, I_d)` (paper Eq. 1).
+    pub fn prior(n: usize, d: usize) -> Self {
+        let params = [ClassParams::prior(d, n)];
+        Self::from_class_params(d, vec![0; n], &params)
+    }
+
+    /// Package fitted class parameters (used by the solvers).
+    pub fn from_class_params(d: usize, class_of_row: Vec<u32>, params: &[ClassParams]) -> Self {
+        let classes = params
+            .iter()
+            .map(|p| {
+                let eig = sym_eigen(&p.prec).expect("precision eigen failed");
+                let n_ev = eig.values.len();
+                let mut whiten = Matrix::zeros(d, d);
+                let mut sample_scale = Vec::with_capacity(n_ev);
+                for k in 0..n_ev {
+                    let ev = eig.values[k].max(0.0);
+                    let col = eig.vectors.col(k);
+                    if ev >= EVAL_COLLAPSED {
+                        // Fully constrained direction: nothing to whiten,
+                        // nothing to sample.
+                        sample_scale.push(0.0);
+                        continue;
+                    }
+                    whiten.add_outer(ev.sqrt(), &col, &col);
+                    sample_scale.push(if ev > EVAL_FLOOR {
+                        1.0 / ev.sqrt()
+                    } else {
+                        1.0 // round-off relaxation: fall back to unit scale
+                    });
+                }
+                ClassModel {
+                    m: p.m.clone(),
+                    sigma: p.sigma.clone(),
+                    prec: p.prec.clone(),
+                    whiten,
+                    u: eig.vectors,
+                    sample_scale,
+                    prec_evals: eig.values,
+                }
+            })
+            .collect();
+        BackgroundDistribution {
+            d,
+            class_of_row,
+            classes,
+        }
+    }
+
+    /// Number of rows modeled.
+    pub fn n(&self) -> usize {
+        self.class_of_row.len()
+    }
+
+    /// Data dimensionality.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of distinct per-row Gaussians.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Equivalence class of a row.
+    pub fn class_of_row(&self, row: usize) -> usize {
+        self.class_of_row[row] as usize
+    }
+
+    /// Mean of row `i`'s Gaussian.
+    pub fn mean(&self, row: usize) -> &[f64] {
+        &self.classes[self.class_of_row(row)].m
+    }
+
+    /// Covariance of row `i`'s Gaussian.
+    pub fn cov(&self, row: usize) -> &Matrix {
+        &self.classes[self.class_of_row(row)].sigma
+    }
+
+    /// Precision of row `i`'s Gaussian.
+    pub fn precision(&self, row: usize) -> &Matrix {
+        &self.classes[self.class_of_row(row)].prec
+    }
+
+    /// Whiten a dataset against this distribution (paper Eq. 14). The input
+    /// must have the same shape the distribution was fitted on.
+    pub fn whiten(&self, data: &Matrix) -> Result<Matrix> {
+        let (n, d) = data.shape();
+        if n != self.n() || d != self.d {
+            return Err(crate::MaxEntError::BadDirection {
+                expected: self.d,
+                got: d,
+            });
+        }
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let class = &self.classes[self.class_of_row(i)];
+            let centered = vector::sub(data.row(i), &class.m);
+            let y = class.whiten.matvec(&centered);
+            out.set_row(i, &y);
+        }
+        Ok(out)
+    }
+
+    /// Relative entropy `KL(N(m_i, Σ_i) ‖ N(0, I))` of one row's Gaussian
+    /// from the prior — how far the belief about row `i` has moved from
+    /// "know nothing". This is exactly `−S` restricted to row `i`, where
+    /// `S` is the entropy the paper's Problem 1 maximizes (Eq. 5), so it
+    /// quantifies in nats *how much the user's feedback constrained the
+    /// model*. Closed form: `½(tr Σ + ‖m‖² − d − log det Σ)`.
+    ///
+    /// Collapsed directions contribute through `log det` only (their
+    /// variance ≈ `1/λ_max` is still positive); fully relaxed round-off
+    /// directions are clamped at the unit prior.
+    pub fn kl_from_prior(&self, row: usize) -> f64 {
+        let class = &self.classes[self.class_of_row(row)];
+        let d = self.d as f64;
+        let m2 = vector::norm2_sq(&class.m);
+        let mut tr_sigma = 0.0;
+        let mut log_det_sigma = 0.0;
+        for &ev in &class.prec_evals {
+            let ev = ev.max(EVAL_FLOOR);
+            tr_sigma += 1.0 / ev;
+            log_det_sigma -= ev.ln();
+        }
+        0.5 * (tr_sigma + m2 - d - log_det_sigma)
+    }
+
+    /// Total relative entropy of the background distribution from the
+    /// prior, summed over rows (rows are independent, so KL adds). Zero
+    /// before any constraint; grows monotonically as knowledge accumulates.
+    pub fn total_kl_from_prior(&self) -> f64 {
+        let mut per_class = vec![0.0; self.classes.len()];
+        let mut counted = vec![false; self.classes.len()];
+        let mut total = 0.0;
+        let mut counts = vec![0usize; self.classes.len()];
+        for &c in &self.class_of_row {
+            counts[c as usize] += 1;
+        }
+        for row in 0..self.n() {
+            let c = self.class_of_row(row);
+            if !counted[c] {
+                per_class[c] = self.kl_from_prior(row);
+                counted[c] = true;
+            }
+        }
+        for (c, &kl) in per_class.iter().enumerate() {
+            total += kl * counts[c] as f64;
+        }
+        total
+    }
+
+    /// Draw one dataset: row `i` sampled from `N(m_i, Σ_i)` via the
+    /// spectral factor `x = m + U·D^{-1/2}·z`.
+    pub fn sample(&self, rng: &mut Rng) -> Matrix {
+        let n = self.n();
+        let mut out = Matrix::zeros(n, self.d);
+        for i in 0..n {
+            let class = &self.classes[self.class_of_row(i)];
+            let mut z = rng.standard_normal_vec(self.d);
+            for (zk, &s) in z.iter_mut().zip(&class.sample_scale) {
+                *zk *= s;
+            }
+            let mut x = class.u.matvec(&z);
+            vector::axpy(1.0, &class.m, &mut x);
+            out.set_row(i, &x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::margin_constraints;
+    use crate::solver::{FitOpts, Solver};
+
+    #[test]
+    fn prior_whitening_is_identity() {
+        let data = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 0.25], vec![3.0, 0.0]]);
+        let bg = BackgroundDistribution::prior(3, 2);
+        let y = bg.whiten(&data).unwrap();
+        assert!(y.max_abs_diff(&data) < 1e-12);
+    }
+
+    #[test]
+    fn prior_samples_are_standard_normal() {
+        let bg = BackgroundDistribution::prior(20_000, 2);
+        let mut rng = Rng::seed_from_u64(1);
+        let s = bg.sample(&mut rng);
+        let stats = sider_stats::descriptive::column_stats(&s);
+        for cs in stats {
+            assert!(cs.mean.abs() < 0.03, "mean {}", cs.mean);
+            assert!((cs.sd - 1.0).abs() < 0.03, "sd {}", cs.sd);
+        }
+    }
+
+    #[test]
+    fn fitted_margins_reflected_in_samples() {
+        // Columns with mean 3 / sd 2 and mean -1 / sd 0.5.
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 400;
+        let data = Matrix::from_fn(n, 2, |_, j| {
+            if j == 0 {
+                rng.normal(3.0, 2.0)
+            } else {
+                rng.normal(-1.0, 0.5)
+            }
+        });
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts {
+            lambda_tol: 1e-8,
+            moment_tol: 1e-8,
+            max_sweeps: 1000,
+            ..FitOpts::default()
+        });
+        let bg = solver.distribution();
+        let mut rng2 = Rng::seed_from_u64(3);
+        // Average moments over several sampled datasets.
+        let mut means = [0.0f64; 2];
+        let mut vars = [0.0f64; 2];
+        let reps = 50;
+        for _ in 0..reps {
+            let s = bg.sample(&mut rng2);
+            let st = sider_stats::descriptive::column_stats(&s);
+            for j in 0..2 {
+                means[j] += st[j].mean;
+                vars[j] += st[j].sd * st[j].sd;
+            }
+        }
+        for j in 0..2 {
+            means[j] /= reps as f64;
+            vars[j] /= reps as f64;
+        }
+        let data_stats = sider_stats::descriptive::column_stats(&data);
+        for j in 0..2 {
+            assert!(
+                (means[j] - data_stats[j].mean).abs() < 0.1,
+                "col {j}: {} vs {}",
+                means[j],
+                data_stats[j].mean
+            );
+            let dv = data_stats[j].sd * data_stats[j].sd;
+            assert!(
+                (vars[j] - dv).abs() / dv < 0.1,
+                "col {j}: var {} vs {}",
+                vars[j],
+                dv
+            );
+        }
+    }
+
+    #[test]
+    fn whitened_background_samples_are_spherical() {
+        // Fit margins on scaled data, sample from the fitted background,
+        // whiten the sample: per-column mean ≈ 0, sd ≈ 1.
+        let mut rng = Rng::seed_from_u64(4);
+        let data = Matrix::from_fn(5000, 3, |_, j| rng.normal(j as f64, (j + 1) as f64));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts {
+            lambda_tol: 1e-8,
+            moment_tol: 1e-8,
+            max_sweeps: 1000,
+            ..FitOpts::default()
+        });
+        let bg = solver.distribution();
+        let mut rng2 = Rng::seed_from_u64(5);
+        let sample = bg.sample(&mut rng2);
+        let y = bg.whiten(&sample).unwrap();
+        for cs in sider_stats::descriptive::column_stats(&y) {
+            assert!(cs.mean.abs() < 0.05, "mean {}", cs.mean);
+            assert!((cs.sd - 1.0).abs() < 0.05, "sd {}", cs.sd);
+        }
+    }
+
+    #[test]
+    fn kl_from_prior_zero_at_prior_and_matches_closed_form() {
+        let bg = BackgroundDistribution::prior(5, 3);
+        assert!(bg.kl_from_prior(0).abs() < 1e-12);
+        assert!(bg.total_kl_from_prior().abs() < 1e-12);
+
+        // Margin-fitted: per-row KL = ½ Σ_j (σ_j² + μ_j² − 1 − ln σ_j²).
+        let mut rng = Rng::seed_from_u64(41);
+        let data = Matrix::from_fn(2000, 2, |_, j| rng.normal(1.0 + j as f64, 2.0 - j as f64 * 0.5));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts {
+            lambda_tol: 1e-10,
+            moment_tol: 1e-10,
+            max_sweeps: 2000,
+            ..FitOpts::default()
+        });
+        let bg = solver.distribution();
+        let stats = sider_stats::descriptive::column_stats(&data);
+        let n = data.rows() as f64;
+        let mut expected = 0.0;
+        for s in &stats {
+            // Population variance (the constraint targets use /n).
+            let var = s.sd * s.sd * (n - 1.0) / n;
+            expected += 0.5 * (var + s.mean * s.mean - 1.0 - var.ln());
+        }
+        let got = bg.kl_from_prior(0);
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "KL {got} vs closed form {expected}"
+        );
+        assert!((bg.total_kl_from_prior() - expected * n).abs() < 1e-3 * expected * n);
+    }
+
+    #[test]
+    fn kl_grows_as_knowledge_accumulates() {
+        // More constraints ⇒ lower maximum entropy ⇒ larger divergence
+        // from the prior.
+        let mut rng = Rng::seed_from_u64(43);
+        let data = Matrix::from_fn(60, 3, |i, _| {
+            rng.normal(if i < 30 { 2.0 } else { -2.0 }, 0.7)
+        });
+        let opts = FitOpts::default();
+
+        let mut s1 = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        s1.fit(&opts);
+        let kl_margins = s1.distribution().total_kl_from_prior();
+
+        let mut cs = margin_constraints(&data).unwrap();
+        cs.extend(
+            crate::constraint::cluster_constraints(
+                &data,
+                crate::rowset::RowSet::from_indices(&(0..30).collect::<Vec<_>>()),
+                "c",
+            )
+            .unwrap(),
+        );
+        let mut s2 = Solver::new(&data, cs).unwrap();
+        s2.fit(&opts);
+        let kl_full = s2.distribution().total_kl_from_prior();
+
+        assert!(kl_margins > 0.0);
+        assert!(
+            kl_full > kl_margins,
+            "KL must grow: {kl_margins} → {kl_full}"
+        );
+    }
+
+    #[test]
+    fn collapsed_directions_whiten_and_sample_to_zero() {
+        // A cluster of 2 points in 2-D: the orthogonal direction gets a
+        // zero-variance quadratic constraint whose λ clamps — the
+        // background variance collapses. Whitening must not amplify
+        // optimizer residuals there.
+        use crate::constraint::cluster_constraints;
+        use crate::rowset::RowSet;
+        let data = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![3.0, 3.0],
+            vec![4.0, 2.0],
+        ]);
+        let cs = cluster_constraints(&data, RowSet::from_indices(&[0, 1]), "c").unwrap();
+        let mut solver = Solver::new(&data, cs).unwrap();
+        solver.fit(&FitOpts::default());
+        let bg = solver.distribution();
+        let y = bg.whiten(&data).unwrap();
+        assert!(y.is_finite());
+        assert!(y.max_abs() < 1e3, "whitening amplified artifacts: {y:?}");
+        // Samples for the collapsed rows stay pinned near their mean along
+        // the collapsed (1,1)/√2 direction.
+        let mut rng = Rng::seed_from_u64(8);
+        let s = bg.sample(&mut rng);
+        for i in [0usize, 1] {
+            let along = (s[(i, 0)] + s[(i, 1)]) / 2.0_f64.sqrt();
+            let mean_along = (bg.mean(i)[0] + bg.mean(i)[1]) / 2.0_f64.sqrt();
+            assert!((along - mean_along).abs() < 1e-3, "row {i}");
+        }
+    }
+
+    #[test]
+    fn whiten_rejects_wrong_shape() {
+        let bg = BackgroundDistribution::prior(3, 2);
+        let wrong = Matrix::zeros(3, 5);
+        assert!(bg.whiten(&wrong).is_err());
+        let wrong_rows = Matrix::zeros(4, 2);
+        assert!(bg.whiten(&wrong_rows).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let bg = BackgroundDistribution::prior(4, 2);
+        assert_eq!(bg.n(), 4);
+        assert_eq!(bg.d(), 2);
+        assert_eq!(bg.n_classes(), 1);
+        assert_eq!(bg.class_of_row(3), 0);
+        assert_eq!(bg.mean(0), &[0.0, 0.0]);
+        assert_eq!(bg.cov(0), &Matrix::identity(2));
+        assert_eq!(bg.precision(0), &Matrix::identity(2));
+    }
+}

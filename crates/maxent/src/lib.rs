@@ -1,0 +1,66 @@
+//! Maximum-Entropy background distribution — the core engine of
+//! Puolamäki et al., *"Interactive Visual Data Exploration with Subjective
+//! Feedback: An Information-Theoretic Approach"* (ICDE 2018), §II.
+//!
+//! # The model
+//!
+//! The dataset is `X̂ ∈ R^{n×d}`. The background distribution `p` models the
+//! analyst's current beliefs about the data as the maximum-entropy
+//! distribution (relative to a spherical unit Gaussian prior, Eq. 1) that
+//! satisfies, *in expectation*, a set of constraints the analyst has
+//! accumulated (Eq. 6):
+//!
+//! * linear constraint functions `f_lin(X, I, w) = Σ_{i∈I} wᵀx_i` (Eq. 2),
+//! * quadratic constraint functions
+//!   `f_quad(X, I, w) = Σ_{i∈I} (wᵀ(x_i − m̂_I))²` (Eq. 3),
+//!
+//! bundled into user-level knowledge statements: **margin**, **cluster**,
+//! **1-cluster** and **2-D** constraints (see [`constraint`]).
+//!
+//! The solution factorizes over rows into Gaussians `N(m_i, Σ_i)` (Eq. 8)
+//! whose natural parameters are sums of per-constraint terms `λ_t·(…)`.
+//! [`solver::Solver`] finds the multipliers by coordinate ascent: linear
+//! constraints have the closed-form update of Eq. 9; quadratic constraints
+//! reduce to a monotone scalar root-finding problem (Eq. 10) solved in
+//! [`rootfind`]. Two optimizations from the paper make this fast:
+//!
+//! 1. **Row equivalence classes** ([`classes`]): rows covered by the same
+//!    constraint set share identical parameters, so cost is independent of
+//!    `n`.
+//! 2. **Woodbury rank-1 updates** (`sider_linalg::woodbury`): each
+//!    quadratic update touches the covariance in `O(d²)` instead of `O(d³)`.
+//!
+//! [`naive::NaiveSolver`] is a deliberately simple `O(n·d³)` reference
+//! implementation used as a correctness oracle in tests and as the ablation
+//! baseline in the benchmark suite.
+//!
+//! The fitted distribution is exposed as
+//! [`distribution::BackgroundDistribution`], which supports sampling
+//! (ghost points in the UI) and the direction-preserving **whitening**
+//! transform `y_i = U·D^{1/2}·Uᵀ·(x_i − m_i)` of Eq. 14 that feeds
+//! projection pursuit.
+
+// Indexed `for` loops are the dominant idiom in this crate's numeric
+// kernels, where several arrays are indexed in lockstep and the index is
+// part of the math; iterator rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod classes;
+pub mod constraint;
+pub mod distribution;
+pub mod error;
+pub mod naive;
+pub mod params;
+pub mod rootfind;
+pub mod rowset;
+pub mod solver;
+
+pub use classes::Partition;
+pub use constraint::{Constraint, ConstraintKind};
+pub use distribution::BackgroundDistribution;
+pub use error::MaxEntError;
+pub use rowset::RowSet;
+pub use solver::{ConvergenceReport, FitOpts, Solver, SweepInfo};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MaxEntError>;

@@ -1,0 +1,270 @@
+//! Scalar root finding for quadratic constraint updates (paper Eq. 10).
+//!
+//! For a quadratic constraint with direction `w`, row mean `m̂_I` and
+//! `δ = m̂_Iᵀw`, write per equivalence class `c = wᵀΣw`, `e = mᵀw`. After a
+//! precision update `P ← P + λwwᵀ` (with matching `h ← h + λδw`), the
+//! constraint expectation has the closed form
+//!
+//! `v(λ) = Σ_E n_E · [ c/(1+λc) + (e−δ)²/(1+λc)² ]`
+//!
+//! which is strictly decreasing in `λ` on the admissible domain
+//! `λ > −1/max_E c_E` (where the updated precision stays positive
+//! definite). Solving `v(λ) = v̂` is therefore a bracketed monotone
+//! root-finding problem; this module implements it with bracket expansion
+//! plus bisection, clamping at a large `λ_max` for unattainable targets
+//! (`v̂ = 0` on zero-variance directions — the adversarial slow-convergence
+//! case of paper Fig. 5).
+
+/// Per-class scalar summary entering a quadratic update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadItem {
+    /// Number of rows in the class (as f64 weight).
+    pub weight: f64,
+    /// `c = wᵀ Σ w ≥ 0`.
+    pub c: f64,
+    /// `e = mᵀ w`.
+    pub e: f64,
+}
+
+/// Below this, a class variance `c` is treated as exactly zero (the
+/// direction is already fully constrained for that class).
+const C_EPS: f64 = 1e-300;
+
+/// Constraint expectation `v(λ)` after a hypothetical update of size `λ`.
+pub fn quad_expectation(items: &[QuadItem], delta: f64, lambda: f64) -> f64 {
+    let mut v = 0.0;
+    for it in items {
+        let denom = 1.0 + lambda * it.c;
+        if denom <= 0.0 {
+            return f64::INFINITY; // outside the admissible domain
+        }
+        let dev = it.e - delta;
+        v += it.weight * (it.c / denom + dev * dev / (denom * denom));
+    }
+    v
+}
+
+/// Result of a quadratic λ-solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadSolve {
+    /// The λ change to apply.
+    pub lambda: f64,
+    /// Whether the target was clamped (λ hit `lambda_max` or the PD bound).
+    pub clamped: bool,
+    /// Bisection iterations used.
+    pub iterations: usize,
+}
+
+/// Solve `v(λ) = target` for the λ change of a quadratic constraint.
+///
+/// Returns `λ = 0` when the constraint is already satisfied (within a
+/// relative tolerance) or when no class has variance along `w` (nothing can
+/// move). Unattainably small targets clamp at `lambda_max`; unattainably
+/// large targets clamp just inside the positive-definiteness bound.
+pub fn solve_quad_lambda(items: &[QuadItem], delta: f64, target: f64, lambda_max: f64) -> QuadSolve {
+    let v0 = quad_expectation(items, delta, 0.0);
+    let scale = v0.abs().max(target.abs()).max(1e-12);
+    if (v0 - target).abs() <= 1e-12 * scale {
+        return QuadSolve {
+            lambda: 0.0,
+            clamped: false,
+            iterations: 0,
+        };
+    }
+    let c_max = items.iter().fold(0.0_f64, |m, it| m.max(it.c));
+    if c_max <= C_EPS {
+        // v(λ) is constant; the constraint cannot be moved.
+        return QuadSolve {
+            lambda: 0.0,
+            clamped: true,
+            iterations: 0,
+        };
+    }
+
+    let f = |lambda: f64| quad_expectation(items, delta, lambda) - target;
+
+    let (mut lo, mut hi, mut clamped) = if v0 > target {
+        // Need to shrink: root at λ > 0. Expand the bracket geometrically,
+        // starting at the natural scale 1/c_max.
+        let mut hi = 1.0 / c_max;
+        let mut iter = 0;
+        while f(hi) > 0.0 {
+            hi *= 4.0;
+            iter += 1;
+            if hi >= lambda_max || iter > 200 {
+                return QuadSolve {
+                    lambda: lambda_max,
+                    clamped: true,
+                    iterations: iter,
+                };
+            }
+        }
+        (0.0, hi, false)
+    } else {
+        // Need to grow: root at λ < 0, bounded by the PD constraint.
+        let lo = -(1.0 - 1e-9) / c_max;
+        if f(lo) < 0.0 {
+            // Even at the PD boundary the variance cannot grow enough; clamp.
+            return QuadSolve {
+                lambda: lo,
+                clamped: true,
+                iterations: 0,
+            };
+        }
+        (lo, 0.0, false)
+    };
+
+    // Bisection: f(lo) ≥ 0 ≥ f(hi) with f strictly decreasing.
+    let mut iterations = 0;
+    for _ in 0..200 {
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break; // floating-point resolution reached
+        }
+        let fm = f(mid);
+        if fm > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo).abs() <= 1e-14 * hi.abs().max(lo.abs()).max(1.0) {
+            break;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    if lambda >= lambda_max {
+        clamped = true;
+    }
+    QuadSolve {
+        lambda: lambda.min(lambda_max),
+        clamped,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LMAX: f64 = 1e12;
+
+    #[test]
+    fn expectation_at_zero_matches_definition() {
+        let items = [QuadItem {
+            weight: 2.0,
+            c: 1.0,
+            e: 0.5,
+        }];
+        // v(0) = 2·(1 + (0.5−0)²) = 2.5
+        assert!((quad_expectation(&items, 0.0, 0.0) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expectation_decreasing_in_lambda() {
+        let items = [
+            QuadItem { weight: 1.0, c: 2.0, e: 0.3 },
+            QuadItem { weight: 3.0, c: 0.5, e: -0.7 },
+        ];
+        let mut prev = f64::INFINITY;
+        for k in 0..50 {
+            let lambda = -0.45 + 0.1 * k as f64;
+            let v = quad_expectation(&items, 0.1, lambda);
+            assert!(v <= prev + 1e-12, "not monotone at λ={lambda}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn outside_domain_is_infinite() {
+        let items = [QuadItem { weight: 1.0, c: 1.0, e: 0.0 }];
+        assert_eq!(quad_expectation(&items, 0.0, -1.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn solve_recovers_exact_target_single_class() {
+        // One class, prior state: c=1, e=0, δ=0, weight 4.
+        // v(λ) = 4/(1+λ). Target 1 ⇒ λ = 3.
+        let items = [QuadItem { weight: 4.0, c: 1.0, e: 0.0 }];
+        let s = solve_quad_lambda(&items, 0.0, 1.0, LMAX);
+        assert!((s.lambda - 3.0).abs() < 1e-9, "λ={}", s.lambda);
+        assert!(!s.clamped);
+        // Verify the root.
+        assert!((quad_expectation(&items, 0.0, s.lambda) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_negative_lambda_grows_variance() {
+        // v(λ) = 2/(1+λ); target 4 ⇒ λ = −0.5 (inside the PD bound −1).
+        let items = [QuadItem { weight: 2.0, c: 1.0, e: 0.0 }];
+        let s = solve_quad_lambda(&items, 0.0, 4.0, LMAX);
+        assert!((s.lambda + 0.5).abs() < 1e-9, "λ={}", s.lambda);
+        assert!(!s.clamped);
+    }
+
+    #[test]
+    fn already_satisfied_returns_zero() {
+        let items = [QuadItem { weight: 2.0, c: 1.5, e: 0.2 }];
+        let v0 = quad_expectation(&items, 0.2, 0.0);
+        let s = solve_quad_lambda(&items, 0.2, v0, LMAX);
+        assert_eq!(s.lambda, 0.0);
+        assert!(!s.clamped);
+    }
+
+    #[test]
+    fn zero_target_clamps_at_lambda_max() {
+        // Exact satisfaction of v̂=0 needs λ=∞ (paper Fig. 5 discussion).
+        let items = [QuadItem { weight: 2.0, c: 1.0, e: 0.0 }];
+        let s = solve_quad_lambda(&items, 0.0, 0.0, LMAX);
+        assert_eq!(s.lambda, LMAX);
+        assert!(s.clamped);
+    }
+
+    #[test]
+    fn unattainably_large_target_clamps_at_pd_bound() {
+        let items = [QuadItem { weight: 1.0, c: 2.0, e: 0.0 }];
+        // Sup over admissible λ is v(λ→−1/2⁺) = ∞... but mean term is 0
+        // here, so v(λ) = 2/(1+2λ) → ∞ near the bound: any target is
+        // attainable. Add a second class with c=0 to cap the supremum.
+        let items2 = [
+            QuadItem { weight: 1.0, c: 0.0, e: 1.0 },
+        ];
+        // All-zero-c: cannot move at all.
+        let s = solve_quad_lambda(&items2, 0.0, 5.0, LMAX);
+        assert_eq!(s.lambda, 0.0);
+        assert!(s.clamped);
+        // And very large but attainable targets still solve.
+        let s = solve_quad_lambda(&items, 0.0, 1e6, LMAX);
+        assert!((quad_expectation(&items, 0.0, s.lambda) - 1e6).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mixed_classes_with_mean_offsets() {
+        let items = [
+            QuadItem { weight: 5.0, c: 1.0, e: 2.0 },
+            QuadItem { weight: 3.0, c: 0.5, e: -1.0 },
+        ];
+        let delta = 0.5;
+        let target = 4.0;
+        let s = solve_quad_lambda(&items, delta, target, LMAX);
+        assert!((quad_expectation(&items, delta, s.lambda) - target).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_variance_class_contributes_constant_floor() {
+        // Class with c=0 contributes weight·(e−δ)² regardless of λ: targets
+        // below that floor clamp at λ_max.
+        let items = [
+            QuadItem { weight: 1.0, c: 1.0, e: 0.0 },
+            QuadItem { weight: 1.0, c: 0.0, e: 2.0 },
+        ];
+        let floor = 4.0; // (2−0)²
+        let s = solve_quad_lambda(&items, 0.0, floor * 0.5, LMAX);
+        assert_eq!(s.lambda, LMAX);
+        assert!(s.clamped);
+        // A target above the floor is attainable.
+        let s = solve_quad_lambda(&items, 0.0, floor + 0.25, LMAX);
+        assert!(!s.clamped);
+        assert!((quad_expectation(&items, 0.0, s.lambda) - (floor + 0.25)).abs() < 1e-9);
+    }
+}

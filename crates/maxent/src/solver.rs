@@ -1,0 +1,625 @@
+//! Coordinate-ascent solver for the MaxEnt problem (paper §II-A-1).
+//!
+//! The solver iterates over constraints; for each it finds the multiplier
+//! change `λ` that makes the constraint hold exactly given the current
+//! state of all the others, then applies the corresponding natural- and
+//! dual-parameter updates. Convexity of Problem 1 guarantees convergence
+//! to the global optimum.
+//!
+//! Per update the cost is `O(d²)` per affected equivalence class: linear
+//! constraints use the closed form of Eq. 9, quadratic constraints solve
+//! the monotone scalar equation of Eq. 10 ([`crate::rootfind`]) and update
+//! covariances with the Sherman–Morrison identity
+//! (`sider_linalg::woodbury`), never inverting a matrix.
+
+use crate::classes::Partition;
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::distribution::BackgroundDistribution;
+use crate::error::MaxEntError;
+use crate::params::ClassParams;
+use crate::rootfind::{solve_quad_lambda, QuadItem};
+use crate::Result;
+use sider_linalg::{vector, woodbury, Matrix};
+use std::time::{Duration, Instant};
+
+/// Options controlling [`Solver::fit`].
+///
+/// The defaults mirror the paper: convergence when the maximal absolute
+/// change of the λ parameters in a sweep is ≤ 1e−2, **or** when the maximal
+/// change of constraint means / square roots of variances is ≤ 1e−2 times
+/// the standard deviation of the full data (§II-A-2); SIDER additionally
+/// cuts off after ~10 s wall clock (`time_cutoff`), which we leave `None`
+/// by default so experiments match the "no cutoff" Table II setup.
+#[derive(Debug, Clone)]
+pub struct FitOpts {
+    /// Sweep-level tolerance on `max_t |Δλ_t|`.
+    pub lambda_tol: f64,
+    /// Tolerance factor on moment changes, multiplied by `sd(full data)`.
+    pub moment_tol: f64,
+    /// Hard sweep budget.
+    pub max_sweeps: usize,
+    /// Optional wall-clock cutoff (the SIDER default is ~10 s).
+    pub time_cutoff: Option<Duration>,
+    /// Clamp for unbounded multipliers (zero-variance targets).
+    pub lambda_max: f64,
+    /// Record a [`SweepInfo`] per sweep in the report.
+    pub trace: bool,
+}
+
+impl Default for FitOpts {
+    fn default() -> Self {
+        FitOpts {
+            lambda_tol: 1e-2,
+            moment_tol: 1e-2,
+            max_sweeps: 500,
+            time_cutoff: None,
+            lambda_max: 1e12,
+            trace: false,
+        }
+    }
+}
+
+/// Diagnostics of one sweep over all constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepInfo {
+    /// Sweep index (1-based).
+    pub sweep: usize,
+    /// `max_t |Δλ_t|` within the sweep.
+    pub max_lambda_change: f64,
+    /// Maximal change of normalized constraint moments (means and square
+    /// roots of variances, per point) since the previous sweep.
+    pub max_moment_change: f64,
+    /// Maximal per-point residual `|v_t − v̂_t| / |Iᵗ|` after the sweep.
+    pub max_residual: f64,
+}
+
+/// Outcome of [`Solver::fit`].
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Whether a convergence criterion was met (vs. budget exhaustion).
+    pub converged: bool,
+    /// Whether the wall-clock cutoff fired.
+    pub hit_time_cutoff: bool,
+    /// Wall-clock time spent in `fit`.
+    pub elapsed: Duration,
+    /// Info of the final sweep.
+    pub last: Option<SweepInfo>,
+    /// Per-sweep trace (only if `FitOpts::trace`).
+    pub trace: Vec<SweepInfo>,
+}
+
+/// The MaxEnt background-distribution solver.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    d: usize,
+    constraints: Vec<Constraint>,
+    partition: Partition,
+    params: Vec<ClassParams>,
+    lambdas: Vec<f64>,
+    sd_full: f64,
+    prev_moments: Vec<f64>,
+    sweeps_done: usize,
+}
+
+impl Solver {
+    /// Set up the solver for `data` with the given constraints. The
+    /// equivalence-class partition is computed here; parameters start at
+    /// the spherical Gaussian prior.
+    pub fn new(data: &Matrix, constraints: Vec<Constraint>) -> Result<Self> {
+        let (n, d) = data.shape();
+        if n == 0 || d == 0 {
+            return Err(MaxEntError::EmptyData);
+        }
+        if !data.is_finite() {
+            return Err(MaxEntError::NotFinite);
+        }
+        for c in &constraints {
+            c.rows.validate(n)?;
+            if c.w.len() != d {
+                return Err(MaxEntError::BadDirection {
+                    expected: d,
+                    got: c.w.len(),
+                });
+            }
+        }
+        let partition = Partition::new(n, &constraints);
+        let params = partition
+            .class_counts
+            .iter()
+            .map(|&count| ClassParams::prior(d, count))
+            .collect();
+        let sd_full = sider_stats::descriptive::full_data_sd(data).max(1e-12);
+        let k = constraints.len();
+        let mut solver = Solver {
+            d,
+            constraints,
+            partition,
+            params,
+            lambdas: vec![0.0; k],
+            sd_full,
+            prev_moments: vec![0.0; k],
+            sweeps_done: 0,
+        };
+        solver.prev_moments = (0..k).map(|t| solver.moment(t)).collect();
+        Ok(solver)
+    }
+
+    fn moment(&self, t: usize) -> f64 {
+        let c = &self.constraints[t];
+        let v = self.expectation(t);
+        let n = c.rows.len() as f64;
+        match c.kind {
+            ConstraintKind::Linear => v / n,
+            ConstraintKind::Quadratic => (v.max(0.0) / n).sqrt(),
+        }
+    }
+
+    /// Current model expectation `E_p[f_t]` of constraint `t`.
+    pub fn expectation(&self, t: usize) -> f64 {
+        let c = &self.constraints[t];
+        let w = &c.w;
+        let mut v = 0.0;
+        for &(class, count) in &self.partition.classes_of_constraint[t] {
+            let p = &self.params[class as usize];
+            match c.kind {
+                ConstraintKind::Linear => {
+                    v += count as f64 * vector::dot(&p.m, w);
+                }
+                ConstraintKind::Quadratic => {
+                    let cvar = p.sigma.quad_form(w);
+                    let dev = vector::dot(&p.m, w) - c.delta;
+                    v += count as f64 * (cvar + dev * dev);
+                }
+            }
+        }
+        v
+    }
+
+    /// Per-point residuals `(v_t − v̂_t)/|Iᵗ|` for every constraint.
+    pub fn residuals(&self) -> Vec<f64> {
+        (0..self.constraints.len())
+            .map(|t| {
+                (self.expectation(t) - self.constraints[t].target)
+                    / self.constraints[t].rows.len() as f64
+            })
+            .collect()
+    }
+
+    /// One pass over all constraints (a "sweep").
+    pub fn sweep(&mut self, lambda_max: f64) -> SweepInfo {
+        let mut max_dl = 0.0_f64;
+        for t in 0..self.constraints.len() {
+            let dl = match self.constraints[t].kind {
+                ConstraintKind::Linear => self.update_linear(t),
+                ConstraintKind::Quadratic => self.update_quadratic(t, lambda_max),
+            };
+            self.lambdas[t] += dl;
+            max_dl = max_dl.max(dl.abs());
+        }
+        self.sweeps_done += 1;
+        let mut max_dm = 0.0_f64;
+        let mut max_res = 0.0_f64;
+        for t in 0..self.constraints.len() {
+            let m = self.moment(t);
+            max_dm = max_dm.max((m - self.prev_moments[t]).abs());
+            self.prev_moments[t] = m;
+            let res = (self.expectation(t) - self.constraints[t].target).abs()
+                / self.constraints[t].rows.len() as f64;
+            max_res = max_res.max(res);
+        }
+        SweepInfo {
+            sweep: self.sweeps_done,
+            max_lambda_change: max_dl,
+            max_moment_change: max_dm,
+            max_residual: max_res,
+        }
+    }
+
+    /// Closed-form linear update (Eq. 9): `λ = (v̂ − ṽ)/Σ_{i∈I} wᵀΣ̃_i w`,
+    /// then `h += λw`, `m += λΣ̃w`; covariances are untouched.
+    fn update_linear(&mut self, t: usize) -> f64 {
+        let (w, target) = {
+            let c = &self.constraints[t];
+            (c.w.clone(), c.target)
+        };
+        // Gather g = Σw per class; accumulate ṽ and the denominator.
+        let classes = self.partition.classes_of_constraint[t].clone();
+        let mut v_now = 0.0;
+        let mut denom = 0.0;
+        let mut gs: Vec<(u32, Vec<f64>)> = Vec::with_capacity(classes.len());
+        for &(class, count) in &classes {
+            let p = &self.params[class as usize];
+            let g = p.sigma.matvec(&w);
+            v_now += count as f64 * vector::dot(&p.m, &w);
+            denom += count as f64 * vector::dot(&w, &g);
+            gs.push((class, g));
+        }
+        if denom <= 1e-300 {
+            return 0.0; // fully constrained direction: cannot move
+        }
+        let lambda = (target - v_now) / denom;
+        if lambda == 0.0 {
+            return 0.0;
+        }
+        for (class, g) in gs {
+            let p = &mut self.params[class as usize];
+            vector::axpy(lambda, &w, &mut p.h);
+            vector::axpy(lambda, &g, &mut p.m);
+        }
+        lambda
+    }
+
+    /// Quadratic update (Eq. 10): solve the monotone scalar equation for
+    /// λ, then `P += λwwᵀ` (rank-1), `Σ` via Sherman–Morrison, `h += λδw`,
+    /// `m = Σh`.
+    fn update_quadratic(&mut self, t: usize, lambda_max: f64) -> f64 {
+        let (w, target, delta) = {
+            let c = &self.constraints[t];
+            (c.w.clone(), c.target, c.delta)
+        };
+        // `lambda_max` caps the *cumulative* multiplier: a zero-variance
+        // target (v̂ = 0) would otherwise push λ by `lambda_max` again on
+        // every sweep, blowing up the precision without changing anything.
+        let budget = (lambda_max - self.lambdas[t]).max(0.0);
+        let classes = self.partition.classes_of_constraint[t].clone();
+        let mut items = Vec::with_capacity(classes.len());
+        let mut rank1s: Vec<(u32, woodbury::Rank1)> = Vec::with_capacity(classes.len());
+        for &(class, count) in &classes {
+            let p = &self.params[class as usize];
+            let r = woodbury::prepare(&p.sigma, &w);
+            items.push(QuadItem {
+                weight: count as f64,
+                c: r.c.max(0.0),
+                e: vector::dot(&p.m, &w),
+            });
+            rank1s.push((class, r));
+        }
+        let solve = solve_quad_lambda(&items, delta, target, budget);
+        let lambda = solve.lambda;
+        if lambda == 0.0 {
+            return 0.0;
+        }
+        for (class, r) in rank1s {
+            let p = &mut self.params[class as usize];
+            woodbury::apply(&mut p.sigma, &r, lambda);
+            woodbury::precision_update(&mut p.prec, &w, lambda);
+            vector::axpy(lambda * delta, &w, &mut p.h);
+            p.refresh_mean();
+        }
+        lambda
+    }
+
+    /// Run sweeps until convergence (per `opts`) or budget exhaustion.
+    pub fn fit(&mut self, opts: &FitOpts) -> ConvergenceReport {
+        let start = Instant::now();
+        let mut trace = Vec::new();
+        let mut last = None;
+        let mut converged = false;
+        let mut hit_time_cutoff = false;
+        let mut sweeps = 0;
+        if self.constraints.is_empty() {
+            return ConvergenceReport {
+                sweeps: 0,
+                converged: true,
+                hit_time_cutoff: false,
+                elapsed: start.elapsed(),
+                last: None,
+                trace,
+            };
+        }
+        for _ in 0..opts.max_sweeps {
+            let info = self.sweep(opts.lambda_max);
+            sweeps += 1;
+            if opts.trace {
+                trace.push(info);
+            }
+            let lambda_ok = info.max_lambda_change <= opts.lambda_tol;
+            let moment_ok = info.max_moment_change <= opts.moment_tol * self.sd_full;
+            last = Some(info);
+            if lambda_ok || moment_ok {
+                converged = true;
+                break;
+            }
+            if let Some(cutoff) = opts.time_cutoff {
+                if start.elapsed() >= cutoff {
+                    hit_time_cutoff = true;
+                    break;
+                }
+            }
+        }
+        ConvergenceReport {
+            sweeps,
+            converged,
+            hit_time_cutoff,
+            elapsed: start.elapsed(),
+            last,
+            trace,
+        }
+    }
+
+    /// Number of equivalence classes.
+    pub fn n_classes(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Class id of a row.
+    pub fn class_of_row(&self, row: usize) -> usize {
+        self.partition.class_of_row[row] as usize
+    }
+
+    /// Parameters of the class containing `row`.
+    pub fn params_for_row(&self, row: usize) -> &ClassParams {
+        &self.params[self.class_of_row(row)]
+    }
+
+    /// Cumulative multipliers per constraint.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// The constraints driving this solver.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Sweeps performed so far.
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps_done
+    }
+
+    /// Standard deviation of the full data (the moment-criterion scale).
+    pub fn sd_full(&self) -> f64 {
+        self.sd_full
+    }
+
+    /// Snapshot the fitted background distribution.
+    pub fn distribution(&self) -> BackgroundDistribution {
+        BackgroundDistribution::from_class_params(
+            self.d,
+            self.partition.class_of_row.clone(),
+            &self.params,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{margin_constraints, Constraint};
+    use crate::rowset::RowSet;
+
+    /// The adversarial dataset of paper Fig. 5a / Eq. 11.
+    fn adversarial_data() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]])
+    }
+
+    /// Constraint set C_A of the paper: lin+quad along e1 and e2 over rows
+    /// {0, 2} (paper's rows 1 and 3).
+    fn case_a_constraints(data: &Matrix) -> Vec<Constraint> {
+        let rows = RowSet::from_indices(&[0, 2]);
+        let e1 = vec![1.0, 0.0];
+        let e2 = vec![0.0, 1.0];
+        vec![
+            Constraint::linear(data, rows.clone(), e1.clone(), "c1").unwrap(),
+            Constraint::quadratic(data, rows.clone(), e1, "c2").unwrap(),
+            Constraint::linear(data, rows.clone(), e2.clone(), "c3").unwrap(),
+            Constraint::quadratic(data, rows, e2, "c4").unwrap(),
+        ]
+    }
+
+    /// Constraint set C_B: C_A plus the same constraints over rows {1, 2}.
+    fn case_b_constraints(data: &Matrix) -> Vec<Constraint> {
+        let mut cs = case_a_constraints(data);
+        let rows = RowSet::from_indices(&[1, 2]);
+        let e1 = vec![1.0, 0.0];
+        let e2 = vec![0.0, 1.0];
+        cs.push(Constraint::linear(data, rows.clone(), e1.clone(), "c5").unwrap());
+        cs.push(Constraint::quadratic(data, rows.clone(), e1, "c6").unwrap());
+        cs.push(Constraint::linear(data, rows.clone(), e2.clone(), "c7").unwrap());
+        cs.push(Constraint::quadratic(data, rows, e2, "c8").unwrap());
+        cs
+    }
+
+    #[test]
+    fn no_constraints_stays_at_prior() {
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, vec![]).unwrap();
+        let report = s.fit(&FitOpts::default());
+        assert!(report.converged);
+        assert_eq!(report.sweeps, 0);
+        let p = s.params_for_row(0);
+        assert_eq!(p.m, vec![0.0, 0.0]);
+        assert_eq!(p.sigma, Matrix::identity(2));
+    }
+
+    #[test]
+    fn paper_case_a_analytic_solution() {
+        // Paper Eq. 12: m1 = m3 = (1/2, 0), m2 = 0,
+        // Σ1 = Σ3 = diag(1/4, 0), Σ2 = I. Convergence in ~one pass.
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_a_constraints(&data)).unwrap();
+        let report = s.fit(&FitOpts::default());
+        assert!(report.converged, "{report:?}");
+        assert!(report.sweeps <= 3, "sweeps {}", report.sweeps);
+
+        let p0 = s.params_for_row(0);
+        assert!((p0.m[0] - 0.5).abs() < 1e-9, "m = {:?}", p0.m);
+        assert!(p0.m[1].abs() < 1e-9);
+        assert!((p0.sigma[(0, 0)] - 0.25).abs() < 1e-9);
+        assert!(p0.sigma[(1, 1)].abs() < 1e-9); // zero-variance direction
+        assert!(p0.sigma[(0, 1)].abs() < 1e-9);
+
+        // Rows 0 and 2 share a class; row 1 is untouched (prior).
+        assert_eq!(s.class_of_row(0), s.class_of_row(2));
+        let p1 = s.params_for_row(1);
+        assert!(vector::norm2(&p1.m) < 1e-12);
+        assert!(p1.sigma.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn paper_case_b_means_and_slow_variance_decay() {
+        // Paper Eq. 13: all covariances → 0; m1 = (1,0), m2 = (0,1), m3 = 0.
+        // Convergence is ∝ 1/τ — verify the harmonic decay shape.
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_b_constraints(&data)).unwrap();
+        // Run fixed sweep counts and compare (Σ₁)₁₁ at τ and 2τ.
+        for _ in 0..64 {
+            s.sweep(1e12);
+        }
+        let v64 = s.params_for_row(0).sigma[(0, 0)];
+        for _ in 0..64 {
+            s.sweep(1e12);
+        }
+        let v128 = s.params_for_row(0).sigma[(0, 0)];
+        assert!(v64 > 0.0 && v128 > 0.0);
+        let ratio = v128 / v64;
+        // 1/τ decay ⇒ ratio ≈ 0.5 (allow slack for the early transient).
+        assert!((0.3..0.7).contains(&ratio), "ratio {ratio}");
+
+        // Means approach the analytic fixed point.
+        let m0 = &s.params_for_row(0).m;
+        let m1 = &s.params_for_row(1).m;
+        let m2 = &s.params_for_row(2).m;
+        assert!((m0[0] - 1.0).abs() < 0.1, "m0 {m0:?}");
+        assert!((m1[1] - 1.0).abs() < 0.1, "m1 {m1:?}");
+        assert!(m2[0].abs() < 0.1 && m2[1].abs() < 0.1, "m2 {m2:?}");
+    }
+
+    #[test]
+    fn margin_constraints_reproduce_column_moments() {
+        // Deterministic small data; after fitting margins the model mean
+        // and variance per column must match the data's (population).
+        let data = Matrix::from_rows(&[
+            vec![1.0, -2.0],
+            vec![2.0, 0.0],
+            vec![3.0, 2.0],
+            vec![6.0, 4.0],
+        ]);
+        let cs = margin_constraints(&data).unwrap();
+        let mut s = Solver::new(&data, cs).unwrap();
+        let report = s.fit(&FitOpts {
+            lambda_tol: 1e-10,
+            moment_tol: 1e-10,
+            max_sweeps: 2000,
+            ..FitOpts::default()
+        });
+        assert!(report.converged, "{report:?}");
+        // All rows share one class.
+        assert_eq!(s.n_classes(), 1);
+        let p = s.params_for_row(0);
+        // Column means: 3, 1.
+        assert!((p.m[0] - 3.0).abs() < 1e-6);
+        assert!((p.m[1] - 1.0).abs() < 1e-6);
+        // Column population variances: mean sq deviation: col0: (4+1+0+9)/4 = 3.5; col1: (9+1+1+9)/4 = 5.
+        assert!((p.sigma[(0, 0)] - 3.5).abs() < 1e-6, "{:?}", p.sigma);
+        assert!((p.sigma[(1, 1)] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expectations_match_targets_after_fit() {
+        // 10 rows, 3 dims, cluster of 5 (> d) rows so every constraint
+        // direction carries positive variance and convergence is fast.
+        let mut rng = sider_stats::Rng::seed_from_u64(11);
+        let data = Matrix::from_fn(10, 3, |i, j| {
+            let center = if i < 5 { 1.5 } else { -0.5 };
+            center + rng.normal(0.0, 0.5 + 0.3 * j as f64)
+        });
+        let mut cs = margin_constraints(&data).unwrap();
+        cs.extend(
+            crate::constraint::cluster_constraints(
+                &data,
+                RowSet::from_indices(&[0, 1, 2, 3, 4]),
+                "cl",
+            )
+            .unwrap(),
+        );
+        let mut s = Solver::new(&data, cs).unwrap();
+        let report = s.fit(&FitOpts {
+            lambda_tol: 1e-10,
+            moment_tol: 1e-10,
+            max_sweeps: 5000,
+            ..FitOpts::default()
+        });
+        assert!(report.converged, "{report:?}");
+        for (t, r) in s.residuals().iter().enumerate() {
+            assert!(
+                r.abs() < 1e-5,
+                "constraint {t} ({}) residual {r}",
+                s.constraints()[t].label
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reports_shrinking_changes() {
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_a_constraints(&data)).unwrap();
+        let first = s.sweep(1e12);
+        let second = s.sweep(1e12);
+        assert!(first.max_lambda_change > second.max_lambda_change);
+        assert_eq!(second.sweep, 2);
+    }
+
+    #[test]
+    fn time_cutoff_is_respected() {
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_b_constraints(&data)).unwrap();
+        let report = s.fit(&FitOpts {
+            lambda_tol: 0.0, // unattainable: Case B never stops changing λ fast
+            moment_tol: 0.0,
+            max_sweeps: usize::MAX,
+            time_cutoff: Some(Duration::from_millis(50)),
+            ..FitOpts::default()
+        });
+        assert!(report.hit_time_cutoff);
+        assert!(!report.converged);
+        assert!(report.elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn trace_records_every_sweep() {
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_a_constraints(&data)).unwrap();
+        let report = s.fit(&FitOpts {
+            trace: true,
+            ..FitOpts::default()
+        });
+        assert_eq!(report.trace.len(), report.sweeps);
+        assert_eq!(report.last, report.trace.last().copied());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let data = Matrix::zeros(0, 0);
+        assert!(matches!(
+            Solver::new(&data, vec![]),
+            Err(MaxEntError::EmptyData)
+        ));
+        let nan = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(matches!(
+            Solver::new(&nan, vec![]),
+            Err(MaxEntError::NotFinite)
+        ));
+    }
+
+    #[test]
+    fn params_stay_internally_consistent() {
+        let data = adversarial_data();
+        let mut s = Solver::new(&data, case_a_constraints(&data)).unwrap();
+        s.fit(&FitOpts::default());
+        for row in 0..3 {
+            let p = s.params_for_row(row);
+            // Σ·P ≈ I only where variance is non-zero; check m = Σh instead,
+            // plus symmetry and finiteness.
+            let m2 = p.sigma.matvec(&p.h);
+            for (a, b) in p.m.iter().zip(&m2) {
+                assert!((a - b).abs() < 1e-6);
+            }
+            assert!(p.sigma.is_symmetric(1e-9));
+            assert!(p.sigma.is_finite());
+            assert!(p.prec.is_finite());
+        }
+    }
+}

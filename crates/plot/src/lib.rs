@@ -1,0 +1,32 @@
+//! Headless SVG plotting for the SIDER reproduction.
+//!
+//! The original SIDER is a Shiny web UI; this crate replaces it with SVG
+//! files so every view of the interactive loop can be rendered from
+//! examples, tests and experiment binaries without a browser:
+//!
+//! * [`scatter`] — the main SIDER view: data points (black), background
+//!   sample ghosts (gray) with displacement segments connecting each data
+//!   point to its background counterpart, selection highlighting (red) and
+//!   confidence-ellipse overlays (paper Fig. 7).
+//! * [`line`] — line/step charts with optional log axes (the convergence
+//!   curves of paper Fig. 5b are log–log).
+//! * [`pairplot`] — a d×d grid of panels colored by class (paper
+//!   Figs. 3 and 6).
+//!
+//! Zero dependencies; the SVG subset used renders in any browser.
+
+// Indexed `for` loops are the dominant idiom in this crate's numeric
+// kernels, where several arrays are indexed in lockstep and the index is
+// part of the math; iterator rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod line;
+pub mod pairplot;
+pub mod scatter;
+pub mod style;
+pub mod svg;
+
+pub use line::LineChart;
+pub use pairplot::Pairplot;
+pub use scatter::ScatterPlot;
+pub use svg::SvgDoc;

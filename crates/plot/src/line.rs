@@ -1,0 +1,233 @@
+//! Line charts with optional logarithmic axes.
+//!
+//! Used for the convergence curves of paper Fig. 5b, which are log–log:
+//! `(Σ₁)₁₁` versus optimization sweep.
+
+use crate::style::{colors, Mapper};
+use crate::svg::SvgDoc;
+
+/// A named line series.
+#[derive(Debug, Clone)]
+pub struct LineSeries {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+    pub color: String,
+}
+
+/// Line chart builder.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<LineSeries>,
+    log_x: bool,
+    log_y: bool,
+    width: f64,
+    height: f64,
+}
+
+impl LineChart {
+    /// New chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+            width: 640.0,
+            height: 460.0,
+        }
+    }
+
+    /// Use log10 scale on x (non-positive values are dropped).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Use log10 scale on y (non-positive values are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a series with an automatic palette color.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        let color = colors::CLASSES[self.series.len() % colors::CLASSES.len()].to_string();
+        self.series.push(LineSeries {
+            name: name.into(),
+            points,
+            color,
+        });
+        self
+    }
+
+    /// Render to SVG text.
+    pub fn render(&self) -> String {
+        self.build().render()
+    }
+
+    /// Render and save.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.build().save(path)
+    }
+
+    fn transform(&self, (x, y): (f64, f64)) -> Option<(f64, f64)> {
+        let tx = if self.log_x {
+            if x <= 0.0 {
+                return None;
+            }
+            x.log10()
+        } else {
+            x
+        };
+        let ty = if self.log_y {
+            if y <= 0.0 {
+                return None;
+            }
+            y.log10()
+        } else {
+            y
+        };
+        (tx.is_finite() && ty.is_finite()).then_some((tx, ty))
+    }
+
+    fn build(&self) -> SvgDoc {
+        let mut doc = SvgDoc::new(self.width, self.height);
+        let left = 70.0;
+        let right = self.width - 20.0;
+        let top = 40.0;
+        let bottom = self.height - 56.0;
+
+        let transformed: Vec<Vec<(f64, f64)>> = self
+            .series
+            .iter()
+            .map(|s| s.points.iter().filter_map(|&p| self.transform(p)).collect())
+            .collect();
+        let sets: Vec<&[(f64, f64)]> = transformed.iter().map(|v| v.as_slice()).collect();
+        let (xb, yb) = crate::style::bounds(&sets);
+        let m = Mapper::new(xb, yb, left, right, top, bottom);
+
+        doc.rect(left, top, right - left, bottom - top, 1.0, colors::FRAME);
+        for t in Mapper::ticks(m.x_min, m.x_max, 6) {
+            let (px, _) = m.map(t, m.y_min);
+            doc.line(px, bottom, px, bottom + 4.0, 1.0, colors::FRAME, 1.0);
+            doc.text(px, bottom + 16.0, 10.0, "middle", &self.tick_label(t, self.log_x));
+        }
+        for t in Mapper::ticks(m.y_min, m.y_max, 6) {
+            let (_, py) = m.map(m.x_min, t);
+            doc.line(left - 4.0, py, left, py, 1.0, colors::FRAME, 1.0);
+            doc.text(left - 7.0, py + 3.5, 10.0, "end", &self.tick_label(t, self.log_y));
+        }
+        doc.text(self.width / 2.0, 22.0, 13.0, "middle", &self.title);
+        doc.text(
+            (left + right) / 2.0,
+            self.height - 14.0,
+            11.0,
+            "middle",
+            &self.x_label,
+        );
+        doc.text_rotated(18.0, (top + bottom) / 2.0, 11.0, &self.y_label);
+
+        for (s, pts) in self.series.iter().zip(&transformed) {
+            let mapped: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| m.map(x, y)).collect();
+            doc.polyline(&mapped, 1.6, &s.color, false);
+        }
+        // Legend (top-right corner inside the frame).
+        for (k, s) in self.series.iter().enumerate() {
+            let y = top + 16.0 + 15.0 * k as f64;
+            doc.line(right - 120.0, y - 4.0, right - 100.0, y - 4.0, 2.0, &s.color, 1.0);
+            doc.text(right - 95.0, y, 10.0, "start", &s.name);
+        }
+        doc
+    }
+
+    fn tick_label(&self, t: f64, log: bool) -> String {
+        if log {
+            // t is an exponent in log space.
+            format!("1e{t:.0}")
+        } else if t == 0.0 {
+            "0".into()
+        } else if t.abs() >= 1000.0 || t.abs() < 0.01 {
+            format!("{t:.1e}")
+        } else {
+            let s = format!("{t:.2}");
+            s.trim_end_matches('0').trim_end_matches('.').to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chart_renders_series_and_legend() {
+        let svg = LineChart::new("t", "x", "y")
+            .series("a", vec![(0.0, 0.0), (1.0, 2.0)])
+            .series("b", vec![(0.0, 2.0), (1.0, 0.0)])
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_log_drops_nonpositive_points() {
+        let svg = LineChart::new("t", "x", "y")
+            .log_x()
+            .log_y()
+            .series("a", vec![(0.0, 1.0), (1.0, 1.0), (10.0, 0.1), (100.0, 0.01)])
+            .render();
+        // First point dropped (x=0): polyline must have 3 coordinate pairs.
+        let poly = svg
+            .lines()
+            .find(|l| l.contains("<polyline"))
+            .unwrap()
+            .to_string();
+        assert_eq!(poly.matches(',').count(), 3);
+        // Log tick labels look like 1e±k.
+        assert!(svg.contains("1e"));
+    }
+
+    #[test]
+    fn empty_chart_is_valid() {
+        let svg = LineChart::new("t", "x", "y").render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn log_slope_is_straight_line() {
+        // y = 1/x on log-log is a straight line: pixel midpoints collinear.
+        let chart = LineChart::new("t", "x", "y")
+            .log_x()
+            .log_y()
+            .series("h", vec![(1.0, 1.0), (10.0, 0.1), (100.0, 0.01)]);
+        let svg = chart.render();
+        let poly_line = svg.lines().find(|l| l.contains("<polyline")).unwrap();
+        let coords: Vec<(f64, f64)> = poly_line
+            .split('"')
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .map(|p| {
+                let mut it = p.split(',');
+                (
+                    it.next().unwrap().parse().unwrap(),
+                    it.next().unwrap().parse().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(coords.len(), 3);
+        let slope1 = (coords[1].1 - coords[0].1) / (coords[1].0 - coords[0].0);
+        let slope2 = (coords[2].1 - coords[1].1) / (coords[2].0 - coords[1].0);
+        assert!((slope1 - slope2).abs() < 0.02, "{slope1} vs {slope2}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Pairplots: a d×d grid of scatter panels (paper Figs. 3 and 6).
+
+use crate::style::{colors, Mapper};
+use crate::svg::SvgDoc;
+
+/// Pairplot builder over an `n × d` point table.
+#[derive(Debug, Clone)]
+pub struct Pairplot {
+    title: String,
+    /// Column-major data: `columns[j][i]` is row i of column j.
+    columns: Vec<Vec<f64>>,
+    column_names: Vec<String>,
+    /// Class id per row (for coloring); empty = all black.
+    classes: Vec<usize>,
+    panel: f64,
+    max_points: usize,
+}
+
+impl Pairplot {
+    /// Build from row-major data accessor.
+    pub fn new(
+        title: impl Into<String>,
+        columns: Vec<Vec<f64>>,
+        column_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(columns.len(), column_names.len(), "pairplot: names mismatch");
+        Pairplot {
+            title: title.into(),
+            columns,
+            column_names,
+            classes: Vec::new(),
+            panel: 130.0,
+            max_points: 400,
+        }
+    }
+
+    /// Color points by class id.
+    pub fn classes(mut self, classes: Vec<usize>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Cap the number of points drawn per panel (the paper's Fig. 3 uses a
+    /// 250-point subsample "for clarity"). Points are strided, which is
+    /// deterministic.
+    pub fn max_points(mut self, cap: usize) -> Self {
+        self.max_points = cap.max(1);
+        self
+    }
+
+    /// Render to SVG text.
+    pub fn render(&self) -> String {
+        self.build().render()
+    }
+
+    /// Render and save.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.build().save(path)
+    }
+
+    fn build(&self) -> SvgDoc {
+        let d = self.columns.len();
+        let margin = 30.0;
+        let gap = 6.0;
+        let size = margin * 2.0 + d as f64 * self.panel + (d.saturating_sub(1)) as f64 * gap;
+        let mut doc = SvgDoc::new(size, size + 20.0);
+        doc.text(size / 2.0, 18.0, 13.0, "middle", &self.title);
+        let n = self.columns.first().map_or(0, |c| c.len());
+        let stride = (n / self.max_points).max(1);
+
+        for pi in 0..d {
+            for pj in 0..d {
+                let x0 = margin + pj as f64 * (self.panel + gap);
+                let y0 = 20.0 + margin + pi as f64 * (self.panel + gap);
+                doc.rect(x0, y0, self.panel, self.panel, 0.8, colors::FRAME);
+                if pi == pj {
+                    doc.text(
+                        x0 + self.panel / 2.0,
+                        y0 + self.panel / 2.0 + 4.0,
+                        12.0,
+                        "middle",
+                        &self.column_names[pi],
+                    );
+                    continue;
+                }
+                let xs = &self.columns[pj];
+                let ys = &self.columns[pi];
+                let pts: Vec<(f64, f64)> = (0..n)
+                    .step_by(stride)
+                    .map(|i| (xs[i], ys[i]))
+                    .collect();
+                let (xb, yb) = crate::style::bounds(&[&pts]);
+                let m = Mapper::new(xb, yb, x0 + 2.0, x0 + self.panel - 2.0, y0 + 2.0, y0 + self.panel - 2.0);
+                for (k, i) in (0..n).step_by(stride).enumerate() {
+                    let (px, py) = m.map(pts[k].0, pts[k].1);
+                    let color = if self.classes.is_empty() {
+                        colors::DATA
+                    } else {
+                        colors::CLASSES[self.classes[i] % colors::CLASSES.len()]
+                    };
+                    doc.circle(px, py, 1.4, color, 0.8);
+                }
+            }
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pairplot {
+        Pairplot::new(
+            "pp",
+            vec![vec![0.0, 1.0, 2.0], vec![2.0, 1.0, 0.0]],
+            vec!["A".into(), "B".into()],
+        )
+    }
+
+    #[test]
+    fn grid_has_d_squared_panels() {
+        let svg = sample().render();
+        // 4 panel rects (no extra background rect besides the svg's own).
+        assert_eq!(svg.matches("<rect").count() - 1, 4);
+        // Diagonal labels present.
+        assert!(svg.contains(">A</text>"));
+        assert!(svg.contains(">B</text>"));
+    }
+
+    #[test]
+    fn off_diagonal_points_drawn() {
+        let svg = sample().render();
+        // 2 off-diagonal panels × 3 points.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn class_colors_used() {
+        let svg = sample().classes(vec![0, 1, 0]).render();
+        assert!(svg.contains(colors::CLASSES[0]));
+        assert!(svg.contains(colors::CLASSES[1]));
+    }
+
+    #[test]
+    fn point_cap_strides() {
+        let n = 1000;
+        let cols = vec![(0..n).map(|i| i as f64).collect(), vec![0.0; n]];
+        let svg = Pairplot::new("pp", cols, vec!["x".into(), "y".into()])
+            .max_points(100)
+            .render();
+        let drawn = svg.matches("<circle").count();
+        assert!(drawn <= 2 * 100, "{drawn}");
+        assert!(drawn >= 2 * 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "names mismatch")]
+    fn mismatched_names_panic() {
+        let _ = Pairplot::new("pp", vec![vec![0.0]], vec![]);
+    }
+}

@@ -1,0 +1,290 @@
+//! The SIDER scatter view.
+//!
+//! Reproduces the main plot of the SIDER UI (paper Fig. 7): data points in
+//! black, a sample of the background distribution in gray with thin gray
+//! segments connecting each data point to its background counterpart
+//! (visualizing the per-point displacement of the belief model), the
+//! current selection in red, and optional 95 % confidence ellipses.
+
+use crate::style::{bounds, colors, Mapper};
+use crate::svg::SvgDoc;
+
+/// One point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// CSS color.
+    pub color: String,
+    /// Point radius in pixels.
+    pub radius: f64,
+    /// Fill opacity.
+    pub opacity: f64,
+    /// Outline-only (like SIDER's gray background circles)?
+    pub outline: bool,
+}
+
+impl Series {
+    /// Black filled data points.
+    pub fn data(points: Vec<(f64, f64)>) -> Self {
+        Series {
+            points,
+            color: colors::DATA.into(),
+            radius: 2.2,
+            opacity: 0.85,
+            outline: false,
+        }
+    }
+
+    /// Gray outlined background-sample points.
+    pub fn background(points: Vec<(f64, f64)>) -> Self {
+        Series {
+            points,
+            color: colors::BACKGROUND.into(),
+            radius: 2.2,
+            opacity: 0.7,
+            outline: true,
+        }
+    }
+
+    /// Red selection points.
+    pub fn selection(points: Vec<(f64, f64)>) -> Self {
+        Series {
+            points,
+            color: colors::SELECTION.into(),
+            radius: 2.6,
+            opacity: 0.95,
+            outline: false,
+        }
+    }
+}
+
+/// An ellipse overlay, already discretized to a polygon in data space.
+#[derive(Debug, Clone)]
+pub struct EllipseOverlay {
+    pub polygon: Vec<(f64, f64)>,
+    pub color: String,
+    pub dashed: bool,
+}
+
+/// Scatter plot builder.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    segments: Vec<((f64, f64), (f64, f64))>,
+    ellipses: Vec<EllipseOverlay>,
+    width: f64,
+    height: f64,
+}
+
+impl ScatterPlot {
+    /// New plot with a title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        ScatterPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            segments: Vec::new(),
+            ellipses: Vec::new(),
+            width: 640.0,
+            height: 520.0,
+        }
+    }
+
+    /// Override the pixel size.
+    pub fn size(mut self, width: f64, height: f64) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Add a point series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Add displacement segments (data point → background point).
+    pub fn segments(mut self, segs: Vec<((f64, f64), (f64, f64))>) -> Self {
+        self.segments.extend(segs);
+        self
+    }
+
+    /// Add an ellipse overlay.
+    pub fn ellipse(mut self, e: EllipseOverlay) -> Self {
+        self.ellipses.push(e);
+        self
+    }
+
+    /// Render to SVG text.
+    pub fn render(&self) -> String {
+        self.build().render()
+    }
+
+    /// Render and write to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.build().save(path)
+    }
+
+    fn build(&self) -> SvgDoc {
+        let mut doc = SvgDoc::new(self.width, self.height);
+        let left = 62.0;
+        let right = self.width - 18.0;
+        let top = 40.0;
+        let bottom = self.height - 56.0;
+
+        // Joint bounds over everything drawn.
+        let mut sets: Vec<&[(f64, f64)]> = self.series.iter().map(|s| s.points.as_slice()).collect();
+        let seg_pts: Vec<(f64, f64)> = self
+            .segments
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        sets.push(&seg_pts);
+        let ell_pts: Vec<(f64, f64)> = self
+            .ellipses
+            .iter()
+            .flat_map(|e| e.polygon.iter().copied())
+            .collect();
+        sets.push(&ell_pts);
+        let (xb, yb) = bounds(&sets);
+        let m = Mapper::new(xb, yb, left, right, top, bottom);
+
+        // Frame + ticks.
+        doc.rect(left, top, right - left, bottom - top, 1.0, colors::FRAME);
+        for t in Mapper::ticks(m.x_min, m.x_max, 6) {
+            let (px, _) = m.map(t, m.y_min);
+            doc.line(px, bottom, px, bottom + 4.0, 1.0, colors::FRAME, 1.0);
+            doc.text(px, bottom + 16.0, 10.0, "middle", &format_tick(t));
+        }
+        for t in Mapper::ticks(m.y_min, m.y_max, 6) {
+            let (_, py) = m.map(m.x_min, t);
+            doc.line(left - 4.0, py, left, py, 1.0, colors::FRAME, 1.0);
+            doc.text(left - 7.0, py + 3.5, 10.0, "end", &format_tick(t));
+        }
+
+        // Titles and axis labels.
+        doc.text(self.width / 2.0, 22.0, 13.0, "middle", &self.title);
+        doc.text(
+            (left + right) / 2.0,
+            self.height - 14.0,
+            11.0,
+            "middle",
+            &self.x_label,
+        );
+        doc.text_rotated(16.0, (top + bottom) / 2.0, 11.0, &self.y_label);
+
+        // Displacement segments first (under the points).
+        for &((x1, y1), (x2, y2)) in &self.segments {
+            let (px1, py1) = m.map(x1, y1);
+            let (px2, py2) = m.map(x2, y2);
+            doc.line(px1, py1, px2, py2, 0.6, colors::BACKGROUND, 0.5);
+        }
+        // Series in insertion order.
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let (px, py) = m.map(x, y);
+                if s.outline {
+                    doc.circle_outline(px, py, s.radius, 1.0, &s.color);
+                } else {
+                    doc.circle(px, py, s.radius, &s.color, s.opacity);
+                }
+            }
+        }
+        // Ellipses on top.
+        for e in &self.ellipses {
+            let poly: Vec<(f64, f64)> = e.polygon.iter().map(|&(x, y)| m.map(x, y)).collect();
+            doc.polygon(&poly, 1.4, &e.color, e.dashed);
+        }
+        doc
+    }
+}
+
+fn format_tick(t: f64) -> String {
+    if t == 0.0 {
+        "0".into()
+    } else if t.abs() >= 1000.0 || t.abs() < 0.01 {
+        format!("{t:.1e}")
+    } else {
+        let s = format!("{t:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> ScatterPlot {
+        ScatterPlot::new("title", "x", "y")
+            .series(Series::data(vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(Series::background(vec![(0.5, 0.5)]))
+            .series(Series::selection(vec![(1.0, 1.0)]))
+            .segments(vec![((0.0, 0.0), (0.5, 0.5))])
+            .ellipse(EllipseOverlay {
+                polygon: vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)],
+                color: colors::ELLIPSE.into(),
+                dashed: true,
+            })
+    }
+
+    #[test]
+    fn contains_all_layers() {
+        let svg = sample_plot().render();
+        // 2 data + 1 selection filled circles, 1 outlined background.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert_eq!(svg.matches("fill=\"none\" stroke=\"#9e9e9e\"").count(), 1);
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(">title</text>"));
+        assert!(svg.contains(">x</text>"));
+        assert!(svg.contains(">y</text>"));
+    }
+
+    #[test]
+    fn has_frame_and_ticks() {
+        let svg = sample_plot().render();
+        assert!(svg.contains("<rect"));
+        // Ticks produce short lines; at least a few of them.
+        assert!(svg.matches("<line").count() >= 5);
+    }
+
+    #[test]
+    fn custom_size_respected() {
+        let svg = sample_plot().size(300.0, 200.0).render();
+        assert!(svg.contains("width=\"300\""));
+        assert!(svg.contains("height=\"200\""));
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let svg = ScatterPlot::new("empty", "x", "y").render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(2.5), "2.5");
+        assert_eq!(format_tick(2.0), "2");
+        assert!(format_tick(12345.0).contains('e'));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("sider_scatter_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("p.svg");
+        sample_plot().save(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("</svg>"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

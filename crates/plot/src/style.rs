@@ -1,0 +1,213 @@
+//! Shared styling: the SIDER palette and coordinate mapping.
+
+/// Colors used across the plots, mirroring the SIDER UI conventions
+/// (black data, gray background sample, red selection, blue ellipses).
+pub mod colors {
+    /// Observed data points.
+    pub const DATA: &str = "#000000";
+    /// Background-distribution sample ("ghost" points).
+    pub const BACKGROUND: &str = "#9e9e9e";
+    /// Current selection.
+    pub const SELECTION: &str = "#d62728";
+    /// Confidence ellipses.
+    pub const ELLIPSE: &str = "#1f77b4";
+    /// Axis / frame strokes.
+    pub const FRAME: &str = "#444444";
+    /// Categorical palette for class-colored pairplots.
+    pub const CLASSES: [&str; 8] = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+    ];
+}
+
+/// Affine map from data space to pixel space (y-axis flipped).
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper {
+    pub x_min: f64,
+    pub x_max: f64,
+    pub y_min: f64,
+    pub y_max: f64,
+    pub left: f64,
+    pub right: f64,
+    pub top: f64,
+    pub bottom: f64,
+}
+
+impl Mapper {
+    /// Build a mapper for the data bounds into the pixel rectangle
+    /// `[left, right] × [top, bottom]`. Degenerate ranges are padded.
+    // `!(a > b)` is deliberate: it also catches NaN bounds, which must
+    // fall into the padding branch.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(
+        (mut x_min, mut x_max): (f64, f64),
+        (mut y_min, mut y_max): (f64, f64),
+        left: f64,
+        right: f64,
+        top: f64,
+        bottom: f64,
+    ) -> Self {
+        if !(x_max > x_min) {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if !(y_max > y_min) {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        // 4 % padding so points do not sit on the frame.
+        let xp = (x_max - x_min) * 0.04;
+        let yp = (y_max - y_min) * 0.04;
+        Mapper {
+            x_min: x_min - xp,
+            x_max: x_max + xp,
+            y_min: y_min - yp,
+            y_max: y_max + yp,
+            left,
+            right,
+            top,
+            bottom,
+        }
+    }
+
+    /// Map a data point to pixels.
+    pub fn map(&self, x: f64, y: f64) -> (f64, f64) {
+        let fx = (x - self.x_min) / (self.x_max - self.x_min);
+        let fy = (y - self.y_min) / (self.y_max - self.y_min);
+        (
+            self.left + fx * (self.right - self.left),
+            self.bottom - fy * (self.bottom - self.top),
+        )
+    }
+
+    /// Pleasant tick positions (about `n` of them) for an axis range.
+    // `!(hi > lo)` deliberately catches NaN inputs too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        if !(hi > lo) || n == 0 {
+            return vec![lo];
+        }
+        let raw_step = (hi - lo) / n as f64;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let norm = raw_step / mag;
+        let step = if norm < 1.5 {
+            mag
+        } else if norm < 3.5 {
+            2.0 * mag
+        } else if norm < 7.5 {
+            5.0 * mag
+        } else {
+            10.0 * mag
+        };
+        let first = (lo / step).ceil() * step;
+        let mut out = Vec::new();
+        let mut t = first;
+        while t <= hi + step * 1e-9 {
+            // Snap -0.0 to 0.0 for display.
+            out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+            t += step;
+        }
+        out
+    }
+}
+
+/// Compute joint bounds of point sets (ignoring non-finite values).
+pub fn bounds(point_sets: &[&[(f64, f64)]]) -> ((f64, f64), (f64, f64)) {
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for set in point_sets {
+        for &(x, y) in *set {
+            if x.is_finite() {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+            }
+            if y.is_finite() {
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+    }
+    if !x_min.is_finite() {
+        x_min = 0.0;
+        x_max = 1.0;
+    }
+    if !y_min.is_finite() {
+        y_min = 0.0;
+        y_max = 1.0;
+    }
+    ((x_min, x_max), (y_min, y_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_corners() {
+        let m = Mapper {
+            x_min: 0.0,
+            x_max: 10.0,
+            y_min: 0.0,
+            y_max: 10.0,
+            left: 100.0,
+            right: 200.0,
+            top: 50.0,
+            bottom: 150.0,
+        };
+        assert_eq!(m.map(0.0, 0.0), (100.0, 150.0)); // bottom-left
+        assert_eq!(m.map(10.0, 10.0), (200.0, 50.0)); // top-right
+        assert_eq!(m.map(5.0, 5.0), (150.0, 100.0)); // center
+    }
+
+    #[test]
+    fn new_pads_degenerate_ranges() {
+        let m = Mapper::new((3.0, 3.0), (1.0, 2.0), 0.0, 100.0, 0.0, 100.0);
+        assert!(m.x_max > m.x_min);
+        let (px, _) = m.map(3.0, 1.5);
+        assert!((px - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ticks_are_round_numbers() {
+        let t = Mapper::ticks(0.0, 10.0, 5);
+        assert!(t.contains(&0.0));
+        assert!(t.contains(&10.0));
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ticks_handle_negative_ranges() {
+        let t = Mapper::ticks(-1.3, 1.3, 5);
+        assert!(t.contains(&0.0));
+        assert!(t.iter().all(|&v| (-1.3..=1.3).contains(&v)));
+    }
+
+    #[test]
+    fn ticks_degenerate() {
+        assert_eq!(Mapper::ticks(2.0, 2.0, 5), vec![2.0]);
+    }
+
+    #[test]
+    fn bounds_cover_all_sets() {
+        let a = [(0.0, 1.0), (5.0, -2.0)];
+        let b = [(-1.0, 7.0)];
+        let ((x0, x1), (y0, y1)) = bounds(&[&a, &b]);
+        assert_eq!((x0, x1), (-1.0, 5.0));
+        assert_eq!((y0, y1), (-2.0, 7.0));
+    }
+
+    #[test]
+    fn bounds_ignore_nan_and_default_when_empty() {
+        let a = [(f64::NAN, f64::NAN)];
+        let ((x0, x1), _) = bounds(&[&a]);
+        assert_eq!((x0, x1), (0.0, 1.0));
+    }
+
+    #[test]
+    fn class_palette_has_enough_colors() {
+        assert!(colors::CLASSES.len() >= 7); // segmentation has 7 classes
+    }
+}

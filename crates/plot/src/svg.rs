@@ -1,0 +1,205 @@
+//! Low-level SVG document builder.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Escape text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgDoc {
+    /// New document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Add a filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" fill-opacity="{opacity:.2}"/>"#
+        );
+    }
+
+    /// Add a stroked, unfilled circle.
+    pub fn circle_outline(&mut self, cx: f64, cy: f64, r: f64, stroke: f64, color: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"/>"#
+        );
+    }
+
+    /// Add a line segment.
+    #[allow(clippy::too_many_arguments)] // geometric primitives are clearest flat
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: f64, color: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="{stroke:.2}" stroke-opacity="{opacity:.2}"/>"#
+        );
+    }
+
+    /// Add a rectangle outline.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: f64, color: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"/>"#
+        );
+    }
+
+    /// Add a polyline (open path).
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: f64, color: &str, dashed: bool) {
+        if pts.is_empty() {
+            return;
+        }
+        let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let dash = if dashed { r#" stroke-dasharray="5,4""# } else { "" };
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"{dash}/>"#,
+            coords.join(" ")
+        );
+    }
+
+    /// Add a closed polygon outline.
+    pub fn polygon(&mut self, pts: &[(f64, f64)], stroke: f64, color: &str, dashed: bool) {
+        if pts.is_empty() {
+            return;
+        }
+        let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let dash = if dashed { r#" stroke-dasharray="5,4""# } else { "" };
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"{dash}/>"#,
+            coords.join(" ")
+        );
+    }
+
+    /// Add text (anchor: "start" | "middle" | "end").
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Add rotated text (for y-axis labels).
+    pub fn text_rotated(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x:.2} {y:.2})">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Finish the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let doc = SvgDoc::new(100.0, 50.0);
+        let out = doc.render();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("width=\"100\""));
+        assert!(out.contains("height=\"50\""));
+    }
+
+    #[test]
+    fn elements_appear_in_output() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.circle(1.0, 2.0, 3.0, "black", 1.0);
+        doc.line(0.0, 0.0, 5.0, 5.0, 1.0, "gray", 0.5);
+        doc.rect(0.0, 0.0, 10.0, 10.0, 1.0, "red");
+        doc.text(5.0, 5.0, 10.0, "middle", "hello");
+        let out = doc.render();
+        assert!(out.contains("<circle"));
+        assert!(out.contains("<line"));
+        assert!(out.contains("<rect"));
+        assert!(out.contains(">hello</text>"));
+    }
+
+    #[test]
+    fn escapes_xml_in_text() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 8.0, "start", "a<b & \"c\"");
+        let out = doc.render();
+        assert!(out.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!out.contains("a<b"));
+    }
+
+    #[test]
+    fn polyline_and_polygon() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[(0.0, 0.0), (1.0, 1.0)], 1.0, "blue", false);
+        doc.polygon(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)], 1.0, "blue", true);
+        let out = doc.render();
+        assert!(out.contains("<polyline"));
+        assert!(out.contains("<polygon"));
+        assert!(out.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn empty_polyline_ignored() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[], 1.0, "blue", false);
+        assert!(!doc.render().contains("<polyline"));
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("sider_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.svg");
+        SvgDoc::new(10.0, 10.0).save(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

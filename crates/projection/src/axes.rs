@@ -1,0 +1,105 @@
+//! Axis-label formatting, mirroring the SIDER UI.
+//!
+//! SIDER captions each scatter-plot axis with its score and loadings, e.g.
+//! `ICA1[0.041] = +0.69 (X3) +0.69 (X2) +0.17 (X5) −0.14 (X1) −0.05 (X4)`
+//! (paper Fig. 4). Loadings are sorted by absolute weight, descending.
+
+/// Format one axis label.
+///
+/// * `prefix` — "PCA1", "ICA2", …
+/// * `score` — the bracketed informativeness score.
+/// * `direction` — the unit direction vector.
+/// * `names` — column names (must match `direction` length).
+/// * `max_terms` — show at most this many loadings (0 = all).
+pub fn axis_label(
+    prefix: &str,
+    score: f64,
+    direction: &[f64],
+    names: &[String],
+    max_terms: usize,
+) -> String {
+    assert_eq!(
+        direction.len(),
+        names.len(),
+        "axis_label: names/direction mismatch"
+    );
+    let mut order: Vec<usize> = (0..direction.len()).collect();
+    order.sort_by(|&a, &b| {
+        direction[b]
+            .abs()
+            .partial_cmp(&direction[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let shown = if max_terms == 0 {
+        order.len()
+    } else {
+        max_terms.min(order.len())
+    };
+    let terms: Vec<String> = order[..shown]
+        .iter()
+        .map(|&j| format!("{:+.2} ({})", direction[j], names[j]))
+        .collect();
+    format!("{}[{}] = {}", prefix, format_score(score), terms.join(" "))
+}
+
+/// Score formatting: fixed-point for moderate magnitudes, scientific for
+/// tiny ones (the paper prints e.g. `0.093`, `0.00022`, `6e−06`).
+pub fn format_score(score: f64) -> String {
+    let a = score.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if a >= 1e-4 {
+        // Up to 2 significant-ish decimals beyond the leading zeros.
+        let s = format!("{score:.3}");
+        if s.trim_end_matches('0').ends_with('.') {
+            format!("{score:.3}")
+        } else {
+            s
+        }
+    } else {
+        format!("{score:.0e}")
+    }
+}
+
+/// Default column names `X1 … Xd` (1-based, like the paper's figures).
+pub fn default_names(d: usize) -> Vec<String> {
+    (1..=d).map(|j| format!("X{j}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_sorts_by_absolute_weight() {
+        let names = default_names(3);
+        let label = axis_label("ICA1", 0.041, &[0.1, -0.9, 0.4], &names, 0);
+        assert!(label.starts_with("ICA1[0.041] = -0.90 (X2) +0.40 (X3) +0.10 (X1)"), "{label}");
+    }
+
+    #[test]
+    fn label_truncates_terms() {
+        let names = default_names(4);
+        let label = axis_label("PCA2", 0.5, &[0.5, 0.5, 0.5, 0.5], &names, 2);
+        assert_eq!(label.matches("(X").count(), 2);
+    }
+
+    #[test]
+    fn score_formats_match_paper_style() {
+        assert_eq!(format_score(0.093), "0.093");
+        assert_eq!(format_score(0.0), "0");
+        assert_eq!(format_score(6e-6), "6e-6");
+        assert!(format_score(-0.008).starts_with("-0.008"));
+    }
+
+    #[test]
+    fn default_names_are_one_based() {
+        assert_eq!(default_names(2), vec!["X1".to_string(), "X2".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_names_panic() {
+        let _ = axis_label("A", 0.0, &[1.0], &default_names(2), 0);
+    }
+}

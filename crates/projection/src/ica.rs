@@ -1,0 +1,522 @@
+//! FastICA — Hyvärinen's fixed-point independent component analysis.
+//!
+//! The paper uses "the FastICA algorithm [6] with log-cosh G function as a
+//! default method to find non-Gaussian directions" in the whitened data.
+//! This is a from-scratch implementation supporting both the symmetric
+//! (parallel) and deflation variants, with the three classic contrasts.
+//!
+//! Pipeline (matching the reference `fastICA` R package the paper used):
+//! 1. center columns;
+//! 2. whiten internally via PCA to unit covariance (dropping null
+//!    directions — the whitened SIDER data can be rank-deficient when
+//!    constraints collapse directions);
+//! 3. fixed-point iteration `w ← E[z·g(wᵀz)] − E[g′(wᵀz)]·w` with
+//!    symmetric decorrelation (or Gram–Schmidt deflation);
+//! 4. map the unmixing directions back to the input space and score each
+//!    component by the signed negentropy proxy `E[G(s)] − E[G(ν)]`,
+//!    sorting by absolute value exactly like the paper's Table I.
+
+use crate::error::ProjectionError;
+use crate::Result;
+use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_stats::descriptive::covariance;
+use sider_stats::gaussianity::{negentropy_offset, standardize_inplace, Contrast};
+use sider_stats::Rng;
+
+/// How to order the extracted components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComponentOrder {
+    /// By `|score|` descending — the paper's Table I ordering (default).
+    #[default]
+    AbsoluteDesc,
+    /// By signed score descending: with the log-cosh contrast this puts
+    /// **sub-Gaussian** (multi-modal / cluster) directions first and
+    /// heavy-tailed outlier directions last. Useful when hunting cluster
+    /// structure in data whose strongest non-Gaussian signal is outliers
+    /// (e.g. the segmentation use case, §IV-C).
+    SignedDesc,
+}
+
+/// Options for [`fastica`].
+#[derive(Debug, Clone)]
+pub struct IcaOpts {
+    /// Number of components to extract (`None` = numerical rank of the data).
+    pub n_components: Option<usize>,
+    /// Contrast non-linearity (paper default: log-cosh, α = 1).
+    pub contrast: Contrast,
+    /// Maximum fixed-point iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on `1 − |⟨w_new, w_old⟩|`.
+    pub tol: f64,
+    /// `true` = symmetric (parallel) decorrelation, `false` = deflation.
+    pub symmetric: bool,
+    /// Error out when the iteration does not converge; when `false` the
+    /// best iterate is returned (the R package behaves like `false`).
+    pub strict: bool,
+    /// Relative eigenvalue threshold below which directions are treated as
+    /// null and dropped during internal whitening.
+    pub rank_rtol: f64,
+    /// Component ordering.
+    pub order: ComponentOrder,
+}
+
+impl Default for IcaOpts {
+    fn default() -> Self {
+        IcaOpts {
+            n_components: None,
+            contrast: Contrast::default(),
+            max_iter: 200,
+            tol: 1e-6,
+            symmetric: true,
+            strict: false,
+            rank_rtol: 1e-9,
+            order: ComponentOrder::AbsoluteDesc,
+        }
+    }
+}
+
+/// Result of a FastICA run.
+#[derive(Debug, Clone)]
+pub struct IcaResult {
+    /// Unmixing directions in the *input* space, unit rows (`k × d`),
+    /// sorted by `|score|` descending.
+    pub directions: Matrix,
+    /// Signed negentropy scores per component (same order).
+    pub scores: Vec<f64>,
+    /// Standardized source estimates (`n × k`, same order).
+    pub sources: Matrix,
+    /// Whether the fixed-point iteration converged.
+    pub converged: bool,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Run FastICA on the rows of `y`.
+pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
+    let (n, d) = y.shape();
+    if n == 0 || d == 0 {
+        return Err(ProjectionError::EmptyData);
+    }
+    // 1. Center.
+    let means = y.col_means();
+    let x = y.center_rows(&means);
+
+    // 2. Whiten: eigen of covariance, keep rank-supported directions.
+    let cov = covariance(&x);
+    let eig = sym_eigen(&cov)?;
+    let ev_max = eig.values.first().copied().unwrap_or(0.0).max(0.0);
+    let mut keep: Vec<usize> = Vec::new();
+    for (k, &ev) in eig.values.iter().enumerate() {
+        if ev > opts.rank_rtol * ev_max && ev > 1e-300 {
+            keep.push(k);
+        }
+    }
+    let rank = keep.len();
+    let k_req = opts.n_components.unwrap_or(rank);
+    if rank == 0 || k_req == 0 {
+        return Err(ProjectionError::RankDeficient {
+            rank,
+            requested: k_req.max(1),
+        });
+    }
+    if k_req > rank {
+        return Err(ProjectionError::RankDeficient {
+            rank,
+            requested: k_req,
+        });
+    }
+    let k = k_req;
+    // Whitening matrix K (rank × d): z = K (x − μ) has identity covariance.
+    let mut kmat = Matrix::zeros(rank, d);
+    for (row, &idx) in keep.iter().enumerate() {
+        let col = eig.vectors.col(idx);
+        let scale = 1.0 / eig.values[idx].sqrt();
+        for j in 0..d {
+            kmat[(row, j)] = scale * col[j];
+        }
+    }
+    let z = x.matmul(&kmat.transpose()); // n × rank
+
+    // 3. Fixed-point iteration in the whitened space.
+    let (w, converged, iterations) = if opts.symmetric {
+        symmetric_iteration(&z, k, opts, rng)?
+    } else {
+        deflation_iteration(&z, k, opts, rng)?
+    };
+    if opts.strict && !converged {
+        return Err(ProjectionError::NotConverged { iterations });
+    }
+
+    // 4. Sources, input-space directions, scores.
+    let mut sources = z.matmul(&w.transpose()); // n × k
+    let mut scored: Vec<(usize, f64)> = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut s = sources.col(c);
+        standardize_inplace(&mut s);
+        sources.set_col(c, &s);
+        scored.push((c, negentropy_offset(&s, opts.contrast)));
+    }
+    match opts.order {
+        ComponentOrder::AbsoluteDesc => scored.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        ComponentOrder::SignedDesc => scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        }),
+    }
+
+    let w_input = w.matmul(&kmat); // k × d: rows are unmixing directions
+    let mut directions = Matrix::zeros(k, d);
+    let mut scores = Vec::with_capacity(k);
+    let mut sources_sorted = Matrix::zeros(n, k);
+    for (rank_pos, &(c, score)) in scored.iter().enumerate() {
+        let mut row = w_input.row(c).to_vec();
+        vector::normalize(&mut row);
+        directions.set_row(rank_pos, &row);
+        scores.push(score);
+        sources_sorted.set_col(rank_pos, &sources.col(c));
+    }
+    Ok(IcaResult {
+        directions,
+        scores,
+        sources: sources_sorted,
+        converged,
+        iterations,
+    })
+}
+
+/// One fixed-point step for all rows of `w` at once:
+/// `w⁺ = E[z·g(wᵀz)] − E[g′(wᵀz)]·w`.
+fn fixed_point_step(z: &Matrix, w: &Matrix, contrast: Contrast) -> Matrix {
+    let (n, r) = z.shape();
+    let k = w.rows();
+    let mut out = Matrix::zeros(k, r);
+    let inv_n = 1.0 / n as f64;
+    for c in 0..k {
+        let wv = w.row(c);
+        let mut ezg = vec![0.0; r];
+        let mut eg_prime = 0.0;
+        for i in 0..n {
+            let zi = z.row(i);
+            let u = vector::dot(zi, wv);
+            vector::axpy(contrast.g(u), zi, &mut ezg);
+            eg_prime += contrast.g_prime(u);
+        }
+        vector::scale(&mut ezg, inv_n);
+        eg_prime *= inv_n;
+        let out_row = out.row_mut(c);
+        for j in 0..r {
+            out_row[j] = ezg[j] - eg_prime * wv[j];
+        }
+    }
+    out
+}
+
+/// Symmetric decorrelation `W ← (WWᵀ)^{-1/2} W`.
+fn sym_decorrelate(w: &Matrix) -> Result<Matrix> {
+    let wwt = w.matmul(&w.transpose());
+    let inv_sqrt = sider_linalg::sym_inv_sqrt(&wwt)?;
+    Ok(inv_sqrt.matmul(w))
+}
+
+fn random_orthonormal(k: usize, r: usize, rng: &mut Rng) -> Result<Matrix> {
+    let w = rng.standard_normal_matrix(k, r);
+    sym_decorrelate(&w)
+}
+
+fn symmetric_iteration(
+    z: &Matrix,
+    k: usize,
+    opts: &IcaOpts,
+    rng: &mut Rng,
+) -> Result<(Matrix, bool, usize)> {
+    let mut w = random_orthonormal(k, z.cols(), rng)?;
+    for iter in 1..=opts.max_iter {
+        let w_new = sym_decorrelate(&fixed_point_step(z, &w, opts.contrast))?;
+        // Convergence: every direction stable up to sign.
+        let mut worst = 0.0_f64;
+        for c in 0..k {
+            let dot = vector::dot(w_new.row(c), w.row(c)).abs();
+            worst = worst.max((1.0 - dot).abs());
+        }
+        w = w_new;
+        if worst < opts.tol {
+            return Ok((w, true, iter));
+        }
+    }
+    Ok((w, false, opts.max_iter))
+}
+
+fn deflation_iteration(
+    z: &Matrix,
+    k: usize,
+    opts: &IcaOpts,
+    rng: &mut Rng,
+) -> Result<(Matrix, bool, usize)> {
+    let r = z.cols();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut all_converged = true;
+    let mut total_iters = 0;
+    for _c in 0..k {
+        let mut w = rng.standard_normal_vec(r);
+        vector::orthogonalize_against(&mut w, &rows);
+        if vector::normalize(&mut w) == 0.0 {
+            // Degenerate start; retry once with a fresh vector.
+            w = rng.standard_normal_vec(r);
+            vector::orthogonalize_against(&mut w, &rows);
+            vector::normalize(&mut w);
+        }
+        let mut converged = false;
+        for iter in 1..=opts.max_iter {
+            total_iters = total_iters.max(iter);
+            let w_mat = Matrix::from_rows(std::slice::from_ref(&w));
+            let stepped = fixed_point_step(z, &w_mat, opts.contrast);
+            let mut w_new = stepped.row(0).to_vec();
+            vector::orthogonalize_against(&mut w_new, &rows);
+            if vector::normalize(&mut w_new) == 0.0 {
+                break; // direction vanished under deflation
+            }
+            let dot = vector::dot(&w_new, &w).abs();
+            let done = (1.0 - dot).abs() < opts.tol;
+            w = w_new;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        all_converged &= converged;
+        rows.push(w);
+    }
+    Ok((Matrix::from_rows(&rows), all_converged, total_iters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mix two independent non-Gaussian sources by a rotation.
+    fn mixed_sources(n: usize, angle: f64, seed: u64) -> (Matrix, [f64; 2], [f64; 2]) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (c, s) = (angle.cos(), angle.sin());
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                // Source 1: uniform (sub-Gaussian); source 2: Laplace-ish.
+                let s1 = (rng.uniform() - 0.5) * 3.4641; // unit variance
+                let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                let s2 = sign * (-(1.0 - rng.uniform()).ln()) / std::f64::consts::SQRT_2;
+                vec![c * s1 - s * s2, s * s1 + c * s2]
+            })
+            .collect();
+        // True unmixing directions are the rows of the inverse rotation.
+        ((Matrix::from_rows(&rows)), [c, s], [-s, c])
+    }
+
+    fn alignment(dir: &[f64], truth: &[f64]) -> f64 {
+        vector::dot(dir, truth).abs() / (vector::norm2(dir) * vector::norm2(truth))
+    }
+
+    #[test]
+    fn separates_rotated_sources_symmetric() {
+        let (data, u1, u2) = mixed_sources(20_000, 0.6, 1);
+        let mut rng = Rng::seed_from_u64(99);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.directions.shape(), (2, 2));
+        // Each true direction must be recovered by some component.
+        for truth in [u1, u2] {
+            let best = (0..2)
+                .map(|k| alignment(res.directions.row(k), &truth))
+                .fold(0.0, f64::max);
+            assert!(best > 0.98, "alignment {best}");
+        }
+    }
+
+    #[test]
+    fn separates_rotated_sources_deflation() {
+        let (data, u1, u2) = mixed_sources(20_000, 1.1, 2);
+        let mut rng = Rng::seed_from_u64(7);
+        let opts = IcaOpts {
+            symmetric: false,
+            ..IcaOpts::default()
+        };
+        let res = fastica(&data, &opts, &mut rng).unwrap();
+        for truth in [u1, u2] {
+            let best = (0..2)
+                .map(|k| alignment(res.directions.row(k), &truth))
+                .fold(0.0, f64::max);
+            assert!(best > 0.97, "alignment {best}");
+        }
+    }
+
+    #[test]
+    fn scores_sorted_by_absolute_value() {
+        let (data, _, _) = mixed_sources(5000, 0.3, 3);
+        let mut rng = Rng::seed_from_u64(11);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng).unwrap();
+        for pair in res.scores.windows(2) {
+            assert!(pair[0].abs() >= pair[1].abs() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_data_scores_near_zero() {
+        let mut rng = Rng::seed_from_u64(4);
+        let data = rng.standard_normal_matrix(20_000, 3);
+        let mut rng2 = Rng::seed_from_u64(5);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng2).unwrap();
+        for &s in &res.scores {
+            assert!(s.abs() < 0.01, "score {s}");
+        }
+    }
+
+    #[test]
+    fn clustered_data_scores_positive_and_large() {
+        // Two clusters along x: strongly sub-Gaussian direction.
+        let mut rng = Rng::seed_from_u64(6);
+        let rows: Vec<Vec<f64>> = (0..4000)
+            .map(|_| {
+                let c = if rng.bernoulli(0.5) { -2.0 } else { 2.0 };
+                vec![rng.normal(c, 0.3), rng.normal(0.0, 1.0)]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let mut rng2 = Rng::seed_from_u64(8);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng2).unwrap();
+        assert!(res.scores[0] > 0.05, "top score {}", res.scores[0]);
+        // The top direction is the cluster axis.
+        assert!(res.directions.row(0)[0].abs() > 0.95);
+    }
+
+    #[test]
+    fn sources_are_standardized() {
+        let (data, _, _) = mixed_sources(2000, 0.9, 9);
+        let mut rng = Rng::seed_from_u64(10);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng).unwrap();
+        for c in 0..res.sources.cols() {
+            let col = res.sources.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_data_drops_null_directions() {
+        // Column 2 = column 0 duplicated: rank 2 in 3 dims.
+        let mut rng = Rng::seed_from_u64(12);
+        let rows: Vec<Vec<f64>> = (0..2000)
+            .map(|_| {
+                let a = (rng.uniform() - 0.5) * 2.0;
+                let b = rng.normal(0.0, 1.0);
+                vec![a, b, a]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let mut rng2 = Rng::seed_from_u64(13);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng2).unwrap();
+        assert_eq!(res.directions.rows(), 2); // rank, not 3
+    }
+
+    #[test]
+    fn requesting_too_many_components_errors() {
+        let mut rng = Rng::seed_from_u64(14);
+        let data = rng.standard_normal_matrix(100, 2);
+        let opts = IcaOpts {
+            n_components: Some(5),
+            ..IcaOpts::default()
+        };
+        let mut rng2 = Rng::seed_from_u64(15);
+        assert!(matches!(
+            fastica(&data, &opts, &mut rng2),
+            Err(ProjectionError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_data_is_rank_zero() {
+        let data = Matrix::from_fn(50, 2, |_, _| 1.0);
+        let mut rng = Rng::seed_from_u64(16);
+        assert!(matches!(
+            fastica(&data, &IcaOpts::default(), &mut rng),
+            Err(ProjectionError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let mut rng = Rng::seed_from_u64(17);
+        assert!(matches!(
+            fastica(&Matrix::zeros(0, 3), &IcaOpts::default(), &mut rng),
+            Err(ProjectionError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn directions_unit_norm() {
+        let (data, _, _) = mixed_sources(3000, 0.45, 20);
+        let mut rng = Rng::seed_from_u64(21);
+        let res = fastica(&data, &IcaOpts::default(), &mut rng).unwrap();
+        for k in 0..res.directions.rows() {
+            assert!((vector::norm2(res.directions.row(k)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn signed_order_puts_sub_gaussian_first() {
+        // Direction 0: bimodal (sub-Gaussian, positive log-cosh offset);
+        // direction 1: Laplace-ish (super-Gaussian, negative offset, larger
+        // in absolute value).
+        let mut rng = Rng::seed_from_u64(30);
+        let rows: Vec<Vec<f64>> = (0..20_000)
+            .map(|_| {
+                let c = if rng.bernoulli(0.5) { -1.5 } else { 1.5 };
+                let bimodal = rng.normal(c, 0.2);
+                let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                let heavy = sign * (-(1.0 - rng.uniform()).ln());
+                vec![bimodal, heavy]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let mut rng2 = Rng::seed_from_u64(31);
+        let abs_first = fastica(&data, &IcaOpts::default(), &mut rng2).unwrap();
+        let mut rng3 = Rng::seed_from_u64(31);
+        let signed_first = fastica(
+            &data,
+            &IcaOpts {
+                order: ComponentOrder::SignedDesc,
+                ..IcaOpts::default()
+            },
+            &mut rng3,
+        )
+        .unwrap();
+        // Signed ordering: positive (bimodal) first.
+        assert!(signed_first.scores[0] > 0.0);
+        assert!(signed_first.scores[1] < 0.0);
+        assert!(signed_first.directions.row(0)[0].abs() > 0.9);
+        // Absolute ordering must sort by magnitude.
+        assert!(abs_first.scores[0].abs() >= abs_first.scores[1].abs());
+    }
+
+    #[test]
+    fn kurtosis_and_exp_contrasts_also_separate() {
+        for contrast in [Contrast::Kurtosis, Contrast::Exp] {
+            let (data, u1, u2) = mixed_sources(20_000, 0.6, 22);
+            let mut rng = Rng::seed_from_u64(23);
+            let opts = IcaOpts {
+                contrast,
+                ..IcaOpts::default()
+            };
+            let res = fastica(&data, &opts, &mut rng).unwrap();
+            for truth in [u1, u2] {
+                let best = (0..2)
+                    .map(|k| alignment(res.directions.row(k), &truth))
+                    .fold(0.0, f64::max);
+                assert!(best > 0.95, "{contrast:?} alignment {best}");
+            }
+        }
+    }
+}

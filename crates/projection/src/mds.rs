@@ -1,0 +1,171 @@
+//! Classical (Torgerson) multidimensional scaling — a *static* baseline.
+//!
+//! The paper positions its interactive approach against classical
+//! dimensionality-reduction methods "defined by static objective
+//! functions" (§V: MDS, projection pursuit, manifold learning): a static
+//! embedding shows the most prominent structure whether or not the user
+//! already knows it. We implement classical MDS so examples and tests can
+//! contrast the two regimes: the static view of the Fig. 2 data never
+//! reveals the fourth cluster, the interactive loop does.
+//!
+//! Classical MDS from a squared-distance matrix `D²`: double-center
+//! `B = −½·J·D²·J` with `J = I − 11ᵀ/n`, eigendecompose `B`, and embed
+//! with the top-k eigenpairs `x_i = √λ_k · v_{ik}`. For Euclidean inputs
+//! this coincides with PCA scores, which is also how we test it.
+
+use crate::error::ProjectionError;
+use crate::Result;
+use sider_linalg::{sym_eigen, Matrix};
+
+/// Pairwise squared Euclidean distance matrix of the rows of `data`.
+pub fn squared_distances(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data
+                .row(i)
+                .iter()
+                .zip(data.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[(i, j)] = dist;
+            d2[(j, i)] = dist;
+        }
+    }
+    d2
+}
+
+/// Classical MDS embedding into `k` dimensions from a squared-distance
+/// matrix. Returns the `n × k` coordinate matrix; negative eigenvalues
+/// (non-Euclidean dissimilarities) are truncated at zero.
+pub fn mds_from_squared_distances(d2: &Matrix, k: usize) -> Result<Matrix> {
+    d2.require_square()?;
+    let n = d2.rows();
+    if n == 0 || k == 0 {
+        return Err(ProjectionError::EmptyData);
+    }
+    if k > n {
+        return Err(ProjectionError::RankDeficient { rank: n, requested: k });
+    }
+    // Double centering: B = −½ J D² J.
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| d2.row(i).iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand = row_means.iter().sum::<f64>() / n as f64;
+    let mut b = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = -0.5 * (d2[(i, j)] - row_means[i] - row_means[j] + grand);
+        }
+    }
+    let eig = sym_eigen(&b)?;
+    let mut out = Matrix::zeros(n, k);
+    for c in 0..k {
+        let lambda = eig.values[c].max(0.0);
+        let scale = lambda.sqrt();
+        for i in 0..n {
+            out[(i, c)] = scale * eig.vectors[(i, c)];
+        }
+    }
+    Ok(out)
+}
+
+/// Classical MDS of Euclidean data (convenience: builds the distance
+/// matrix first). `O(n²)` memory and `O(n³)` time — intended for the
+/// interactive-scale datasets of the paper (n up to a few thousand).
+pub fn classical_mds(data: &Matrix, k: usize) -> Result<Matrix> {
+    mds_from_squared_distances(&squared_distances(data), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_stats::Rng;
+
+    #[test]
+    fn distances_are_symmetric_zero_diagonal() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]]);
+        let d2 = squared_distances(&data);
+        assert_eq!(d2[(0, 1)], 25.0);
+        assert_eq!(d2[(1, 0)], 25.0);
+        for i in 0..3 {
+            assert_eq!(d2[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn embedding_preserves_euclidean_distances() {
+        let mut rng = Rng::seed_from_u64(3);
+        let data = rng.standard_normal_matrix(20, 3);
+        let emb = classical_mds(&data, 3).unwrap();
+        let d_orig = squared_distances(&data);
+        let d_emb = squared_distances(&emb);
+        assert!(
+            d_orig.max_abs_diff(&d_emb) < 1e-8,
+            "distance distortion {}",
+            d_orig.max_abs_diff(&d_emb)
+        );
+    }
+
+    #[test]
+    fn two_dim_embedding_matches_top2_pca_distances() {
+        // For Euclidean input, MDS-k and PCA-scores-k span the same
+        // subspace: pairwise distances agree.
+        let mut rng = Rng::seed_from_u64(5);
+        // Anisotropic data so the top-2 subspace is well defined.
+        let data = Matrix::from_fn(30, 3, |_, j| rng.normal(0.0, (3 - j) as f64));
+        let emb = classical_mds(&data, 2).unwrap();
+        let pca = crate::pca::pca_classic(&data).unwrap();
+        let centered = data.center_rows(&data.col_means());
+        let scores = crate::projector::project(&centered, &pca.top2());
+        let d_mds = squared_distances(&emb);
+        let d_pca = squared_distances(&scores);
+        assert!(d_mds.max_abs_diff(&d_pca) < 1e-7);
+    }
+
+    #[test]
+    fn collinear_points_embed_on_a_line() {
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let emb = classical_mds(&data, 2).unwrap();
+        // Second coordinate carries ~no variance (up to √round-off: the
+        // near-zero eigenvalue enters through a square root).
+        let col1 = emb.col(1);
+        assert!(col1.iter().all(|v| v.abs() < 1e-6), "{col1:?}");
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut rows = Vec::new();
+        for c in [-5.0, 5.0] {
+            for _ in 0..15 {
+                rows.push(vec![rng.normal(c, 0.2), rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)]);
+            }
+        }
+        let data = Matrix::from_rows(&rows);
+        let emb = classical_mds(&data, 2).unwrap();
+        let left: Vec<f64> = (0..15).map(|i| emb[(i, 0)]).collect();
+        let right: Vec<f64> = (15..30).map(|i| emb[(i, 0)]).collect();
+        let gap = left
+            .iter()
+            .map(|v| v.signum())
+            .sum::<f64>()
+            .abs()
+            + right.iter().map(|v| v.signum()).sum::<f64>().abs();
+        assert_eq!(gap, 30.0, "clusters mixed signs in MDS coordinate");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(classical_mds(&Matrix::zeros(0, 0), 2).is_err());
+        let data = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(classical_mds(&data, 5).is_err()); // k > n
+        assert!(mds_from_squared_distances(&Matrix::zeros(2, 3), 1).is_err());
+    }
+}

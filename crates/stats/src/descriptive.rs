@@ -1,0 +1,258 @@
+//! Descriptive statistics on slices and data matrices.
+
+use sider_linalg::{vector, Matrix};
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    vector::mean(xs)
+}
+
+/// Unbiased sample variance (denominator `n − 1`); 0.0 when `n < 2`.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n as f64 - 1.0)
+}
+
+/// Population variance (denominator `n`); 0.0 for empty input.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
+}
+
+/// Sample standard deviation.
+pub fn sample_sd(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Standard deviation of the *flattened* data matrix — the paper's
+/// convergence criterion compares moment changes against "the standard
+/// deviation of the full data" (§II-A-2).
+pub fn full_data_sd(data: &Matrix) -> f64 {
+    sample_sd(data.as_slice())
+}
+
+/// Quantile with linear interpolation (`q ∈ [0, 1]`); panics on empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50 % quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Per-column summary of a data matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub mean: f64,
+    pub sd: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Column-wise statistics (sample sd).
+pub fn column_stats(data: &Matrix) -> Vec<ColumnStats> {
+    (0..data.cols())
+        .map(|j| {
+            let col = data.col(j);
+            ColumnStats {
+                mean: mean(&col),
+                sd: sample_sd(&col),
+                min: col.iter().cloned().fold(f64::INFINITY, f64::min),
+                max: col.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect()
+}
+
+/// Sample covariance matrix (denominator `n − 1`) of the rows of `data`.
+pub fn covariance(data: &Matrix) -> Matrix {
+    let (n, d) = data.shape();
+    if n < 2 {
+        return Matrix::zeros(d, d);
+    }
+    let centered = data.center_rows(&data.col_means());
+    centered.gram().scale(1.0 / (n as f64 - 1.0))
+}
+
+/// Second-moment matrix `XᵀX / n` (uncentered) — used for the PCA view on
+/// whitened data where deviations of the *mean* from zero are signal.
+pub fn second_moment(data: &Matrix) -> Matrix {
+    let (n, _) = data.shape();
+    if n == 0 {
+        return Matrix::zeros(data.cols(), data.cols());
+    }
+    data.gram().scale(1.0 / n as f64)
+}
+
+/// Pearson correlation matrix of the columns.
+pub fn correlation(data: &Matrix) -> Matrix {
+    let cov = covariance(data);
+    let d = cov.rows();
+    let mut out = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..d {
+            let denom = (cov[(i, i)] * cov[(j, j)]).sqrt();
+            out[(i, j)] = if denom > 0.0 { cov[(i, j)] / denom } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Standardize columns to zero mean / unit sample sd. Constant columns are
+/// centered but left unscaled. Returns the transformed matrix together with
+/// the per-column (mean, sd) used.
+pub fn standardize(data: &Matrix) -> (Matrix, Vec<(f64, f64)>) {
+    let d = data.cols();
+    let mut out = data.clone();
+    let mut params = Vec::with_capacity(d);
+    for j in 0..d {
+        let col = data.col(j);
+        let m = mean(&col);
+        let sd = sample_sd(&col);
+        let scale = if sd > 0.0 { 1.0 / sd } else { 1.0 };
+        for i in 0..data.rows() {
+            out[(i, j)] = (out[(i, j)] - m) * scale;
+        }
+        params.push((m, sd));
+    }
+    (out, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variances() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn column_stats_summarize() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]);
+        let s = column_stats(&m);
+        assert_eq!(s[0].mean, 2.0);
+        assert_eq!(s[1].min, 10.0);
+        assert_eq!(s[1].max, 30.0);
+        assert!((s[0].sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_independent_columns_is_diagonal() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![0.0, -2.0],
+        ]);
+        let c = covariance(&m);
+        assert!((c[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 8.0 / 3.0).abs() < 1e-12);
+        assert!(c[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_handles_single_row() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(covariance(&m), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn second_moment_vs_covariance_for_centered_data() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![-1.0, -1.0]]);
+        let sm = second_moment(&m);
+        // centered data: second moment = population covariance
+        assert!((sm[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((sm[(0, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_unit_diagonal_and_bounded() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.1],
+            vec![3.0, 5.9],
+            vec![4.0, 8.2],
+        ]);
+        let c = correlation(&m);
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(c[(0, 1)] > 0.99 && c[(0, 1)] <= 1.0);
+    }
+
+    #[test]
+    fn correlation_of_constant_column_is_zero() {
+        let m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
+        let c = correlation(&m);
+        assert_eq!(c[(0, 1)], 0.0);
+        assert_eq!(c[(1, 1)], 0.0); // 0/0 convention
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_sd() {
+        let m = Matrix::from_rows(&[vec![1.0, 7.0], vec![3.0, 7.0], vec![5.0, 7.0]]);
+        let (s, params) = standardize(&m);
+        let col0 = s.col(0);
+        assert!(mean(&col0).abs() < 1e-12);
+        assert!((sample_sd(&col0) - 1.0).abs() < 1e-12);
+        // Constant column: centered, not scaled.
+        assert_eq!(s.col(1), vec![0.0, 0.0, 0.0]);
+        assert_eq!(params[1], (7.0, 0.0));
+    }
+
+    #[test]
+    fn full_data_sd_flattens() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0]]);
+        assert!((full_data_sd(&m) - sample_sd(&[0.0, 0.0, 2.0, 2.0])).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,182 @@
+//! 2-D confidence ellipses.
+//!
+//! SIDER's scatter plot overlays 95 % confidence ellipsoids for the current
+//! selection and for the corresponding background-sample points (paper
+//! §III, footnote 3). For a bivariate Gaussian the level-`p` region is
+//! `(x−μ)ᵀ Σ⁻¹ (x−μ) ≤ χ²₂(p)` and `χ²₂(p) = −2·ln(1−p)` exactly.
+
+use sider_linalg::{sym_eigen, Matrix};
+
+/// An ellipse `center + R(angle)·diag(a, b)·unit circle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ellipse {
+    /// Center `(x, y)`.
+    pub center: (f64, f64),
+    /// Semi-axis lengths, major first.
+    pub semi_axes: (f64, f64),
+    /// Rotation of the major axis, radians in `(−π/2, π/2]`.
+    pub angle: f64,
+}
+
+/// Exact χ² quantile with 2 degrees of freedom.
+pub fn chi2_quantile_2dof(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "confidence level must be in [0,1)");
+    -2.0 * (1.0 - p).ln()
+}
+
+impl Ellipse {
+    /// Confidence ellipse from a mean and 2×2 covariance at level `p`
+    /// (e.g. `0.95`). Degenerate covariances yield zero-length axes.
+    pub fn from_mean_cov(mean: (f64, f64), cov: &Matrix, p: f64) -> Ellipse {
+        assert_eq!(cov.shape(), (2, 2), "covariance must be 2x2");
+        let e = sym_eigen(cov).expect("2x2 symmetric eigen cannot fail");
+        let q = chi2_quantile_2dof(p);
+        let l0 = e.values[0].max(0.0);
+        let l1 = e.values[1].max(0.0);
+        let v0 = e.vectors.col(0);
+        Ellipse {
+            center: mean,
+            semi_axes: ((q * l0).sqrt(), (q * l1).sqrt()),
+            angle: v0[1].atan2(v0[0]),
+        }
+    }
+
+    /// Confidence ellipse of a point cloud given as two coordinate slices.
+    /// Returns `None` for fewer than 2 points.
+    pub fn from_points(xs: &[f64], ys: &[f64], p: f64) -> Option<Ellipse> {
+        assert_eq!(xs.len(), ys.len(), "coordinate length mismatch");
+        let n = xs.len();
+        if n < 2 {
+            return None;
+        }
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        let mut sxy = 0.0;
+        for i in 0..n {
+            let dx = xs[i] - mx;
+            let dy = ys[i] - my;
+            sxx += dx * dx;
+            syy += dy * dy;
+            sxy += dx * dy;
+        }
+        let denom = (n - 1) as f64;
+        let cov = Matrix::from_rows(&[
+            vec![sxx / denom, sxy / denom],
+            vec![sxy / denom, syy / denom],
+        ]);
+        Some(Ellipse::from_mean_cov((mx, my), &cov, p))
+    }
+
+    /// Sample `n` boundary points (closed: first point repeated at the end
+    /// is *not* included; callers close the path themselves).
+    pub fn polygon(&self, n: usize) -> Vec<(f64, f64)> {
+        let (a, b) = self.semi_axes;
+        let (ca, sa) = (self.angle.cos(), self.angle.sin());
+        (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                let ex = a * t.cos();
+                let ey = b * t.sin();
+                (
+                    self.center.0 + ca * ex - sa * ey,
+                    self.center.1 + sa * ex + ca * ey,
+                )
+            })
+            .collect()
+    }
+
+    /// Whether a point lies inside (or on) the ellipse.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let (a, b) = self.semi_axes;
+        if a == 0.0 || b == 0.0 {
+            return false;
+        }
+        let (ca, sa) = (self.angle.cos(), self.angle.sin());
+        let dx = x - self.center.0;
+        let dy = y - self.center.1;
+        // Rotate into the ellipse frame.
+        let ex = ca * dx + sa * dy;
+        let ey = -sa * dx + ca * dy;
+        (ex / a).powi(2) + (ey / b).powi(2) <= 1.0 + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn chi2_quantile_known_values() {
+        assert!((chi2_quantile_2dof(0.95) - 5.991464547107979).abs() < 1e-12);
+        assert_eq!(chi2_quantile_2dof(0.0), 0.0);
+    }
+
+    #[test]
+    fn axis_aligned_gaussian_ellipse() {
+        let cov = Matrix::from_rows(&[vec![4.0, 0.0], vec![1e-300, 1.0]]);
+        let e = Ellipse::from_mean_cov((1.0, 2.0), &cov, 0.95);
+        let q = chi2_quantile_2dof(0.95);
+        assert!((e.semi_axes.0 - (4.0 * q).sqrt()).abs() < 1e-9);
+        assert!((e.semi_axes.1 - q.sqrt()).abs() < 1e-9);
+        // Major axis along x.
+        assert!(e.angle.abs() < 1e-6 || (e.angle.abs() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlated_gaussian_is_rotated() {
+        let cov = Matrix::from_rows(&[vec![1.0, 0.9], vec![0.9, 1.0]]);
+        let e = Ellipse::from_mean_cov((0.0, 0.0), &cov, 0.95);
+        // Major axis along (1,1): angle ±45°.
+        let deg = e.angle.to_degrees().abs();
+        assert!((deg - 45.0).abs() < 1.0, "angle {deg}");
+    }
+
+    #[test]
+    fn ellipse_covers_about_95_percent() {
+        let mut rng = Rng::seed_from_u64(42);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.normal(-1.0, 0.5)).collect();
+        let e = Ellipse::from_points(&xs, &ys, 0.95).unwrap();
+        let inside = (0..n).filter(|&i| e.contains(xs[i], ys[i])).count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "coverage {frac}");
+    }
+
+    #[test]
+    fn polygon_points_lie_on_boundary() {
+        let cov = Matrix::identity(2);
+        let e = Ellipse::from_mean_cov((0.0, 0.0), &cov, 0.95);
+        let r = chi2_quantile_2dof(0.95).sqrt();
+        for (x, y) in e.polygon(32) {
+            assert!(((x * x + y * y).sqrt() - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_points_requires_two_points() {
+        assert!(Ellipse::from_points(&[1.0], &[2.0], 0.95).is_none());
+        assert!(Ellipse::from_points(&[], &[], 0.95).is_none());
+    }
+
+    #[test]
+    fn degenerate_cloud_gives_zero_axis() {
+        // All points on a line: minor axis 0, contains() is false everywhere.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 0.0, 0.0, 0.0];
+        let e = Ellipse::from_points(&xs, &ys, 0.95).unwrap();
+        assert!(e.semi_axes.1.abs() < 1e-12);
+        assert!(!e.contains(1.0, 0.0));
+    }
+
+    #[test]
+    fn contains_center_when_nondegenerate() {
+        let cov = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.0]]);
+        let e = Ellipse::from_mean_cov((5.0, 5.0), &cov, 0.5);
+        assert!(e.contains(5.0, 5.0));
+        assert!(!e.contains(50.0, 50.0));
+    }
+}

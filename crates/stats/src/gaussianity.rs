@@ -1,0 +1,301 @@
+//! Measures of deviation from the standard normal distribution.
+//!
+//! Two scores from the paper:
+//!
+//! * The **PCA score** of a direction with variance `σ²` is
+//!   `(σ² − log σ² − 1)/2` — the KL divergence `KL(N(0,σ²) ‖ N(0,1))`
+//!   (paper §II-C, footnote 1). It is zero iff `σ² = 1` and grows in both
+//!   directions.
+//! * The **ICA score** of a (unit-variance) projection `s` is the signed
+//!   negentropy proxy `E[G(s)] − E[G(ν)]`, `ν ~ N(0,1)` — the bracketed
+//!   numbers of Table I. With the log-cosh contrast the sign convention is:
+//!   **positive for sub-Gaussian** directions (multi-modal cluster
+//!   structure — exactly what the paper's views surface; Table I's initial
+//!   scores are positive) and negative for super-Gaussian (heavy-tailed)
+//!   directions. Non-zero either way means "not Gaussian, worth showing".
+
+use std::sync::OnceLock;
+
+/// PCA informativeness score `(σ² − log σ² − 1)/2` for a direction with
+/// variance `sigma2` under the whitened data. Returns `+∞` for `σ² ≤ 0`
+/// (a fully collapsed direction maximally contradicts the unit model).
+pub fn pca_score(sigma2: f64) -> f64 {
+    if sigma2 <= 0.0 {
+        return f64::INFINITY;
+    }
+    0.5 * (sigma2 - sigma2.ln() - 1.0)
+}
+
+/// Contrast (non-linearity) used by FastICA and the ICA score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Contrast {
+    /// `G(u) = log cosh(αu) / α` — the paper's default (α = 1).
+    LogCosh { alpha: f64 },
+    /// `G(u) = −exp(−u²/2)` — robust alternative.
+    Exp,
+    /// `G(u) = u⁴/4` — classic kurtosis, fast but outlier-sensitive.
+    Kurtosis,
+}
+
+impl Default for Contrast {
+    fn default() -> Self {
+        Contrast::LogCosh { alpha: 1.0 }
+    }
+}
+
+impl Contrast {
+    /// The contrast function `G(u)` itself.
+    pub fn big_g(&self, u: f64) -> f64 {
+        match *self {
+            Contrast::LogCosh { alpha } => ln_cosh(alpha * u) / alpha,
+            Contrast::Exp => -(-0.5 * u * u).exp(),
+            Contrast::Kurtosis => 0.25 * u * u * u * u,
+        }
+    }
+
+    /// First derivative `g(u) = G′(u)` (the FastICA non-linearity).
+    pub fn g(&self, u: f64) -> f64 {
+        match *self {
+            Contrast::LogCosh { alpha } => (alpha * u).tanh(),
+            Contrast::Exp => u * (-0.5 * u * u).exp(),
+            Contrast::Kurtosis => u * u * u,
+        }
+    }
+
+    /// Second derivative `g′(u)`.
+    pub fn g_prime(&self, u: f64) -> f64 {
+        match *self {
+            Contrast::LogCosh { alpha } => {
+                let t = (alpha * u).tanh();
+                alpha * (1.0 - t * t)
+            }
+            Contrast::Exp => (1.0 - u * u) * (-0.5 * u * u).exp(),
+            Contrast::Kurtosis => 3.0 * u * u,
+        }
+    }
+
+    /// `E[G(ν)]` for `ν ~ N(0, 1)`.
+    ///
+    /// Exact closed forms exist for `Exp` (−1/√2) and `Kurtosis` (3/4);
+    /// for log-cosh we integrate numerically (cached for the default α=1).
+    pub fn gaussian_expectation(&self) -> f64 {
+        match *self {
+            Contrast::Exp => -std::f64::consts::FRAC_1_SQRT_2,
+            Contrast::Kurtosis => 0.75,
+            Contrast::LogCosh { alpha } => {
+                if (alpha - 1.0).abs() < 1e-12 {
+                    static CACHE: OnceLock<f64> = OnceLock::new();
+                    *CACHE.get_or_init(|| {
+                        gaussian_expectation_of(ln_cosh)
+                    })
+                } else {
+                    gaussian_expectation_of(|u| ln_cosh(alpha * u) / alpha)
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable `log cosh(x)` (avoids overflow of `cosh` for |x| ≳ 710).
+#[inline]
+pub fn ln_cosh(x: f64) -> f64 {
+    let a = x.abs();
+    // log cosh x = |x| + log(1 + e^{-2|x|}) − log 2
+    a + (-2.0 * a).exp().ln_1p() - std::f64::consts::LN_2
+}
+
+/// `E[f(ν)]` for `ν ~ N(0,1)` by composite Simpson integration over
+/// `[−12, 12]` (the tail mass beyond is ≈ 1e−32).
+pub fn gaussian_expectation_of(f: impl Fn(f64) -> f64) -> f64 {
+    let a = -12.0;
+    let b = 12.0;
+    let n = 4800; // even
+    let h = (b - a) / n as f64;
+    let phi = |x: f64| (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let mut acc = f(a) * phi(a) + f(b) * phi(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(x) * phi(x);
+    }
+    acc * h / 3.0
+}
+
+/// Signed ICA score of a sample: `mean(G(s)) − E[G(ν)]`.
+///
+/// The caller is responsible for standardizing `s` to zero mean and unit
+/// variance (FastICA components already are).
+pub fn negentropy_offset(s: &[f64], contrast: Contrast) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mean_g = s.iter().map(|&u| contrast.big_g(u)).sum::<f64>() / s.len() as f64;
+    mean_g - contrast.gaussian_expectation()
+}
+
+/// Standardize a sample to zero mean / unit (population) variance in place.
+/// Constant samples are centered only.
+pub fn standardize_inplace(s: &mut [f64]) {
+    let n = s.len();
+    if n == 0 {
+        return;
+    }
+    let mean = s.iter().sum::<f64>() / n as f64;
+    let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let inv_sd = if var > 0.0 { 1.0 / var.sqrt() } else { 1.0 };
+    for x in s.iter_mut() {
+        *x = (*x - mean) * inv_sd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn pca_score_zero_at_unit_variance() {
+        assert_eq!(pca_score(1.0), 0.0);
+    }
+
+    #[test]
+    fn pca_score_positive_off_unity_and_symmetric_in_log() {
+        assert!(pca_score(2.0) > 0.0);
+        assert!(pca_score(0.5) > 0.0);
+        // KL(N(0,σ²)‖N(0,1)) is not symmetric in σ² ↔ 1/σ², but both must
+        // be positive and the larger deviation must score higher.
+        assert!(pca_score(4.0) > pca_score(2.0));
+        assert!(pca_score(0.1) > pca_score(0.5));
+    }
+
+    #[test]
+    fn pca_score_collapsed_direction_is_infinite() {
+        assert_eq!(pca_score(0.0), f64::INFINITY);
+        assert_eq!(pca_score(-1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ln_cosh_matches_naive_for_moderate_x() {
+        for &x in &[-3.0, -0.5, 0.0, 0.1, 2.0] {
+            assert!((ln_cosh(x) - x.cosh().ln()).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_cosh_no_overflow_for_huge_x() {
+        let v = ln_cosh(1e4);
+        assert!((v - (1e4 - std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logcosh_gaussian_expectation_known_value() {
+        // Literature value E[log cosh ν] ≈ 0.3746 (FastICA negentropy tables).
+        let e = Contrast::default().gaussian_expectation();
+        assert!((e - 0.37457).abs() < 1e-4, "got {e}");
+    }
+
+    #[test]
+    fn exact_expectations() {
+        assert!((Contrast::Exp.gaussian_expectation() + std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert_eq!(Contrast::Kurtosis.gaussian_expectation(), 0.75);
+        // Cross-check the closed forms against the integrator.
+        let e_exp = gaussian_expectation_of(|u| -(-0.5 * u * u).exp());
+        assert!((e_exp - Contrast::Exp.gaussian_expectation()).abs() < 1e-10);
+        let e_kur = gaussian_expectation_of(|u| 0.25 * u.powi(4));
+        assert!((e_kur - 0.75).abs() < 1e-8);
+    }
+
+    #[test]
+    fn derivatives_are_consistent() {
+        // Finite differences of G match g; of g match g'.
+        let h = 1e-6;
+        for contrast in [Contrast::default(), Contrast::Exp, Contrast::Kurtosis] {
+            for &u in &[-2.0, -0.3, 0.7, 1.9] {
+                let dg = (contrast.big_g(u + h) - contrast.big_g(u - h)) / (2.0 * h);
+                assert!((dg - contrast.g(u)).abs() < 1e-6, "{contrast:?} u={u}");
+                let dgp = (contrast.g(u + h) - contrast.g(u - h)) / (2.0 * h);
+                assert!((dgp - contrast.g_prime(u)).abs() < 1e-5, "{contrast:?} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn negentropy_near_zero_for_gaussian_sample() {
+        let mut rng = Rng::seed_from_u64(123);
+        let mut s = rng.standard_normal_vec(200_000);
+        standardize_inplace(&mut s);
+        let score = negentropy_offset(&s, Contrast::default());
+        assert!(score.abs() < 0.003, "score {score}");
+    }
+
+    #[test]
+    fn negentropy_negative_for_super_gaussian_logcosh() {
+        // Laplace-like: sign * exponential. With the log-cosh contrast,
+        // heavy tails lower E[G] below the Gaussian reference.
+        let mut rng = Rng::seed_from_u64(7);
+        let mut s: Vec<f64> = (0..100_000)
+            .map(|_| {
+                let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                sign * (-(1.0 - rng.uniform()).ln())
+            })
+            .collect();
+        standardize_inplace(&mut s);
+        let score = negentropy_offset(&s, Contrast::default());
+        assert!(score < -0.02, "score {score}");
+        // Kurtosis contrast has the opposite, classic sign: positive for
+        // super-Gaussian.
+        let k = negentropy_offset(&s, Contrast::Kurtosis);
+        assert!(k > 0.1, "kurtosis score {k}");
+    }
+
+    #[test]
+    fn negentropy_positive_for_sub_gaussian_logcosh() {
+        // Uniform distribution is sub-Gaussian: E[log cosh] exceeds the
+        // Gaussian reference (≈0.4154 vs ≈0.3746).
+        let mut rng = Rng::seed_from_u64(8);
+        let mut s: Vec<f64> = (0..100_000).map(|_| rng.uniform() - 0.5).collect();
+        standardize_inplace(&mut s);
+        let score = negentropy_offset(&s, Contrast::default());
+        assert!(score > 0.02, "score {score}");
+        let k = negentropy_offset(&s, Contrast::Kurtosis);
+        assert!(k < -0.1, "kurtosis score {k}");
+    }
+
+    #[test]
+    fn bimodal_cluster_structure_scores_positive_logcosh() {
+        // Two separated clusters along a line — what the ICA view hunts
+        // for, and why Table I's initial scores are positive.
+        let mut rng = Rng::seed_from_u64(9);
+        let mut s: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let c = if rng.bernoulli(0.5) { -2.0 } else { 2.0 };
+                rng.normal(c, 0.3)
+            })
+            .collect();
+        standardize_inplace(&mut s);
+        let score = negentropy_offset(&s, Contrast::default());
+        assert!(score > 0.03, "score {score}");
+    }
+
+    #[test]
+    fn standardize_inplace_moments() {
+        let mut s = vec![10.0, 12.0, 14.0, 16.0];
+        standardize_inplace(&mut s);
+        let mean: f64 = s.iter().sum::<f64>() / 4.0;
+        let var: f64 = s.iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_sample() {
+        let mut s = vec![3.0, 3.0];
+        standardize_inplace(&mut s);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn negentropy_empty_sample_is_zero() {
+        assert_eq!(negentropy_offset(&[], Contrast::default()), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed-width histograms for data summaries and plot panels.
+
+/// A histogram over `[lo, hi)` with equally wide bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    /// Values falling outside `[lo, hi)`.
+    outside: usize,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outside: 0,
+        }
+    }
+
+    /// Build from data with automatic range `[min, max]` (max inclusive via
+    /// a tiny expansion). Empty data yields a unit-range empty histogram.
+    pub fn from_data(data: &[f64], bins: usize) -> Self {
+        if data.is_empty() {
+            return Histogram::new(0.0, 1.0, bins);
+        }
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut h = Histogram::new(lo, lo + span * (1.0 + 1e-9), bins);
+        for &v in data {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() || v < self.lo || v >= self.hi {
+            self.outside += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((v - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Observations that fell outside the range.
+    pub fn outside(&self) -> usize {
+        self.outside
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Normalized density value for bin `i` (integrates to 1 over range).
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (total as f64 * width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.5);
+        h.add(9.99);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(f64::NAN);
+        assert_eq!(h.outside(), 3);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_data_covers_extremes() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let h = Histogram::from_data(&data, 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outside(), 0);
+    }
+
+    #[test]
+    fn from_data_empty_ok() {
+        let h = Histogram::from_data(&[], 5);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_data_constant_values() {
+        let h = Histogram::from_data(&[2.0, 2.0, 2.0], 4);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 2.0, 8);
+        for i in 0..100 {
+            h.add((i as f64) / 50.0 * 0.999);
+        }
+        let width = 2.0 / 8.0;
+        let integral: f64 = (0..8).map(|i| h.density(i) * width).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the paper's 3-D introduction example (Fig. 2).
+//!
+//! A 150-point dataset contains four clusters, but the first informative
+//! projection shows only three — two clusters coincide except in the
+//! third dimension. Marking the visible clusters and updating the
+//! background distribution makes the system surface the hidden split.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//! SVG views are written to `out/quickstart_*.svg`.
+
+use sider::core::{EdaSession, SimulatedUser};
+use sider::maxent::FitOpts;
+use sider::projection::{IcaOpts, Method};
+
+fn main() {
+    let dataset = sider::data::synthetic::three_d_four_clusters(2018);
+    println!(
+        "dataset: {} ({} points, {} dims, true clusters: 50/50/25/25)",
+        dataset.name,
+        dataset.n(),
+        dataset.d()
+    );
+    let mut session = EdaSession::new(dataset, 7).expect("session");
+    let mut user = SimulatedUser::new(6, 5, 42);
+
+    // --- Step 1: the initial most-informative projection (Fig. 2a). ---
+    let view1 = session.next_view(&Method::Pca).expect("view 1");
+    println!("\n[view 1] {}", view1.axis_labels[0]);
+    println!("         {}", view1.axis_labels[1]);
+    let clusters = user.perceive_clusters(&view1);
+    println!(
+        "the user perceives {} clusters (sizes: {:?}) — the 4th is hidden",
+        clusters.len(),
+        clusters.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    view1
+        .to_scatter_plot("Initial view: three visible clusters", None)
+        .save("out/quickstart_view1.svg")
+        .expect("write svg");
+
+    // --- Step 2: mark the clusters, update the background (Fig. 2b). ---
+    for c in &clusters {
+        session.add_cluster_constraint(c).expect("constraint");
+    }
+    let report = session
+        .update_background(&FitOpts::default())
+        .expect("update");
+    println!(
+        "\nbackground updated: {}",
+        sider::core::report::format_convergence(&report)
+    );
+
+    // --- Step 3: the next view reveals the hidden split (Fig. 2c). ---
+    let view2 = session
+        .next_view(&Method::Ica(IcaOpts::default()))
+        .expect("view 2");
+    println!("\n[view 2] {}", view2.axis_labels[0]);
+    println!("         {}", view2.axis_labels[1]);
+    let clusters2 = user.perceive_clusters(&view2);
+    println!(
+        "the user now perceives {} clusters — the split along X3 is visible",
+        clusters2.len()
+    );
+    view2
+        .to_scatter_plot("After update: the hidden split appears", None)
+        .save("out/quickstart_view2.svg")
+        .expect("write svg");
+
+    // --- Step 4: absorb the new knowledge; nothing is left to show. ---
+    for c in &clusters2 {
+        session.add_cluster_constraint(c).expect("constraint");
+    }
+    session
+        .update_background(&FitOpts::default())
+        .expect("update");
+    let view3 = session.next_view(&Method::Pca).expect("view 3");
+    println!(
+        "\n[view 3] top PCA score {:.2e} (was {:.3} initially) — data and background now agree",
+        view3.scores()[0],
+        view1.scores()[0]
+    );
+    view3
+        .to_scatter_plot("Final view: background matches data", None)
+        .save("out/quickstart_view3.svg")
+        .expect("write svg");
+    println!("\nSVGs written to out/quickstart_view{{1,2,3}}.svg");
+}

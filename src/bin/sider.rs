@@ -1,0 +1,332 @@
+//! `sider` — the headless command-line counterpart of the paper's SIDER
+//! application.
+//!
+//! ```text
+//! sider overview --data points.csv [--out out]
+//!     Column statistics + a class-free pairplot of a CSV dataset.
+//!
+//! sider explore --data points.csv [--method pca|ica] [--iterations N]
+//!               [--threshold T] [--seed S] [--margins] [--one-cluster]
+//!               [--out out]
+//!     Run the full interactive loop of the paper (Fig. 1) with a
+//!     simulated analyst: show the most informative view, mark perceived
+//!     clusters, update the background distribution, repeat. Each view is
+//!     written as an SVG; the per-iteration scores (Table-I style) and
+//!     the information absorbed (in nats) are printed.
+//!
+//! sider demo <fig2|xhat5|bnc|segmentation>
+//!     The same, on the paper's built-in datasets.
+//! ```
+//!
+//! The CSV format is the one written by `sider::data::csv`: a header row
+//! of column names, then one numeric row per data point.
+
+use sider::core::report::{format_convergence, format_score_table};
+use sider::core::{explore, EdaSession, ExplorationConfig, SimulatedUser};
+use sider::data::Dataset;
+use sider::maxent::FitOpts;
+use sider::projection::{IcaOpts, Method};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Minimal `--key value` argument parser.
+#[derive(Debug, Default)]
+struct Cli {
+    command: String,
+    pairs: Vec<(String, String)>,
+}
+
+impl Cli {
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().ok_or("missing command")?;
+        let mut pairs = Vec::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = if iter.peek().is_some_and(|v| !v.starts_with("--")) {
+                    iter.next().unwrap()
+                } else {
+                    "true".to_string()
+                };
+                pairs.push((key.to_string(), value));
+            } else if command == "demo" && pairs.is_empty() {
+                pairs.push(("dataset".to_string(), arg));
+            } else {
+                return Err(format!("unexpected argument: {arg}"));
+            }
+        }
+        Ok(Cli { command, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+const USAGE: &str = "usage:
+  sider overview --data FILE.csv [--out DIR]
+  sider explore  --data FILE.csv [--method pca|ica] [--iterations N]
+                 [--threshold T] [--seed S] [--margins] [--one-cluster]
+                 [--out DIR]
+  sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]";
+
+fn load_csv(path: &str) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (header, matrix) = sider::data::csv::read_matrix(BufReader::new(file))
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut ds = Dataset::unlabeled(
+        PathBuf::from(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "data".into()),
+        matrix,
+    );
+    ds.column_names = header;
+    ds.validate()?;
+    Ok(ds)
+}
+
+fn builtin(name: &str) -> Result<Dataset, String> {
+    match name {
+        "fig2" => Ok(sider::data::synthetic::three_d_four_clusters(2018)),
+        "xhat5" => Ok(sider::data::synthetic::xhat5(1000, 42)),
+        "bnc" => Ok(sider::data::bnc::bnc_like_corpus(
+            &sider::data::bnc::BncOpts::default(),
+            2018,
+        )),
+        "segmentation" => Ok(sider::data::segmentation::segmentation_like(
+            &sider::data::segmentation::SegmentationOpts::default(),
+            2018,
+        )),
+        other => Err(format!("unknown demo dataset: {other}\n{USAGE}")),
+    }
+}
+
+fn cmd_overview(cli: &Cli) -> Result<(), String> {
+    let data = cli.get("data").ok_or(format!("--data required\n{USAGE}"))?;
+    let out: PathBuf = cli.get_or("out", "out".to_string())?.into();
+    let ds = load_csv(data)?;
+    println!("{}: {} rows × {} columns", ds.name, ds.n(), ds.d());
+    let stats = sider::stats::descriptive::column_stats(&ds.matrix);
+    let mut table = sider::core::report::TextTable::new(&["column", "mean", "sd", "min", "max"]);
+    for (name, s) in ds.column_names.iter().zip(&stats) {
+        table.row(vec![
+            name.clone(),
+            format!("{:.4}", s.mean),
+            format!("{:.4}", s.sd),
+            format!("{:.4}", s.min),
+            format!("{:.4}", s.max),
+        ]);
+    }
+    println!("{}", table.render());
+    if ds.d() <= 12 {
+        let columns: Vec<Vec<f64>> = (0..ds.d()).map(|j| ds.matrix.col(j)).collect();
+        let path = out.join(format!("{}_pairplot.svg", ds.name));
+        sider::plot::Pairplot::new(
+            format!("{} pairplot", ds.name),
+            columns,
+            ds.column_names.clone(),
+        )
+        .save(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("pairplot written to {}", path.display());
+    } else {
+        println!("(pairplot skipped: {} columns > 12)", ds.d());
+    }
+    Ok(())
+}
+
+fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
+    let out: PathBuf = cli.get_or("out", "out".to_string())?.into();
+    let seed: u64 = cli.get_or("seed", 7u64)?;
+    let iterations: usize = cli.get_or("iterations", 6usize)?;
+    let threshold: f64 = cli.get_or("threshold", 0.02f64)?;
+    let method = match cli.get("method").unwrap_or("pca") {
+        "pca" => Method::Pca,
+        "ica" => Method::Ica(IcaOpts::default()),
+        other => return Err(format!("unknown method: {other} (pca|ica)")),
+    };
+    let name = ds.name.clone();
+    println!("exploring {name}: {} rows × {} columns", ds.n(), ds.d());
+
+    let mut session = EdaSession::new(ds, seed).map_err(|e| e.to_string())?;
+    if cli.flag("margins") {
+        session.add_margin_constraints().map_err(|e| e.to_string())?;
+    }
+    if cli.flag("one-cluster") {
+        session
+            .add_one_cluster_constraint()
+            .map_err(|e| e.to_string())?;
+    }
+    if session.is_dirty() {
+        let report = session
+            .update_background(&FitOpts::default())
+            .map_err(|e| e.to_string())?;
+        println!("initial knowledge absorbed: {}", format_convergence(&report));
+    }
+
+    let mut user = SimulatedUser::new(6, (session.dataset().n() / 30).max(3), seed ^ 0xFACE);
+    let config = ExplorationConfig {
+        method,
+        fit: FitOpts {
+            time_cutoff: Some(std::time::Duration::from_secs(10)),
+            ..FitOpts::default()
+        },
+        max_iterations: iterations,
+        score_threshold: threshold,
+    };
+    let records = explore(&mut session, &mut user, &config).map_err(|e| e.to_string())?;
+    println!(
+        "\n{}",
+        format_score_table(&records, config.method.prefix())
+    );
+    for r in &records {
+        println!("[iteration {}] {}", r.iteration, r.axis_labels[0]);
+        println!("              {}", r.axis_labels[1]);
+        if r.stopped {
+            println!("              no notable difference left — stopped");
+        } else {
+            println!(
+                "              marked {} cluster(s): sizes {:?}",
+                r.marked_clusters.len(),
+                r.marked_clusters.iter().map(Vec::len).collect::<Vec<_>>()
+            );
+        }
+    }
+    println!(
+        "\ninformation absorbed: {:.1} nats over {} knowledge statements",
+        session.information_nats(),
+        session.knowledge().len()
+    );
+
+    // Re-render the final view for the artifact.
+    let view = session.next_view(&config.method).map_err(|e| e.to_string())?;
+    let path = out.join(format!("{name}_final_view.svg"));
+    view.to_scatter_plot(&format!("{name}: final view"), None)
+        .save(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("final view written to {}", path.display());
+
+    // Persist the accumulated knowledge so the session can be replayed
+    // (`sider::core::snapshot::apply` on a fresh session).
+    let snap_path = out.join(format!("{name}_session.txt"));
+    std::fs::write(&snap_path, sider::core::snapshot::save(&session))
+        .map_err(|e| format!("cannot write {}: {e}", snap_path.display()))?;
+    println!("session snapshot written to {}", snap_path.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let cli = Cli::parse(std::env::args().skip(1)).map_err(|e| format!("{e}\n{USAGE}"))?;
+    match cli.command.as_str() {
+        "overview" => cmd_overview(&cli),
+        "explore" => {
+            let data = cli.get("data").ok_or(format!("--data required\n{USAGE}"))?;
+            let ds = load_csv(data)?;
+            cmd_explore(&cli, ds)
+        }
+        "demo" => {
+            let name = cli.get("dataset").ok_or(format!("demo needs a dataset\n{USAGE}"))?;
+            let ds = builtin(name)?;
+            cmd_explore(&cli, ds)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_pairs() {
+        let c = cli(&["explore", "--data", "x.csv", "--method", "ica"]).unwrap();
+        assert_eq!(c.command, "explore");
+        assert_eq!(c.get("data"), Some("x.csv"));
+        assert_eq!(c.get("method"), Some("ica"));
+    }
+
+    #[test]
+    fn parses_bare_flags() {
+        let c = cli(&["explore", "--margins", "--data", "x.csv"]).unwrap();
+        assert!(c.flag("margins"));
+        assert!(!c.flag("one-cluster"));
+    }
+
+    #[test]
+    fn demo_positional_dataset() {
+        let c = cli(&["demo", "fig2"]).unwrap();
+        assert_eq!(c.get("dataset"), Some("fig2"));
+    }
+
+    #[test]
+    fn typed_getters_with_defaults() {
+        let c = cli(&["explore", "--iterations", "3"]).unwrap();
+        assert_eq!(c.get_or("iterations", 9usize).unwrap(), 3);
+        assert_eq!(c.get_or("seed", 7u64).unwrap(), 7);
+        assert!(c.get_or::<usize>("iterations", 9).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(cli(&[]).is_err());
+        assert!(cli(&["explore", "stray"]).is_err());
+        let c = cli(&["explore", "--iterations", "abc"]).unwrap();
+        assert!(c.get_or::<usize>("iterations", 1).is_err());
+    }
+
+    #[test]
+    fn builtin_datasets_resolve() {
+        assert!(builtin("fig2").is_ok());
+        assert!(builtin("xhat5").is_ok());
+        assert!(builtin("nope").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_through_loader() {
+        let dir = std::env::temp_dir().join("sider_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        std::fs::write(&path, "a,b\n1.0,2.0\n3.0,4.0\n").unwrap();
+        let ds = load_csv(path.to_str().unwrap()).unwrap();
+        assert_eq!(ds.n(), 2);
+        assert_eq!(ds.column_names, vec!["a", "b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
