@@ -8,10 +8,7 @@ use sider_maxent::constraint::{cluster_constraints, margin_constraints};
 use sider_maxent::{FitOpts, RowSet, Solver};
 use std::hint::black_box;
 
-fn constraints_for(
-    ds: &sider_data::Dataset,
-    k: usize,
-) -> Vec<sider_maxent::Constraint> {
+fn constraints_for(ds: &sider_data::Dataset, k: usize) -> Vec<sider_maxent::Constraint> {
     let labels = ds.primary_labels().expect("labels");
     let mut cs = margin_constraints(&ds.matrix).expect("margins");
     if k > 1 {

@@ -37,7 +37,13 @@ fn main() {
     let mut user = SimulatedUser::new(5, 20, 17);
     let mut marked: Vec<Vec<usize>> = Vec::new();
     let mut summary = TextTable::new(&[
-        "view", "top PCA score", "selection size", "best genre", "Jaccard", "2nd genre", "Jaccard",
+        "view",
+        "top PCA score",
+        "selection size",
+        "best genre",
+        "Jaccard",
+        "2nd genre",
+        "Jaccard",
     ]);
 
     for step in 1..=4 {
@@ -80,7 +86,9 @@ fn main() {
         view.to_scatter_plot(&format!("BNC view {step}"), Some(&selection))
             .save(out_dir().join(format!("fig7_8_view{step}.svg")))
             .expect("svg");
-        session.add_cluster_constraint(&selection).expect("constraint");
+        session
+            .add_cluster_constraint(&selection)
+            .expect("constraint");
         let report = session.update_background(&fit).expect("update");
         eprintln!("view {step} update: {}", format_convergence(&report));
     }

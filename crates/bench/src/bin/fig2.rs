@@ -22,7 +22,10 @@ fn main() {
 
     // (a) initial informative PCA view.
     let view_a = session.next_view(&Method::Pca).expect("view a");
-    println!("Fig 2a axes:\n  {}\n  {}", view_a.axis_labels[0], view_a.axis_labels[1]);
+    println!(
+        "Fig 2a axes:\n  {}\n  {}",
+        view_a.axis_labels[0], view_a.axis_labels[1]
+    );
     view_a
         .to_scatter_plot("Fig 2a: initial view, prior background", None)
         .save(out.join("fig2a.svg"))
@@ -39,7 +42,10 @@ fn main() {
         ]);
         session.add_cluster_constraint(c).expect("constraint");
     }
-    println!("\n{} clusters perceived (paper: 3, with C∪D merged):", clusters.len());
+    println!(
+        "\n{} clusters perceived (paper: 3, with C∪D merged):",
+        clusters.len()
+    );
     println!("{}", t.render());
 
     let report = session
@@ -52,7 +58,9 @@ fn main() {
         let mut rng = sider_stats::Rng::seed_from_u64(99);
         let sample = session.background().sample(&mut rng);
         let proj = project(&sample, &view_a.projection.axes);
-        let pts: Vec<(f64, f64)> = (0..proj.rows()).map(|i| (proj[(i, 0)], proj[(i, 1)])).collect();
+        let pts: Vec<(f64, f64)> = (0..proj.rows())
+            .map(|i| (proj[(i, 0)], proj[(i, 1)]))
+            .collect();
         sider_plot::ScatterPlot::new(
             "Fig 2b: same view, updated background",
             view_a.axis_labels[0].clone(),
@@ -83,7 +91,10 @@ fn main() {
             format!("{j:.3}"),
         ]);
     }
-    println!("{} clusters now visible (paper: the third splits into two):", clusters_c.len());
+    println!(
+        "{} clusters now visible (paper: the third splits into two):",
+        clusters_c.len()
+    );
     println!("{}", t.render());
     view_c
         .to_scatter_plot("Fig 2c: next informative view — hidden split", None)

@@ -19,10 +19,14 @@ fn main() {
     );
     let columns: Vec<Vec<f64>> = (0..dataset.d()).map(|j| dataset.matrix.col(j)).collect();
     let path = out_dir().join("fig3_pairplot.svg");
-    Pairplot::new("Fig 3: Xhat5 pairplot (colors = clusters A-D)", columns, dataset.column_names.clone())
-        .classes(abcd.assignments.clone())
-        .max_points(250)
-        .save(&path)
-        .expect("svg");
+    Pairplot::new(
+        "Fig 3: Xhat5 pairplot (colors = clusters A-D)",
+        columns,
+        dataset.column_names.clone(),
+    )
+    .classes(abcd.assignments.clone())
+    .max_points(250)
+    .save(&path)
+    .expect("svg");
     println!("pairplot written to {}", path.display());
 }

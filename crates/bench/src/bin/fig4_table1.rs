@@ -70,7 +70,9 @@ fn main() {
         let mut rng = sider_stats::Rng::seed_from_u64(99);
         let sample = session.background().sample(&mut rng);
         let proj = sider_projection::project(&sample, &view_a.projection.axes);
-        let pts_bg: Vec<(f64, f64)> = (0..proj.rows()).map(|i| (proj[(i, 0)], proj[(i, 1)])).collect();
+        let pts_bg: Vec<(f64, f64)> = (0..proj.rows())
+            .map(|i| (proj[(i, 0)], proj[(i, 1)]))
+            .collect();
         let plot = sider_plot::ScatterPlot::new(
             "Fig 4b: same view, background updated",
             view_a.axis_labels[0].clone(),
@@ -113,5 +115,8 @@ fn main() {
 
     println!("\nTable I reproduction (paper values in module docs):");
     println!("{}", table.render());
-    println!("SVG panels written to {}/fig4{{a,b,c,d}}.svg", out.display());
+    println!(
+        "SVG panels written to {}/fig4{{a,b,c,d}}.svg",
+        out.display()
+    );
 }

@@ -57,7 +57,13 @@ fn main() {
     // Stage (a): no constraints.
     let y_a = session.whitened().expect("whiten");
     stage_stats(&y_a, "a: none", &mut table);
-    save_pairplot(&y_a, &abcd, &names, "Fig 6a: whitened = raw (no constraints)", "fig6a.svg");
+    save_pairplot(
+        &y_a,
+        &abcd,
+        &names,
+        "Fig 6a: whitened = raw (no constraints)",
+        "fig6a.svg",
+    );
 
     // Stage (b): constraints for the clusters visible in the first view.
     let view = session.next_view(&ica).expect("view");
@@ -69,7 +75,13 @@ fn main() {
         .expect("update");
     let y_b = session.whitened().expect("whiten");
     stage_stats(&y_b, "b: 4 clusters", &mut table);
-    save_pairplot(&y_b, &abcd, &names, "Fig 6b: whitened after dims 1-3 clusters", "fig6b.svg");
+    save_pairplot(
+        &y_b,
+        &abcd,
+        &names,
+        "Fig 6b: whitened after dims 1-3 clusters",
+        "fig6b.svg",
+    );
 
     // Stage (c): constraints for the clusters of the next view.
     let view = session.next_view(&ica).expect("view");
@@ -81,11 +93,20 @@ fn main() {
         .expect("update");
     let y_c = session.whitened().expect("whiten");
     stage_stats(&y_c, "c: +3 clusters", &mut table);
-    save_pairplot(&y_c, &abcd, &names, "Fig 6c: whitened after all clusters", "fig6c.svg");
+    save_pairplot(
+        &y_c,
+        &abcd,
+        &names,
+        "Fig 6c: whitened after all clusters",
+        "fig6c.svg",
+    );
 
     println!("Per-dimension deviation from the unit Gaussian (Fig. 6):");
     println!("{}", table.render());
     println!("expected shape: stage a deviates everywhere; stage b is Gaussian in X1–X3");
     println!("but not X4–X5; stage c is Gaussian everywhere.");
-    println!("pairplots written to {}/fig6{{a,b,c}}.svg", out_dir().display());
+    println!(
+        "pairplots written to {}/fig6{{a,b,c}}.svg",
+        out_dir().display()
+    );
 }

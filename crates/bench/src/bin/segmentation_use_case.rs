@@ -55,7 +55,13 @@ fn main() {
 
     let mut user = SimulatedUser::new(7, 50, 9);
     let mut marked: Vec<Vec<usize>> = Vec::new();
-    let mut summary = TextTable::new(&["view", "marked", "best class", "Jaccard", "overlapping classes"]);
+    let mut summary = TextTable::new(&[
+        "view",
+        "marked",
+        "best class",
+        "Jaccard",
+        "overlapping classes",
+    ]);
     for step in 1..=4 {
         let view = session.next_view(&ica_clusters).expect("view");
         if view.scores()[0] < 0.004 {
@@ -84,9 +90,12 @@ fn main() {
             session.add_cluster_constraint(cluster).expect("constraint");
             marked.push(cluster.clone());
         }
-        view.to_scatter_plot(&format!("Fig 9, view {step}"), fresh.first().map(|c| c.as_slice()))
-            .save(out_dir().join(format!("fig9_view{step}.svg")))
-            .expect("svg");
+        view.to_scatter_plot(
+            &format!("Fig 9, view {step}"),
+            fresh.first().map(|c| c.as_slice()),
+        )
+        .save(out_dir().join(format!("fig9_view{step}.svg")))
+        .expect("svg");
         session.update_background(&fit).expect("update");
     }
     println!("\ngroup discovery (paper: sky pure; grass 0.964; blob ≈0.2 ×5):");

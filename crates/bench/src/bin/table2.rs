@@ -97,19 +97,21 @@ fn main() {
         let max_d = args.get_or("max-d", 128usize);
         let max_n = args.get_or("max-n", 8192usize);
         (
-            [2048, 4096, 8192].into_iter().filter(|&n| n <= max_n).collect(),
-            [16, 32, 64, 128].into_iter().filter(|&d| d <= max_d).collect(),
+            [2048, 4096, 8192]
+                .into_iter()
+                .filter(|&n| n <= max_n)
+                .collect(),
+            [16, 32, 64, 128]
+                .into_iter()
+                .filter(|&d| d <= max_d)
+                .collect(),
             vec![1, 2, 4, 8],
         )
     };
-    println!(
-        "Table II reproduction: median wall-clock over {reps} run(s), no time cutoff."
-    );
+    println!("Table II reproduction: median wall-clock over {reps} run(s), no time cutoff.");
     println!("(The paper's numbers are single-threaded R 3.4.0 on a 2.2 GHz MacBook Air;\n ours are this machine — compare scaling shapes, not absolute values.)\n");
 
-    let mut table = TextTable::new(&[
-        "n", "d", "OPTIM (k=1,2,4,8)", "ICA (k=1,2,4,8)", "sweeps",
-    ]);
+    let mut table = TextTable::new(&["n", "d", "OPTIM (k=1,2,4,8)", "ICA (k=1,2,4,8)", "sweeps"]);
     let mut stage_worst = [Duration::ZERO; 5];
     let mut csv = String::from("n,d,k,init,optim,preprocess,whitening,sample,pca,ica,sweeps\n");
 

@@ -81,7 +81,11 @@ pub fn most_differing_attributes(dataset: &Dataset, selection: &[usize]) -> Vec<
             }
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -97,7 +101,11 @@ mod tests {
         for i in 0..40 {
             let sel = i < 10;
             rows.push(vec![
-                if sel { 10.0 + (i % 3) as f64 * 0.1 } else { 0.0 + (i % 3) as f64 * 0.1 },
+                if sel {
+                    10.0 + (i % 3) as f64 * 0.1
+                } else {
+                    0.0 + (i % 3) as f64 * 0.1
+                },
                 5.0 + (i % 2) as f64,
                 if sel { 1.0 } else { 0.5 } + (i % 5) as f64 * 0.2,
             ]);

@@ -9,7 +9,8 @@ use sider_maxent::constraint::{
     cluster_constraints, margin_constraints, one_cluster_constraints, twod_constraints,
 };
 use sider_maxent::{
-    BackgroundDistribution, Constraint, ConvergenceReport, FitOpts, RowSet, Solver,
+    BackgroundDistribution, Constraint, ConvergenceReport, FitOpts, RefreshStats, RowSet,
+    SolverState,
 };
 use sider_projection::{most_informative_projection, project, Method};
 use sider_stats::Rng;
@@ -57,6 +58,16 @@ impl KnowledgeRecord {
 /// knowledge marks the session *dirty* until [`EdaSession::update_background`]
 /// refits (mirroring the SIDER UI, where recomputation is an explicit
 /// user-triggered action because it may take seconds — §III).
+///
+/// The session owns a persistent [`SolverState`]: the first update fits
+/// cold, every later update *warm-starts* from the previous optimum —
+/// new constraints are appended into the existing equivalence-class
+/// partition, converged λ multipliers are kept, and only background
+/// classes the fit actually moved are re-decomposed. This is what makes
+/// sub-second refits (the paper's interactivity requirement) possible.
+/// [`EdaSession::undo_last_knowledge`] invalidates the engine when it
+/// removes already-fitted constraints; [`EdaSession::refit_cold`] is the
+/// explicit escape hatch forcing a from-scratch fit.
 #[derive(Debug, Clone)]
 pub struct EdaSession {
     dataset: Dataset,
@@ -66,6 +77,12 @@ pub struct EdaSession {
     dirty: bool,
     rng: Rng,
     last_report: Option<ConvergenceReport>,
+    /// Warm solver engine persisting across feedback rounds; `None` until
+    /// the first update, or after an invalidating undo.
+    solver: Option<SolverState>,
+    /// How many of `constraints` the engine has absorbed (the rest are
+    /// pending and will be appended on the next update).
+    fitted_constraints: usize,
 }
 
 impl EdaSession {
@@ -85,6 +102,8 @@ impl EdaSession {
             dirty: false,
             rng: Rng::seed_from_u64(seed),
             last_report: None,
+            solver: None,
+            fitted_constraints: 0,
         })
     }
 
@@ -99,8 +118,16 @@ impl EdaSession {
     }
 
     /// The current background distribution (as of the last update).
+    ///
+    /// Borrowed straight from the live solver engine when one exists —
+    /// the session never copies the engine's distribution; the `prior`
+    /// field only serves sessions that have not fitted yet (or whose
+    /// engine was invalidated by an undo, which snapshots it first).
     pub fn background(&self) -> &BackgroundDistribution {
-        &self.background
+        match &self.solver {
+            Some(state) => state.background(),
+            None => &self.background,
+        }
     }
 
     /// Knowledge statements added so far.
@@ -182,13 +209,7 @@ impl EdaSession {
         let rowset = self.selection_rowset(rows)?;
         let tag = format!("cluster{}", self.knowledge.len());
         let cs = cluster_constraints(self.data(), rowset, tag.clone())?;
-        self.push(
-            KnowledgeKind::Cluster,
-            tag,
-            rows.to_vec(),
-            None,
-            cs,
-        );
+        self.push(KnowledgeKind::Cluster, tag, rows.to_vec(), None, cs);
         Ok(())
     }
 
@@ -222,13 +243,7 @@ impl EdaSession {
         }
         let rowset = self.selection_rowset(rows)?;
         let tag = format!("view{}", self.knowledge.len());
-        let cs = twod_constraints(
-            self.data(),
-            rowset,
-            axes.row(0),
-            axes.row(1),
-            tag.clone(),
-        )?;
+        let cs = twod_constraints(self.data(), rowset, axes.row(0), axes.row(1), tag.clone())?;
         self.push(
             KnowledgeKind::TwoD,
             tag,
@@ -241,18 +256,59 @@ impl EdaSession {
 
     /// Re-solve the MaxEnt problem with all accumulated constraints
     /// (paper Problem 1) and install the new background distribution.
+    ///
+    /// Incremental: the first call fits cold; later calls append only the
+    /// constraints added since the previous update into the persistent
+    /// [`SolverState`] and warm-start from the converged multipliers, so a
+    /// round that adds one knowledge statement costs sweeps over its
+    /// neighborhood instead of a full re-fit. Use
+    /// [`EdaSession::refit_cold`] to force the from-scratch path.
     pub fn update_background(&mut self, opts: &FitOpts) -> Result<ConvergenceReport> {
-        let mut solver = Solver::new(self.data(), self.constraints.clone())?;
-        let report = solver.fit(opts);
-        self.background = solver.distribution();
+        let report = match self.solver.as_mut() {
+            Some(state) => {
+                let pending = self.constraints[self.fitted_constraints..].to_vec();
+                state.refit(pending, opts)?
+            }
+            None => {
+                let (state, report) =
+                    SolverState::cold(&self.dataset.matrix, self.constraints.clone(), opts)?;
+                self.solver = Some(state);
+                report
+            }
+        };
+        self.fitted_constraints = self.constraints.len();
         self.dirty = false;
         self.last_report = Some(report.clone());
         Ok(report)
     }
 
+    /// Discard the persistent solver engine and re-solve from scratch —
+    /// the escape hatch for anything that invalidates warm state (used
+    /// internally after [`EdaSession::undo_last_knowledge`], and available
+    /// to callers who want a cold baseline, e.g. for benchmarking the
+    /// warm-start speedup).
+    pub fn refit_cold(&mut self, opts: &FitOpts) -> Result<ConvergenceReport> {
+        self.solver = None;
+        self.fitted_constraints = 0;
+        self.update_background(opts)
+    }
+
+    /// What the last background refresh recomputed (`None` before the
+    /// first update). After a warm update, `eigen_recomputed` counts only
+    /// the classes whose covariance the fit moved.
+    pub fn last_refresh_stats(&self) -> Option<RefreshStats> {
+        self.solver.as_ref().map(|s| s.last_refresh())
+    }
+
+    /// Whether the next [`EdaSession::update_background`] can warm-start
+    /// (a persistent solver engine is alive).
+    pub fn has_warm_solver(&self) -> bool {
+        self.solver.is_some()
+    }
+
     /// Whiten the data against the current background (paper Eq. 14).
     pub fn whitened(&self) -> Result<Matrix> {
-        Ok(self.background.whiten(self.data())?)
+        Ok(self.background().whiten(self.data())?)
     }
 
     /// How much the accumulated feedback has constrained the model, in
@@ -260,7 +316,7 @@ impl EdaSession {
     /// spherical prior (`−S` of the paper's Problem 1). Zero for a fresh
     /// session; grows with every absorbed knowledge statement.
     pub fn information_nats(&self) -> f64 {
-        self.background.total_kl_from_prior()
+        self.background().total_kl_from_prior()
     }
 
     /// Drop the most recent knowledge statement (and its primitive
@@ -268,10 +324,24 @@ impl EdaSession {
     /// update; call [`EdaSession::update_background`] to refit without the
     /// removed knowledge. Returns the removed record, or `None` if no
     /// knowledge was added yet.
+    ///
+    /// Constraints can only be *appended* to the warm engine, so undoing
+    /// knowledge that was already fitted invalidates it — the next update
+    /// falls back to a cold fit. Undoing knowledge that was added but not
+    /// yet fitted only trims the pending queue and keeps the warm state.
     pub fn undo_last_knowledge(&mut self) -> Option<KnowledgeRecord> {
         let record = self.knowledge.pop()?;
         let keep = self.constraints.len() - record.n_constraints;
         self.constraints.truncate(keep);
+        if keep < self.fitted_constraints {
+            // Already inside the engine: warm state no longer matches.
+            // Keep its fitted distribution as the session's background (it
+            // still reflects the last update) and drop the solver.
+            if let Some(state) = self.solver.take() {
+                self.background = state.into_background();
+            }
+            self.fitted_constraints = 0;
+        }
         self.dirty = true;
         Some(record)
     }
@@ -283,7 +353,12 @@ impl EdaSession {
         let whitened = self.whitened()?;
         let projection = most_informative_projection(&whitened, method, &mut self.rng)?;
         let projected_data = project(self.data(), &projection.axes);
-        let background_sample = self.background.sample(&mut self.rng);
+        // Disjoint field borrows: the engine's distribution (or the prior
+        // fallback) is read while the session RNG advances.
+        let background_sample = match &self.solver {
+            Some(state) => state.background().sample(&mut self.rng),
+            None => self.background.sample(&mut self.rng),
+        };
         let projected_background = project(&background_sample, &projection.axes);
         let axis_labels = projection.labels(&self.dataset.column_names, 5);
         Ok(ViewState {
@@ -388,7 +463,8 @@ mod tests {
         s.update_background(&FitOpts::default()).unwrap();
         let after_margins = s.information_nats();
         assert!(after_margins > 0.0);
-        s.add_cluster_constraint(&(0..50).collect::<Vec<_>>()).unwrap();
+        s.add_cluster_constraint(&(0..50).collect::<Vec<_>>())
+            .unwrap();
         s.update_background(&FitOpts::default()).unwrap();
         assert!(s.information_nats() > after_margins);
     }
@@ -409,6 +485,174 @@ mod tests {
         assert_eq!(s.knowledge().len(), 1);
     }
 
+    fn tight() -> FitOpts {
+        FitOpts::with_tolerance(1e-8, 5000)
+    }
+
+    #[test]
+    fn second_update_is_warm_and_first_is_cold() {
+        let mut s = session();
+        assert!(!s.has_warm_solver());
+        s.add_margin_constraints().unwrap();
+        s.update_background(&tight()).unwrap();
+        assert!(s.has_warm_solver());
+        // Cold path decomposes every class.
+        let stats = s.last_refresh_stats().unwrap();
+        assert_eq!(stats.eigen_recomputed, stats.classes_total);
+    }
+
+    #[test]
+    fn warm_update_does_fewer_sweeps_than_cold() {
+        // Fit a heavy base (margins + a 40-row cluster), then append one
+        // small 2-D statement: the warm engine continues from the
+        // converged multipliers while a cold fit re-converges everything.
+        let cluster: Vec<usize> = (0..40).collect();
+        let axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+
+        let mut warm = session();
+        warm.add_margin_constraints().unwrap();
+        warm.add_cluster_constraint(&cluster).unwrap();
+        warm.update_background(&tight()).unwrap();
+        warm.add_twod_constraint(&(0..10).collect::<Vec<_>>(), &axes)
+            .unwrap();
+        let warm_report = warm.update_background(&tight()).unwrap();
+
+        let mut cold = session();
+        cold.add_margin_constraints().unwrap();
+        cold.add_cluster_constraint(&cluster).unwrap();
+        cold.add_twod_constraint(&(0..10).collect::<Vec<_>>(), &axes)
+            .unwrap();
+        let cold_report = cold.update_background(&tight()).unwrap();
+
+        assert!(warm_report.converged && cold_report.converged);
+        assert!(
+            warm_report.sweeps_done() < cold_report.sweeps_done(),
+            "warm {} vs cold {} sweeps",
+            warm_report.sweeps_done(),
+            cold_report.sweeps_done()
+        );
+        // …and produces the same background distribution.
+        for row in [0usize, 20, 60, 149] {
+            for (a, b) in warm
+                .background()
+                .mean(row)
+                .iter()
+                .zip(cold.background().mean(row))
+            {
+                assert!((a - b).abs() < 1e-5, "row {row}: {a} vs {b}");
+            }
+            assert!(
+                warm.background()
+                    .cov(row)
+                    .max_abs_diff(cold.background().cov(row))
+                    < 1e-5,
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_update_recomputes_only_dirty_classes() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&(0..30).collect::<Vec<_>>())
+            .unwrap();
+        s.update_background(&tight()).unwrap();
+        // A second, disjoint cluster: the first cluster's class sits
+        // outside the new constraint's neighborhood only if the margin
+        // constraints don't reactivate everything — they cover all rows,
+        // so here we assert the weaker cache invariant: no more eigen
+        // decompositions than classes, and a redundant update recomputes
+        // nothing at all.
+        let stats = s.last_refresh_stats().unwrap();
+        assert!(stats.eigen_recomputed <= stats.classes_total);
+        let report = s.update_background(&tight()).unwrap();
+        assert_eq!(report.sweeps_done(), 0);
+        let stats = s.last_refresh_stats().unwrap();
+        assert_eq!(stats.eigen_recomputed, 0);
+        assert_eq!(stats.mean_updated, 0);
+    }
+
+    #[test]
+    fn disjoint_cluster_sessions_keep_cached_classes() {
+        // No margins: two disjoint clusters live in disjoint constraint
+        // neighborhoods, so appending the second must not re-decompose the
+        // first one's classes.
+        let mut s = session();
+        s.add_cluster_constraint(&(0..30).collect::<Vec<_>>())
+            .unwrap();
+        s.update_background(&tight()).unwrap();
+        s.add_cluster_constraint(&(40..70).collect::<Vec<_>>())
+            .unwrap();
+        s.update_background(&tight()).unwrap();
+        let stats = s.last_refresh_stats().unwrap();
+        assert!(
+            stats.eigen_recomputed < stats.classes_total,
+            "untouched classes must stay cached: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn undo_of_fitted_knowledge_invalidates_warm_state() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&[0, 1, 2, 3, 4]).unwrap();
+        s.update_background(&tight()).unwrap();
+        assert!(s.has_warm_solver());
+        s.undo_last_knowledge().unwrap();
+        assert!(!s.has_warm_solver());
+        s.update_background(&tight()).unwrap();
+
+        // Must match a fresh session that never saw the cluster.
+        let mut fresh = session();
+        fresh.add_margin_constraints().unwrap();
+        fresh.update_background(&tight()).unwrap();
+        for row in [0usize, 3, 80] {
+            for (a, b) in s
+                .background()
+                .mean(row)
+                .iter()
+                .zip(fresh.background().mean(row))
+            {
+                assert!((a - b).abs() < 1e-12);
+            }
+            assert!(
+                s.background()
+                    .cov(row)
+                    .max_abs_diff(fresh.background().cov(row))
+                    < 1e-12
+            );
+        }
+        assert!((s.information_nats() - fresh.information_nats()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_of_pending_knowledge_keeps_warm_state() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.update_background(&tight()).unwrap();
+        s.add_cluster_constraint(&[0, 1, 2, 3, 4]).unwrap();
+        s.undo_last_knowledge().unwrap();
+        assert!(s.has_warm_solver(), "unfitted undo must not invalidate");
+        let report = s.update_background(&tight()).unwrap();
+        assert_eq!(report.sweeps_done(), 0, "nothing pending after undo");
+    }
+
+    #[test]
+    fn refit_cold_matches_warm_result() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.update_background(&tight()).unwrap();
+        s.add_cluster_constraint(&(0..25).collect::<Vec<_>>())
+            .unwrap();
+        s.update_background(&tight()).unwrap();
+        let warm_kl = s.information_nats();
+        let report = s.refit_cold(&tight()).unwrap();
+        assert!(report.converged);
+        assert!(report.sweeps_done() > 0, "cold path must re-sweep");
+        assert!((s.information_nats() - warm_kl).abs() < 1e-4 * warm_kl.max(1.0));
+    }
+
     #[test]
     fn session_is_deterministic_given_seed() {
         let mut a = session();
@@ -416,7 +660,8 @@ mod tests {
         let va = a.next_view(&Method::Pca).unwrap();
         let vb = b.next_view(&Method::Pca).unwrap();
         assert_eq!(
-            va.projected_background.max_abs_diff(&vb.projected_background),
+            va.projected_background
+                .max_abs_diff(&vb.projected_background),
             0.0
         );
     }

@@ -155,10 +155,7 @@ mod tests {
             .into_iter()
             .chain(labels.class_indices(3))
             .collect();
-        let best = clusters
-            .iter()
-            .map(|c| jaccard(c, &cd))
-            .fold(0.0, f64::max);
+        let best = clusters.iter().map(|c| jaccard(c, &cd)).fold(0.0, f64::max);
         assert!(best > 0.8, "merged C∪D not found, best jaccard {best}");
     }
 
@@ -191,7 +188,11 @@ mod tests {
             .next_view(&Method::Ica(sider_projection::IcaOpts::default()))
             .unwrap();
         let x3_weight = view2.projection.axes.row(0)[2].abs();
-        assert!(x3_weight > 0.8, "top axis not X3-like: {:?}", view2.projection.axes.row(0));
+        assert!(
+            x3_weight > 0.8,
+            "top axis not X3-like: {:?}",
+            view2.projection.axes.row(0)
+        );
         let clusters2 = user.perceive_clusters(&view2);
         let c_idx = labels.class_indices(2);
         let d_idx = labels.class_indices(3);

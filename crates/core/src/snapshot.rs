@@ -6,6 +6,12 @@
 //! dataset deterministically reconstructs the same constraints, and one
 //! `update_background` call reproduces the same background distribution.
 //!
+//! Replay composes with the warm solver engine: applying a snapshot only
+//! queues knowledge statements, so a single `update_background` afterwards
+//! fits them cold, while replaying statement-by-statement with updates in
+//! between exercises the warm path — both reconstruct the same background
+//! distribution (see `roundtrip_through_warm_rounds_matches_one_shot`).
+//!
 //! The format is a line-oriented text format (no external serialization
 //! dependency):
 //!
@@ -170,13 +176,21 @@ mod tests {
         EdaSession::new(sider_data::synthetic::three_d_four_clusters(2018), 7).unwrap()
     }
 
+    fn tight() -> FitOpts {
+        FitOpts::with_tolerance(1e-8, 5000)
+    }
+
     #[test]
     fn roundtrip_reproduces_background() {
         let mut original = session();
         original.add_margin_constraints().unwrap();
-        original.add_cluster_constraint(&[0, 1, 2, 3, 4, 5]).unwrap();
+        original
+            .add_cluster_constraint(&[0, 1, 2, 3, 4, 5])
+            .unwrap();
         let view_axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
-        original.add_twod_constraint(&[10, 11, 12], &view_axes).unwrap();
+        original
+            .add_twod_constraint(&[10, 11, 12], &view_axes)
+            .unwrap();
         original.update_background(&FitOpts::default()).unwrap();
 
         let text = save(&original);
@@ -202,9 +216,50 @@ mod tests {
             );
         }
         // Information content identical.
-        assert!(
-            (original.information_nats() - restored.information_nats()).abs() < 1e-9
-        );
+        assert!((original.information_nats() - restored.information_nats()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_through_warm_rounds_matches_one_shot() {
+        // Build the donor session the interactive way: update (warm after
+        // the first) between statements.
+        let mut donor = session();
+        donor.add_margin_constraints().unwrap();
+        donor.update_background(&tight()).unwrap();
+        donor
+            .add_cluster_constraint(&(0..20).collect::<Vec<_>>())
+            .unwrap();
+        donor.update_background(&tight()).unwrap();
+        donor
+            .add_cluster_constraint(&(50..75).collect::<Vec<_>>())
+            .unwrap();
+        donor.update_background(&tight()).unwrap();
+        assert!(donor.has_warm_solver());
+
+        // Replay the snapshot in one shot (cold fit) on a fresh session.
+        let text = save(&donor);
+        let mut restored = session();
+        apply(&mut restored, &text).unwrap();
+        restored.update_background(&tight()).unwrap();
+
+        for row in [0usize, 10, 60, 120] {
+            for (a, b) in donor
+                .background()
+                .mean(row)
+                .iter()
+                .zip(restored.background().mean(row))
+            {
+                assert!((a - b).abs() < 1e-4, "row {row}: {a} vs {b}");
+            }
+            assert!(
+                donor
+                    .background()
+                    .cov(row)
+                    .max_abs_diff(restored.background().cov(row))
+                    < 1e-4,
+                "row {row}"
+            );
+        }
     }
 
     #[test]
@@ -222,7 +277,10 @@ mod tests {
     #[test]
     fn rejects_wrong_dataset_shape() {
         let mut small = EdaSession::new(
-            sider_data::Dataset::unlabeled("tiny", sider_linalg::Matrix::zeros(2, 2).add(&sider_linalg::Matrix::identity(2))),
+            sider_data::Dataset::unlabeled(
+                "tiny",
+                sider_linalg::Matrix::zeros(2, 2).add(&sider_linalg::Matrix::identity(2)),
+            ),
             1,
         )
         .unwrap();

@@ -148,7 +148,10 @@ mod tests {
                 vec![1.8, 0.4],
                 vec![0.6, 1.9],
             ]),
-            axis_labels: ["PCA1[0.5] = +1.00 (X1)".into(), "PCA2[0.1] = +1.00 (X2)".into()],
+            axis_labels: [
+                "PCA1[0.5] = +1.00 (X1)".into(),
+                "PCA2[0.1] = +1.00 (X2)".into(),
+            ],
         }
     }
 

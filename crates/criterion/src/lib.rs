@@ -1,0 +1,283 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the subset of the criterion API used by the benches in
+//! `crates/bench/benches/` is reimplemented here: `Criterion`,
+//! `BenchmarkGroup` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: every benchmark closure is invoked once per sample
+//! after one warm-up sample; the per-sample wall time is recorded and the
+//! median / mean / min are printed in a criterion-like one-line format.
+//! This is deliberately simple — no outlier rejection, no plotting — but
+//! deterministic and adequate for tracking relative perf across PRs.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (shim).
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("by_n", 1000)` renders as `by_n/1000`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A bare identifier without a parameter part.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark; the closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &mut b.recorded);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &mut b.recorded);
+        self
+    }
+
+    /// End the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+/// How batched inputs are sized (shim: accepted for API compatibility,
+/// every invocation gets a fresh input either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up invocation, then `sample_size` timed
+    /// invocations.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Measure `routine` on inputs built by `setup`, timing only the
+    /// routine — use when per-invocation state (clones, fixtures) must
+    /// not pollute the measurement.
+    pub fn iter_batched<I, T, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> T,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{group}/{id}: median {} mean {} min {} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(samples[0]),
+        samples.len()
+    );
+}
+
+/// Human-readable duration with criterion-like unit scaling.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("by_n", 100).id, "by_n/100");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn iter_batched_times_routine_on_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    runs += 1;
+                    input * 2
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 5); // warm-up + 4 samples, each with fresh input
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -258,7 +258,10 @@ mod tests {
                 .sqrt()
         };
         // Pair distances: 1 = conversations.
-        let conv_min = [0, 2, 3].iter().map(|&g| dist(1, g)).fold(f64::INFINITY, f64::min);
+        let conv_min = [0, 2, 3]
+            .iter()
+            .map(|&g| dist(1, g))
+            .fold(f64::INFINITY, f64::min);
         let acad_broad = dist(2, 3);
         let all_pairs = [
             dist(0, 2),
@@ -272,7 +275,10 @@ mod tests {
         assert!(conv_min * 1.2 > max_other, "conversations not distinctive");
         // Academic vs broadsheet is the closest pair.
         let min_pair = all_pairs.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!((acad_broad - min_pair).abs() < 1e-12, "acad/broad should overlap most");
+        assert!(
+            (acad_broad - min_pair).abs() < 1e-12,
+            "acad/broad should overlap most"
+        );
     }
 
     #[test]

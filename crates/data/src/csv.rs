@@ -8,16 +8,8 @@ use sider_linalg::Matrix;
 use std::io::{self, BufRead, Write};
 
 /// Write a matrix with a header row.
-pub fn write_matrix<W: Write>(
-    out: &mut W,
-    header: &[String],
-    matrix: &Matrix,
-) -> io::Result<()> {
-    assert_eq!(
-        header.len(),
-        matrix.cols(),
-        "csv: header/column mismatch"
-    );
+pub fn write_matrix<W: Write>(out: &mut W, header: &[String], matrix: &Matrix) -> io::Result<()> {
+    assert_eq!(header.len(), matrix.cols(), "csv: header/column mismatch");
     writeln!(out, "{}", header.join(","))?;
     for i in 0..matrix.rows() {
         let row: Vec<String> = matrix.row(i).iter().map(|v| format!("{v}")).collect();
@@ -39,7 +31,10 @@ pub fn read_matrix<R: BufRead>(input: R) -> io::Result<(Vec<String>, Matrix)> {
     let header_line = lines
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
-    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let header: Vec<String> = header_line
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
     let d = header.len();
     let mut data: Vec<f64> = Vec::new();
     let mut rows = 0;
@@ -52,7 +47,12 @@ pub fn read_matrix<R: BufRead>(input: R) -> io::Result<(Vec<String>, Matrix)> {
         if fields.len() != d {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: {} fields, expected {}", lineno + 2, fields.len(), d),
+                format!(
+                    "line {}: {} fields, expected {}",
+                    lineno + 2,
+                    fields.len(),
+                    d
+                ),
             ));
         }
         for f in fields {

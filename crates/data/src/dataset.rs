@@ -149,7 +149,7 @@ impl Dataset {
                 assignments: ls
                     .assignments
                     .iter()
-                    .flat_map(|&a| std::iter::repeat(a).take(copies))
+                    .flat_map(|&a| std::iter::repeat_n(a, copies))
                     .collect(),
             })
             .collect();

@@ -21,7 +21,13 @@ use sider_stats::Rng;
 
 /// The 7 classes of the UCI dataset, in label order.
 pub const CLASSES: [&str; 7] = [
-    "brickface", "sky", "foliage", "cement", "window", "path", "grass",
+    "brickface",
+    "sky",
+    "foliage",
+    "cement",
+    "window",
+    "path",
+    "grass",
 ];
 
 /// The 19 attributes of the UCI dataset.
@@ -72,38 +78,38 @@ fn class_means(class: usize) -> [f64; 19] {
     match class {
         // brickface
         0 => [
-            125.0, 125.0, 9.0, 0.1, 0.05, 1.2, 0.8, 1.5, 1.0, 20.0, 18.0, 22.0, 20.0, -2.0,
-            4.0, -2.0, 22.0, 0.35, -2.0,
+            125.0, 125.0, 9.0, 0.1, 0.05, 1.2, 0.8, 1.5, 1.0, 20.0, 18.0, 22.0, 20.0, -2.0, 4.0,
+            -2.0, 22.0, 0.35, -2.0,
         ],
         // sky — far away: top of image, very bright, blue-dominant.
         1 => [
-            125.0, 35.0, 9.0, 0.0, 0.0, 0.3, 0.2, 0.4, 0.3, 120.0, 110.0, 135.0, 115.0,
-            -25.0, 45.0, -20.0, 135.0, 0.15, -1.8,
+            125.0, 35.0, 9.0, 0.0, 0.0, 0.3, 0.2, 0.4, 0.3, 120.0, 110.0, 135.0, 115.0, -25.0,
+            45.0, -20.0, 135.0, 0.15, -1.8,
         ],
         // foliage
-2 => [
-            120.0, 140.0, 9.0, 0.12, 0.06, 1.8, 1.4, 2.0, 1.5, 12.0, 10.0, 14.0, 12.0, -3.0,
-            5.0, -2.0, 14.0, 0.55, -2.1,
+        2 => [
+            120.0, 140.0, 9.0, 0.12, 0.06, 1.8, 1.4, 2.0, 1.5, 12.0, 10.0, 14.0, 12.0, -3.0, 5.0,
+            -2.0, 14.0, 0.55, -2.1,
         ],
         // cement
         3 => [
-            130.0, 130.0, 9.0, 0.08, 0.04, 1.5, 1.0, 1.7, 1.2, 32.0, 30.0, 35.0, 31.0, -2.5,
-            5.5, -3.0, 35.0, 0.25, -2.1,
+            130.0, 130.0, 9.0, 0.08, 0.04, 1.5, 1.0, 1.7, 1.2, 32.0, 30.0, 35.0, 31.0, -2.5, 5.5,
+            -3.0, 35.0, 0.25, -2.1,
         ],
         // window
         4 => [
-            122.0, 128.0, 9.0, 0.09, 0.05, 1.0, 0.7, 1.2, 0.9, 18.0, 16.0, 21.0, 17.0, -2.2,
-            5.0, -2.8, 21.0, 0.3, -2.0,
+            122.0, 128.0, 9.0, 0.09, 0.05, 1.0, 0.7, 1.2, 0.9, 18.0, 16.0, 21.0, 17.0, -2.2, 5.0,
+            -2.8, 21.0, 0.3, -2.0,
         ],
         // path
         5 => [
-            128.0, 135.0, 9.0, 0.11, 0.05, 1.6, 1.1, 1.8, 1.3, 28.0, 27.0, 30.0, 27.0, -1.8,
-            4.5, -2.7, 30.0, 0.28, -2.05,
+            128.0, 135.0, 9.0, 0.11, 0.05, 1.6, 1.1, 1.8, 1.3, 28.0, 27.0, 30.0, 27.0, -1.8, 4.5,
+            -2.7, 30.0, 0.28, -2.05,
         ],
         // grass — bottom of image, green-dominant: nearly separable.
         6 => [
-            125.0, 210.0, 9.0, 0.05, 0.02, 0.9, 0.6, 1.1, 0.8, 25.0, 18.0, 20.0, 37.0, -8.0,
-            -6.0, 14.0, 37.0, 0.65, 2.2,
+            125.0, 210.0, 9.0, 0.05, 0.02, 0.9, 0.6, 1.1, 0.8, 25.0, 18.0, 20.0, 37.0, -8.0, -6.0,
+            14.0, 37.0, 0.65, 2.2,
         ],
         _ => unreachable!("only 7 classes"),
     }
@@ -113,17 +119,17 @@ fn class_means(class: usize) -> [f64; 19] {
 /// middle classes are broad so they overlap.
 fn class_sds(class: usize) -> [f64; 19] {
     let broad = [
-        60.0, 25.0, 0.01, 0.08, 0.05, 0.9, 0.7, 1.0, 0.8, 8.0, 8.0, 8.0, 8.0, 2.0, 2.5, 2.5,
-        8.0, 0.15, 0.4,
+        60.0, 25.0, 0.01, 0.08, 0.05, 0.9, 0.7, 1.0, 0.8, 8.0, 8.0, 8.0, 8.0, 2.0, 2.5, 2.5, 8.0,
+        0.15, 0.4,
     ];
     match class {
         1 => [
-            60.0, 12.0, 0.01, 0.01, 0.01, 0.15, 0.1, 0.2, 0.15, 8.0, 8.0, 8.0, 8.0, 3.0, 4.0,
-            3.0, 8.0, 0.05, 0.15,
+            60.0, 12.0, 0.01, 0.01, 0.01, 0.15, 0.1, 0.2, 0.15, 8.0, 8.0, 8.0, 8.0, 3.0, 4.0, 3.0,
+            8.0, 0.05, 0.15,
         ],
         6 => [
-            60.0, 14.0, 0.01, 0.03, 0.02, 0.4, 0.3, 0.5, 0.4, 5.0, 4.0, 4.0, 5.0, 2.0, 2.0,
-            2.5, 5.0, 0.08, 0.25,
+            60.0, 14.0, 0.01, 0.03, 0.02, 0.4, 0.3, 0.5, 0.4, 5.0, 4.0, 4.0, 5.0, 2.0, 2.0, 2.5,
+            5.0, 0.08, 0.25,
         ],
         _ => broad,
     }

@@ -91,8 +91,8 @@ pub fn xhat5(n: usize, seed: u64) -> Dataset {
         [s, 0.0, 0.0],   // D
     ];
     let efg_centers: [[f64; 2]; 3] = [
-        [s, 0.0], // E
-        [0.0, s], // F
+        [s, 0.0],   // E
+        [0.0, s],   // F
         [0.0, 0.0], // G
     ];
     let mut abcd = Vec::with_capacity(n);
@@ -208,7 +208,11 @@ mod tests {
         let sm = sider_stats::descriptive::second_moment(&ds.matrix);
         assert!(sm[(0, 0)] > 1.4, "X1 second moment {}", sm[(0, 0)]);
         assert!(sm[(1, 1)] > 1.4, "X2 second moment {}", sm[(1, 1)]);
-        assert!((sm[(2, 2)] - 1.0).abs() < 0.35, "X3 second moment {}", sm[(2, 2)]);
+        assert!(
+            (sm[(2, 2)] - 1.0).abs() < 0.35,
+            "X3 second moment {}",
+            sm[(2, 2)]
+        );
     }
 
     #[test]
@@ -246,13 +250,8 @@ mod tests {
             assert_eq!(efg.assignments[i], 2);
         }
         // B/C/D points: about 75 % in E∪F.
-        let bcd: Vec<usize> = (0..ds.n())
-            .filter(|&i| abcd.assignments[i] != 0)
-            .collect();
-        let in_ef = bcd
-            .iter()
-            .filter(|&&i| efg.assignments[i] != 2)
-            .count() as f64;
+        let bcd: Vec<usize> = (0..ds.n()).filter(|&i| abcd.assignments[i] != 0).collect();
+        let in_ef = bcd.iter().filter(|&&i| efg.assignments[i] != 2).count() as f64;
         let frac = in_ef / bcd.len() as f64;
         assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
     }

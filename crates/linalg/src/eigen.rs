@@ -248,7 +248,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut s = 123456789u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for i in 0..n {

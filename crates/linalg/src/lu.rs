@@ -239,11 +239,7 @@ mod tests {
     #[test]
     fn solve_matrix_solves_all_columns() {
         let a = spd3();
-        let b = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let x = Lu::new(&a).unwrap().solve_matrix(&b).unwrap();
         assert!(a.matmul(&x).max_abs_diff(&b) < 1e-12);
     }

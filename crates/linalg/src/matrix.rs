@@ -231,7 +231,9 @@ impl Matrix {
     /// Matrix–vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -407,7 +409,11 @@ impl Matrix {
 
     /// Apply `f` to every entry into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Validate that the matrix is square, returning a typed error otherwise.

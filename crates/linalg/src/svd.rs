@@ -176,11 +176,7 @@ mod tests {
 
     #[test]
     fn reconstruction_tall() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let d = svd(&a).unwrap();
         assert!(d.reconstruct().max_abs_diff(&a) < 1e-12);
     }
@@ -212,11 +208,7 @@ mod tests {
 
     #[test]
     fn u_and_v_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 0.1],
-            vec![-0.3, 1.0],
-            vec![0.7, 0.7],
-        ]);
+        let a = Matrix::from_rows(&[vec![2.0, 0.1], vec![-0.3, 1.0], vec![0.7, 0.7]]);
         let d = svd(&a).unwrap();
         assert!(d.u.gram().max_abs_diff(&Matrix::identity(2)) < 1e-12);
         let vvt = d.vt.matmul(&d.vt.transpose());

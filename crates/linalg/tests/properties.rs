@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use sider_linalg::{lu, sym_eigen, svd, woodbury, Cholesky, Matrix, Qr};
+use sider_linalg::{lu, svd, sym_eigen, woodbury, Cholesky, Matrix, Qr};
 
 /// Strategy: a small matrix with entries in [-10, 10].
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {

@@ -52,7 +52,12 @@ pub struct Constraint {
 
 impl Constraint {
     /// Build a linear constraint `E[Σ_{i∈I} wᵀx_i] = Σ_{i∈I} wᵀx̂_i`.
-    pub fn linear(data: &Matrix, rows: RowSet, w: Vec<f64>, label: impl Into<String>) -> Result<Self> {
+    pub fn linear(
+        data: &Matrix,
+        rows: RowSet,
+        w: Vec<f64>,
+        label: impl Into<String>,
+    ) -> Result<Self> {
         Self::build(ConstraintKind::Linear, data, rows, w, label.into())
     }
 
@@ -271,26 +276,16 @@ mod tests {
 
     #[test]
     fn linear_target_is_projection_sum() {
-        let c = Constraint::linear(
-            &data(),
-            RowSet::from_indices(&[0, 3]),
-            vec![1.0, 0.0],
-            "t",
-        )
-        .unwrap();
+        let c = Constraint::linear(&data(), RowSet::from_indices(&[0, 3]), vec![1.0, 0.0], "t")
+            .unwrap();
         assert_eq!(c.target, 3.0); // 1 + 2
         assert_eq!(c.mhat, vec![1.5, 1.0]);
     }
 
     #[test]
     fn quadratic_target_centers_on_observed_mean() {
-        let c = Constraint::quadratic(
-            &data(),
-            RowSet::from_indices(&[0, 3]),
-            vec![1.0, 0.0],
-            "t",
-        )
-        .unwrap();
+        let c = Constraint::quadratic(&data(), RowSet::from_indices(&[0, 3]), vec![1.0, 0.0], "t")
+            .unwrap();
         // values 1, 2; mean 1.5; squared deviations 0.25 + 0.25
         assert_eq!(c.target, 0.5);
         assert_eq!(c.delta, 1.5);
@@ -355,14 +350,7 @@ mod tests {
 
     #[test]
     fn twod_constraints_use_given_axes() {
-        let cs = twod_constraints(
-            &data(),
-            RowSet::all(4),
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            "v",
-        )
-        .unwrap();
+        let cs = twod_constraints(&data(), RowSet::all(4), &[1.0, 0.0], &[0.0, 1.0], "v").unwrap();
         assert_eq!(cs.len(), 4);
         assert_eq!(cs[0].w, vec![1.0, 0.0]);
         assert_eq!(cs[2].w, vec![0.0, 1.0]);

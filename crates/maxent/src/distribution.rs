@@ -41,10 +41,63 @@ pub struct BackgroundDistribution {
     classes: Vec<ClassModel>,
 }
 
+/// What [`BackgroundDistribution::refresh_from_class_params`] had to do —
+/// the instrumentation proving that warm refits recompute spectral
+/// decompositions only for classes the solver actually moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Classes in the refreshed distribution.
+    pub classes_total: usize,
+    /// Classes whose precision was re-eigendecomposed (`sym_eigen` calls).
+    pub eigen_recomputed: usize,
+    /// Classes that only had their mean vector swapped (linear updates
+    /// never touch `Σ`, so the cached spectral transforms stay valid).
+    pub mean_updated: usize,
+    /// New classes that inherited their parent's cached decomposition
+    /// after a partition split.
+    pub cloned_from_parent: usize,
+}
+
 /// Precision eigenvalues below this are treated as "fully relaxed"
 /// (variance 1/ε would explode; they cannot arise from valid updates and
 /// only appear through round-off).
 const EVAL_FLOOR: f64 = 1e-12;
+
+impl ClassModel {
+    /// Build the model (including the `O(d³)` eigendecomposition of the
+    /// precision) from one class's fitted parameters.
+    fn compute(d: usize, p: &ClassParams) -> ClassModel {
+        let eig = sym_eigen(&p.prec).expect("precision eigen failed");
+        let n_ev = eig.values.len();
+        let mut whiten = Matrix::zeros(d, d);
+        let mut sample_scale = Vec::with_capacity(n_ev);
+        for k in 0..n_ev {
+            let ev = eig.values[k].max(0.0);
+            let col = eig.vectors.col(k);
+            if ev >= EVAL_COLLAPSED {
+                // Fully constrained direction: nothing to whiten,
+                // nothing to sample.
+                sample_scale.push(0.0);
+                continue;
+            }
+            whiten.add_outer(ev.sqrt(), &col, &col);
+            sample_scale.push(if ev > EVAL_FLOOR {
+                1.0 / ev.sqrt()
+            } else {
+                1.0 // round-off relaxation: fall back to unit scale
+            });
+        }
+        ClassModel {
+            m: p.m.clone(),
+            sigma: p.sigma.clone(),
+            prec: p.prec.clone(),
+            whiten,
+            u: eig.vectors,
+            sample_scale,
+            prec_evals: eig.values,
+        }
+    }
+}
 
 /// Precision eigenvalues above this are treated as **collapsed**: the
 /// direction was pinned by a zero-variance quadratic constraint whose
@@ -66,45 +119,75 @@ impl BackgroundDistribution {
 
     /// Package fitted class parameters (used by the solvers).
     pub fn from_class_params(d: usize, class_of_row: Vec<u32>, params: &[ClassParams]) -> Self {
-        let classes = params
-            .iter()
-            .map(|p| {
-                let eig = sym_eigen(&p.prec).expect("precision eigen failed");
-                let n_ev = eig.values.len();
-                let mut whiten = Matrix::zeros(d, d);
-                let mut sample_scale = Vec::with_capacity(n_ev);
-                for k in 0..n_ev {
-                    let ev = eig.values[k].max(0.0);
-                    let col = eig.vectors.col(k);
-                    if ev >= EVAL_COLLAPSED {
-                        // Fully constrained direction: nothing to whiten,
-                        // nothing to sample.
-                        sample_scale.push(0.0);
-                        continue;
-                    }
-                    whiten.add_outer(ev.sqrt(), &col, &col);
-                    sample_scale.push(if ev > EVAL_FLOOR {
-                        1.0 / ev.sqrt()
-                    } else {
-                        1.0 // round-off relaxation: fall back to unit scale
-                    });
-                }
-                ClassModel {
-                    m: p.m.clone(),
-                    sigma: p.sigma.clone(),
-                    prec: p.prec.clone(),
-                    whiten,
-                    u: eig.vectors,
-                    sample_scale,
-                    prec_evals: eig.values,
-                }
-            })
-            .collect();
+        let classes = params.iter().map(|p| ClassModel::compute(d, p)).collect();
         BackgroundDistribution {
             d,
             class_of_row,
             classes,
         }
+    }
+
+    /// Update the distribution in place after an (incremental) solver fit,
+    /// recomputing the `O(d³)` spectral decomposition only where required:
+    ///
+    /// * classes with `cov_dirty` set — their precision changed, so the
+    ///   eigendecomposition must be redone;
+    /// * classes with only `mean_dirty` set — linear updates never touch
+    ///   `Σ`, so just the mean vector is swapped;
+    /// * new classes (ids past the cached range) — split off from
+    ///   `parent_of_class` with identical parameters, so the parent's
+    ///   *cached* decomposition is cloned unless the class is itself
+    ///   cov-dirty. (The clone happens before dirty parents are
+    ///   recomputed, so it reflects the parameters at split time, which
+    ///   are exactly the sub-class's parameters if it stayed clean.)
+    ///
+    /// Returns counts of each path taken, which tests and benches use to
+    /// assert the cache really short-circuits.
+    pub fn refresh_from_class_params(
+        &mut self,
+        class_of_row: Vec<u32>,
+        params: &[ClassParams],
+        parent_of_class: &[u32],
+        mean_dirty: &[bool],
+        cov_dirty: &[bool],
+    ) -> RefreshStats {
+        assert_eq!(params.len(), parent_of_class.len());
+        assert_eq!(params.len(), mean_dirty.len());
+        assert_eq!(params.len(), cov_dirty.len());
+        let mut stats = RefreshStats {
+            classes_total: params.len(),
+            ..RefreshStats::default()
+        };
+        // Pass 1: materialize new classes from their parents' cached
+        // models (before those parents are themselves refreshed). Their
+        // params — including the mean — are copied here, so pass 2 only
+        // needs them again if the covariance must be re-decomposed.
+        let n_cached = self.classes.len();
+        for c in n_cached..params.len() {
+            let parent = parent_of_class[c] as usize;
+            let mut model = self.classes[parent].clone();
+            model.m = params[c].m.clone();
+            model.sigma = params[c].sigma.clone();
+            model.prec = params[c].prec.clone();
+            self.classes.push(model);
+            if !cov_dirty[c] {
+                stats.cloned_from_parent += 1;
+            }
+        }
+        // Pass 2: recompute what the fit actually moved. Each class lands
+        // in exactly one bucket: eigen-recomputed, mean-only-updated, or
+        // (for new classes handled above) cloned-from-parent.
+        for (c, p) in params.iter().enumerate() {
+            if cov_dirty[c] {
+                self.classes[c] = ClassModel::compute(self.d, p);
+                stats.eigen_recomputed += 1;
+            } else if mean_dirty[c] && c < n_cached {
+                self.classes[c].m = p.m.clone();
+                stats.mean_updated += 1;
+            }
+        }
+        self.class_of_row = class_of_row;
+        stats
     }
 
     /// Number of rows modeled.
@@ -341,7 +424,9 @@ mod tests {
 
         // Margin-fitted: per-row KL = ½ Σ_j (σ_j² + μ_j² − 1 − ln σ_j²).
         let mut rng = Rng::seed_from_u64(41);
-        let data = Matrix::from_fn(2000, 2, |_, j| rng.normal(1.0 + j as f64, 2.0 - j as f64 * 0.5));
+        let data = Matrix::from_fn(2000, 2, |_, j| {
+            rng.normal(1.0 + j as f64, 2.0 - j as f64 * 0.5)
+        });
         let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
         solver.fit(&FitOpts {
             lambda_tol: 1e-10,

@@ -28,7 +28,10 @@ impl fmt::Display for MaxEntError {
         match self {
             MaxEntError::EmptyRowSet => write!(f, "constraint row set is empty"),
             MaxEntError::BadDirection { expected, got } => {
-                write!(f, "constraint direction has length {got}, expected {expected}")
+                write!(
+                    f,
+                    "constraint direction has length {got}, expected {expected}"
+                )
             }
             MaxEntError::ZeroDirection => write!(f, "constraint direction has zero norm"),
             MaxEntError::RowOutOfBounds { row, n } => {
@@ -63,7 +66,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(MaxEntError::EmptyRowSet.to_string().contains("empty"));
-        let e = MaxEntError::BadDirection { expected: 3, got: 2 };
+        let e = MaxEntError::BadDirection {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = MaxEntError::RowOutOfBounds { row: 9, n: 5 };
         assert!(e.to_string().contains("9"));

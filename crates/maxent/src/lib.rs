@@ -48,6 +48,7 @@
 pub mod classes;
 pub mod constraint;
 pub mod distribution;
+pub mod engine;
 pub mod error;
 pub mod naive;
 pub mod params;
@@ -55,9 +56,10 @@ pub mod rootfind;
 pub mod rowset;
 pub mod solver;
 
-pub use classes::Partition;
+pub use classes::{Partition, Refinement};
 pub use constraint::{Constraint, ConstraintKind};
-pub use distribution::BackgroundDistribution;
+pub use distribution::{BackgroundDistribution, RefreshStats};
+pub use engine::SolverState;
 pub use error::MaxEntError;
 pub use rowset::RowSet;
 pub use solver::{ConvergenceReport, FitOpts, Solver, SweepInfo};

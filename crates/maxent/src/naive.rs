@@ -249,12 +249,11 @@ mod tests {
         }
         for i in 0..data.rows() {
             let pf = fast.params_for_row(i);
-            let m_diff: f64 = pf
-                .m
-                .iter()
-                .zip(slow.mean(i))
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let m_diff: f64 =
+                pf.m.iter()
+                    .zip(slow.mean(i))
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
             assert!(m_diff < 1e-6, "row {i} mean diff {m_diff}");
             let s_diff = pf.sigma.max_abs_diff(slow.cov(i));
             assert!(s_diff < 1e-6, "row {i} sigma diff {s_diff}");
@@ -290,7 +289,7 @@ mod tests {
         let bg = s.distribution();
         assert_eq!(bg.n(), data.rows());
         assert_eq!(bg.n_classes(), data.rows()); // one class per row
-        // Whitening its own background sample yields ~unit scatter.
+                                                 // Whitening its own background sample yields ~unit scatter.
         let mut rng = Rng::seed_from_u64(3);
         let sample = bg.sample(&mut rng);
         let y = bg.whiten(&sample).unwrap();

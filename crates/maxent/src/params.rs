@@ -36,6 +36,17 @@ impl ClassParams {
         }
     }
 
+    /// Parameters of a class split off from this one: identical Gaussian,
+    /// different row count. Until a constraint multiplier moves, a
+    /// sub-class is statistically indistinguishable from its parent — this
+    /// is what makes warm-starting after a partition refinement exact.
+    pub fn split_off(&self, count: usize) -> Self {
+        ClassParams {
+            count,
+            ..self.clone()
+        }
+    }
+
     /// Recompute the dual mean from the natural parameters: `m = Σ·h`.
     pub fn refresh_mean(&mut self) {
         self.m = self.sigma.matvec(&self.h);
@@ -49,10 +60,7 @@ impl ClassParams {
             return false;
         }
         let m2 = self.sigma.matvec(&self.h);
-        self.m
-            .iter()
-            .zip(&m2)
-            .all(|(a, b)| (a - b).abs() <= tol)
+        self.m.iter().zip(&m2).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

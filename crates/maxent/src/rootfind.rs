@@ -61,7 +61,12 @@ pub struct QuadSolve {
 /// relative tolerance) or when no class has variance along `w` (nothing can
 /// move). Unattainably small targets clamp at `lambda_max`; unattainably
 /// large targets clamp just inside the positive-definiteness bound.
-pub fn solve_quad_lambda(items: &[QuadItem], delta: f64, target: f64, lambda_max: f64) -> QuadSolve {
+pub fn solve_quad_lambda(
+    items: &[QuadItem],
+    delta: f64,
+    target: f64,
+    lambda_max: f64,
+) -> QuadSolve {
     let v0 = quad_expectation(items, delta, 0.0);
     let scale = v0.abs().max(target.abs()).max(1e-12);
     if (v0 - target).abs() <= 1e-12 * scale {
@@ -163,8 +168,16 @@ mod tests {
     #[test]
     fn expectation_decreasing_in_lambda() {
         let items = [
-            QuadItem { weight: 1.0, c: 2.0, e: 0.3 },
-            QuadItem { weight: 3.0, c: 0.5, e: -0.7 },
+            QuadItem {
+                weight: 1.0,
+                c: 2.0,
+                e: 0.3,
+            },
+            QuadItem {
+                weight: 3.0,
+                c: 0.5,
+                e: -0.7,
+            },
         ];
         let mut prev = f64::INFINITY;
         for k in 0..50 {
@@ -177,7 +190,11 @@ mod tests {
 
     #[test]
     fn outside_domain_is_infinite() {
-        let items = [QuadItem { weight: 1.0, c: 1.0, e: 0.0 }];
+        let items = [QuadItem {
+            weight: 1.0,
+            c: 1.0,
+            e: 0.0,
+        }];
         assert_eq!(quad_expectation(&items, 0.0, -1.5), f64::INFINITY);
     }
 
@@ -185,7 +202,11 @@ mod tests {
     fn solve_recovers_exact_target_single_class() {
         // One class, prior state: c=1, e=0, δ=0, weight 4.
         // v(λ) = 4/(1+λ). Target 1 ⇒ λ = 3.
-        let items = [QuadItem { weight: 4.0, c: 1.0, e: 0.0 }];
+        let items = [QuadItem {
+            weight: 4.0,
+            c: 1.0,
+            e: 0.0,
+        }];
         let s = solve_quad_lambda(&items, 0.0, 1.0, LMAX);
         assert!((s.lambda - 3.0).abs() < 1e-9, "λ={}", s.lambda);
         assert!(!s.clamped);
@@ -196,7 +217,11 @@ mod tests {
     #[test]
     fn solve_negative_lambda_grows_variance() {
         // v(λ) = 2/(1+λ); target 4 ⇒ λ = −0.5 (inside the PD bound −1).
-        let items = [QuadItem { weight: 2.0, c: 1.0, e: 0.0 }];
+        let items = [QuadItem {
+            weight: 2.0,
+            c: 1.0,
+            e: 0.0,
+        }];
         let s = solve_quad_lambda(&items, 0.0, 4.0, LMAX);
         assert!((s.lambda + 0.5).abs() < 1e-9, "λ={}", s.lambda);
         assert!(!s.clamped);
@@ -204,7 +229,11 @@ mod tests {
 
     #[test]
     fn already_satisfied_returns_zero() {
-        let items = [QuadItem { weight: 2.0, c: 1.5, e: 0.2 }];
+        let items = [QuadItem {
+            weight: 2.0,
+            c: 1.5,
+            e: 0.2,
+        }];
         let v0 = quad_expectation(&items, 0.2, 0.0);
         let s = solve_quad_lambda(&items, 0.2, v0, LMAX);
         assert_eq!(s.lambda, 0.0);
@@ -214,7 +243,11 @@ mod tests {
     #[test]
     fn zero_target_clamps_at_lambda_max() {
         // Exact satisfaction of v̂=0 needs λ=∞ (paper Fig. 5 discussion).
-        let items = [QuadItem { weight: 2.0, c: 1.0, e: 0.0 }];
+        let items = [QuadItem {
+            weight: 2.0,
+            c: 1.0,
+            e: 0.0,
+        }];
         let s = solve_quad_lambda(&items, 0.0, 0.0, LMAX);
         assert_eq!(s.lambda, LMAX);
         assert!(s.clamped);
@@ -222,13 +255,19 @@ mod tests {
 
     #[test]
     fn unattainably_large_target_clamps_at_pd_bound() {
-        let items = [QuadItem { weight: 1.0, c: 2.0, e: 0.0 }];
+        let items = [QuadItem {
+            weight: 1.0,
+            c: 2.0,
+            e: 0.0,
+        }];
         // Sup over admissible λ is v(λ→−1/2⁺) = ∞... but mean term is 0
         // here, so v(λ) = 2/(1+2λ) → ∞ near the bound: any target is
         // attainable. Add a second class with c=0 to cap the supremum.
-        let items2 = [
-            QuadItem { weight: 1.0, c: 0.0, e: 1.0 },
-        ];
+        let items2 = [QuadItem {
+            weight: 1.0,
+            c: 0.0,
+            e: 1.0,
+        }];
         // All-zero-c: cannot move at all.
         let s = solve_quad_lambda(&items2, 0.0, 5.0, LMAX);
         assert_eq!(s.lambda, 0.0);
@@ -241,8 +280,16 @@ mod tests {
     #[test]
     fn mixed_classes_with_mean_offsets() {
         let items = [
-            QuadItem { weight: 5.0, c: 1.0, e: 2.0 },
-            QuadItem { weight: 3.0, c: 0.5, e: -1.0 },
+            QuadItem {
+                weight: 5.0,
+                c: 1.0,
+                e: 2.0,
+            },
+            QuadItem {
+                weight: 3.0,
+                c: 0.5,
+                e: -1.0,
+            },
         ];
         let delta = 0.5;
         let target = 4.0;
@@ -255,8 +302,16 @@ mod tests {
         // Class with c=0 contributes weight·(e−δ)² regardless of λ: targets
         // below that floor clamp at λ_max.
         let items = [
-            QuadItem { weight: 1.0, c: 1.0, e: 0.0 },
-            QuadItem { weight: 1.0, c: 0.0, e: 2.0 },
+            QuadItem {
+                weight: 1.0,
+                c: 1.0,
+                e: 0.0,
+            },
+            QuadItem {
+                weight: 1.0,
+                c: 0.0,
+                e: 2.0,
+            },
         ];
         let floor = 4.0; // (2−0)²
         let s = solve_quad_lambda(&items, 0.0, floor * 0.5, LMAX);

@@ -12,7 +12,7 @@
 //! covariances with the Sherman–Morrison identity
 //! (`sider_linalg::woodbury`), never inverting a matrix.
 
-use crate::classes::Partition;
+use crate::classes::{Partition, Refinement};
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::distribution::BackgroundDistribution;
 use crate::error::MaxEntError;
@@ -59,6 +59,20 @@ impl Default for FitOpts {
     }
 }
 
+impl FitOpts {
+    /// Options with both convergence tolerances set to `tol` and the given
+    /// sweep budget — the common shape for tight fits (tests, oracles,
+    /// warm-vs-cold equivalence checks).
+    pub fn with_tolerance(tol: f64, max_sweeps: usize) -> Self {
+        FitOpts {
+            lambda_tol: tol,
+            moment_tol: tol,
+            max_sweeps,
+            ..FitOpts::default()
+        }
+    }
+}
+
 /// Diagnostics of one sweep over all constraints.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepInfo {
@@ -90,7 +104,28 @@ pub struct ConvergenceReport {
     pub trace: Vec<SweepInfo>,
 }
 
+impl ConvergenceReport {
+    /// Sweeps performed by this `fit` call (the warm-vs-cold comparison
+    /// metric: a warm-started refit must do measurably fewer).
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps
+    }
+}
+
 /// The MaxEnt background-distribution solver.
+///
+/// Besides the one-shot `new` + `fit` flow, the solver supports the
+/// *incremental* flow that powers the interactive loop:
+/// [`Solver::append_constraints`] refines the equivalence-class partition
+/// in place (splitting only affected classes and warm-starting the new
+/// sub-classes from their parents' parameters), keeps all converged λ
+/// multipliers, and restricts the next [`Solver::fit`] to the *active set*
+/// of constraints — the appended ones plus, transitively, every constraint
+/// sharing an equivalence class with one whose multiplier moved. Classes
+/// untouched by the active set keep their parameters bit-for-bit, which
+/// the per-class dirty flags ([`Solver::mean_dirty`], [`Solver::cov_dirty`])
+/// expose so downstream caches (spectral decompositions in
+/// `BackgroundDistribution`) can skip recomputation.
 #[derive(Debug, Clone)]
 pub struct Solver {
     d: usize,
@@ -101,6 +136,51 @@ pub struct Solver {
     sd_full: f64,
     prev_moments: Vec<f64>,
     sweeps_done: usize,
+    /// Constraints eligible for updates in the next sweeps. `Solver::new`
+    /// activates everything (cold fit); `append_constraints` narrows this
+    /// to the appended constraints and their neighborhood.
+    active: Vec<bool>,
+    /// Whether the last `fit` call met a convergence criterion. While
+    /// false, `append_constraints` keeps the current active set (the
+    /// unfinished residuals) instead of narrowing to the appended
+    /// neighborhood, so a budget-truncated fit is resumed, not abandoned.
+    last_fit_converged: bool,
+    /// Per-class flag: the class mean `m` changed since `reset_dirty`.
+    mean_dirty: Vec<bool>,
+    /// Per-class flag: the class covariance `Σ` (hence its spectral
+    /// decomposition) changed since `reset_dirty`.
+    cov_dirty: Vec<bool>,
+    /// Inverse of `partition.classes_of_constraint`: the constraints
+    /// covering each class (drives active-set propagation).
+    constraints_of_class: Vec<Vec<u32>>,
+    /// Parent class (in the pre-append partition) of every class; identity
+    /// for classes that predate the last `append_constraints` call.
+    parent_of_class: Vec<u32>,
+}
+
+fn validate_constraints(constraints: &[Constraint], n: usize, d: usize) -> Result<()> {
+    for c in constraints {
+        c.rows.validate(n)?;
+        if c.w.len() != d {
+            return Err(MaxEntError::BadDirection {
+                expected: d,
+                got: c.w.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Constraints covering each class — the inverse of
+/// `Partition::classes_of_constraint`.
+fn invert_partition(partition: &Partition) -> Vec<Vec<u32>> {
+    let mut constraints_of_class: Vec<Vec<u32>> = vec![Vec::new(); partition.n_classes()];
+    for (t, classes) in partition.classes_of_constraint.iter().enumerate() {
+        for &(class, _) in classes {
+            constraints_of_class[class as usize].push(t as u32);
+        }
+    }
+    constraints_of_class
 }
 
 impl Solver {
@@ -115,15 +195,7 @@ impl Solver {
         if !data.is_finite() {
             return Err(MaxEntError::NotFinite);
         }
-        for c in &constraints {
-            c.rows.validate(n)?;
-            if c.w.len() != d {
-                return Err(MaxEntError::BadDirection {
-                    expected: d,
-                    got: c.w.len(),
-                });
-            }
-        }
+        validate_constraints(&constraints, n, d)?;
         let partition = Partition::new(n, &constraints);
         let params = partition
             .class_counts
@@ -132,6 +204,8 @@ impl Solver {
             .collect();
         let sd_full = sider_stats::descriptive::full_data_sd(data).max(1e-12);
         let k = constraints.len();
+        let n_classes = partition.n_classes();
+        let constraints_of_class = invert_partition(&partition);
         let mut solver = Solver {
             d,
             constraints,
@@ -141,9 +215,112 @@ impl Solver {
             sd_full,
             prev_moments: vec![0.0; k],
             sweeps_done: 0,
+            active: vec![true; k],
+            last_fit_converged: false,
+            mean_dirty: vec![false; n_classes],
+            cov_dirty: vec![false; n_classes],
+            constraints_of_class,
+            parent_of_class: (0..n_classes as u32).collect(),
         };
         solver.prev_moments = (0..k).map(|t| solver.moment(t)).collect();
         Ok(solver)
+    }
+
+    /// Append constraints to a (typically already fitted) solver without
+    /// discarding its state: the equivalence-class partition is refined in
+    /// place, sub-classes split off by the new constraints inherit their
+    /// parents' parameters (exact, since no new multiplier has moved yet),
+    /// all converged λ's are kept, and the *active set* for the next
+    /// [`Solver::fit`] is narrowed to the appended constraints plus every
+    /// old constraint sharing an equivalence class with them. Returns the
+    /// partition [`Refinement`].
+    pub fn append_constraints(&mut self, new: Vec<Constraint>) -> Result<Refinement> {
+        let n = self.partition.n_rows();
+        validate_constraints(&new, n, self.d)?;
+        if new.is_empty() {
+            // Nothing appended. If the last fit converged there is nothing
+            // to do (empty active set); if it was truncated by a budget,
+            // keep its active set so the next fit resumes it.
+            if self.last_fit_converged {
+                self.active.iter_mut().for_each(|a| *a = false);
+            }
+            self.parent_of_class = (0..self.partition.n_classes() as u32).collect();
+            return Ok(Refinement {
+                parent_of_class: self.parent_of_class.clone(),
+                n_old_classes: self.partition.n_classes(),
+            });
+        }
+        let first_new = self.constraints.len();
+        self.constraints.extend(new);
+        let refinement = self.partition.append(&self.constraints, first_new);
+
+        // Warm-start split-off classes from their parents; refresh counts.
+        for (c, &count) in self.partition.class_counts.iter().enumerate() {
+            if c < refinement.n_old_classes {
+                self.params[c].count = count;
+            } else {
+                let parent = refinement.parent_of_class[c] as usize;
+                self.params.push(self.params[parent].split_off(count));
+            }
+        }
+        let n_classes = self.partition.n_classes();
+        self.mean_dirty.resize(n_classes, false);
+        self.cov_dirty.resize(n_classes, false);
+        self.parent_of_class = refinement.parent_of_class.clone();
+        // Extend the class→constraints index incrementally: an old
+        // constraint covering a split class covers all its descendants
+        // (a class is always fully inside or outside a row set), so each
+        // new class inherits its parent's covering set; then the appended
+        // constraints are added to every class they cover.
+        for c in refinement.n_old_classes..n_classes {
+            let parent = refinement.parent_of_class[c] as usize;
+            self.constraints_of_class
+                .push(self.constraints_of_class[parent].clone());
+        }
+        for (t, classes) in self
+            .partition
+            .classes_of_constraint
+            .iter()
+            .enumerate()
+            .skip(first_new)
+        {
+            for &(class, _) in classes {
+                self.constraints_of_class[class as usize].push(t as u32);
+            }
+        }
+
+        // New multipliers start at zero: with them, the appended
+        // constraints contribute nothing yet, so the solver state is
+        // exactly the previous optimum under a finer partition.
+        let k = self.constraints.len();
+        self.lambdas.resize(k, 0.0);
+
+        // Active set: the appended constraints, plus old constraints that
+        // share a class with them (their optimality is perturbed as soon as
+        // a new multiplier moves). Activation propagates further during
+        // sweeps whenever an update actually changes a class. If the last
+        // fit was truncated before converging, its active set is kept (the
+        // union is solved), so unfinished residuals are never abandoned.
+        if self.last_fit_converged {
+            self.active.iter_mut().for_each(|a| *a = false);
+        }
+        self.active.resize(k, false);
+        for t in first_new..k {
+            self.active[t] = true;
+            for &(class, _) in &self.partition.classes_of_constraint[t] {
+                for &u in &self.constraints_of_class[class as usize] {
+                    self.active[u as usize] = true;
+                }
+            }
+        }
+
+        // Splitting preserves every old constraint's expectation (the
+        // descendants carry the same parameters and the same total row
+        // count), so only the appended constraints need fresh moments.
+        for t in first_new..k {
+            self.prev_moments.push(self.moment(t));
+        }
+        Ok(refinement)
     }
 
     fn moment(&self, t: usize) -> f64 {
@@ -187,21 +364,39 @@ impl Solver {
             .collect()
     }
 
-    /// One pass over all constraints (a "sweep").
+    /// One pass over the active constraints (a "sweep").
+    ///
+    /// After `Solver::new` every constraint is active, so this is the
+    /// paper's plain coordinate-ascent sweep. After
+    /// [`Solver::append_constraints`] only the appended constraints and
+    /// their neighborhood are swept; whenever an update actually moves a
+    /// class, the constraints covering that class are (re-)activated, so
+    /// the working set grows exactly to the region the new knowledge
+    /// perturbs. Constraints outside it keep their λ and their classes'
+    /// parameters bit-for-bit.
     pub fn sweep(&mut self, lambda_max: f64) -> SweepInfo {
         let mut max_dl = 0.0_f64;
         for t in 0..self.constraints.len() {
+            if !self.active[t] {
+                continue;
+            }
             let dl = match self.constraints[t].kind {
                 ConstraintKind::Linear => self.update_linear(t),
                 ConstraintKind::Quadratic => self.update_quadratic(t, lambda_max),
             };
             self.lambdas[t] += dl;
             max_dl = max_dl.max(dl.abs());
+            if dl != 0.0 {
+                self.mark_touched(t);
+            }
         }
         self.sweeps_done += 1;
         let mut max_dm = 0.0_f64;
         let mut max_res = 0.0_f64;
         for t in 0..self.constraints.len() {
+            if !self.active[t] {
+                continue;
+            }
             let m = self.moment(t);
             max_dm = max_dm.max((m - self.prev_moments[t]).abs());
             self.prev_moments[t] = m;
@@ -214,6 +409,23 @@ impl Solver {
             max_lambda_change: max_dl,
             max_moment_change: max_dm,
             max_residual: max_res,
+        }
+    }
+
+    /// Record that constraint `t`'s update moved its classes: flag them
+    /// dirty (covariance only for quadratic updates — linear updates touch
+    /// `h`/`m` but never `Σ`) and activate every constraint covering them.
+    fn mark_touched(&mut self, t: usize) {
+        let quadratic = self.constraints[t].kind == ConstraintKind::Quadratic;
+        for &(class, _) in &self.partition.classes_of_constraint[t] {
+            let class = class as usize;
+            self.mean_dirty[class] = true;
+            if quadratic {
+                self.cov_dirty[class] = true;
+            }
+            for &u in &self.constraints_of_class[class] {
+                self.active[u as usize] = true;
+            }
         }
     }
 
@@ -299,7 +511,10 @@ impl Solver {
         let mut converged = false;
         let mut hit_time_cutoff = false;
         let mut sweeps = 0;
-        if self.constraints.is_empty() {
+        // Nothing to optimize: no constraints at all, or a warm refit with
+        // an empty active set (no knowledge appended since convergence).
+        if self.constraints.is_empty() || !self.active.iter().any(|&a| a) {
+            self.last_fit_converged = true;
             return ConvergenceReport {
                 sweeps: 0,
                 converged: true,
@@ -329,6 +544,7 @@ impl Solver {
                 }
             }
         }
+        self.last_fit_converged = converged;
         ConvergenceReport {
             sweeps,
             converged,
@@ -372,6 +588,46 @@ impl Solver {
     /// Standard deviation of the full data (the moment-criterion scale).
     pub fn sd_full(&self) -> f64 {
         self.sd_full
+    }
+
+    /// Number of constraints in the current active set.
+    pub fn n_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Per-class flags: mean changed since the last [`Solver::reset_dirty`].
+    pub fn mean_dirty(&self) -> &[bool] {
+        &self.mean_dirty
+    }
+
+    /// Per-class flags: covariance (hence spectral decomposition) changed
+    /// since the last [`Solver::reset_dirty`].
+    pub fn cov_dirty(&self) -> &[bool] {
+        &self.cov_dirty
+    }
+
+    /// Clear the per-class dirty flags (call after syncing downstream
+    /// caches such as `BackgroundDistribution::refresh_from_solver`).
+    pub fn reset_dirty(&mut self) {
+        self.mean_dirty.iter_mut().for_each(|f| *f = false);
+        self.cov_dirty.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Parent class of every class relative to the last
+    /// [`Solver::append_constraints`] refinement (identity before any
+    /// append).
+    pub fn parent_of_class(&self) -> &[u32] {
+        &self.parent_of_class
+    }
+
+    /// The equivalence-class partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Fitted parameters of every equivalence class.
+    pub fn class_params(&self) -> &[ClassParams] {
+        &self.params
     }
 
     /// Snapshot the fitted background distribution.

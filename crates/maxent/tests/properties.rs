@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use sider_linalg::Matrix;
 use sider_maxent::constraint::{cluster_constraints, margin_constraints};
 use sider_maxent::naive::NaiveSolver;
-use sider_maxent::{FitOpts, RowSet, Solver};
+use sider_maxent::{FitOpts, RowSet, Solver, SolverState};
 use sider_stats::Rng;
 
 /// Deterministic pseudo-random data from a seed: n rows, d columns with
@@ -98,6 +98,61 @@ proptest! {
                 prop_assert!((a - b).abs() < 1e-5, "row {} mean {} vs {}", i, a, b);
             }
             prop_assert!(pf.sigma.max_abs_diff(slow.cov(i)) < 1e-5, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn warm_refit_matches_cold_fit(seed in 0u64..500, n in 12usize..30, d in 2usize..4) {
+        // The incremental engine invariant (strict convexity of Problem 1):
+        // appending a cluster constraint to a converged warm solver and
+        // refitting reaches the same optimum — same residuals, same
+        // per-row moments — as fitting everything from scratch.
+        let data = gen_data(seed, n, d);
+        let opts = FitOpts::with_tolerance(1e-9, 5000);
+        let margins = margin_constraints(&data).unwrap();
+        let cluster_rows: Vec<usize> = (0..(d + 3)).collect();
+        let cluster =
+            cluster_constraints(&data, RowSet::from_indices(&cluster_rows), "c").unwrap();
+
+        let (mut warm, first) = SolverState::cold(&data, margins.clone(), &opts).unwrap();
+        prop_assert!(first.converged);
+        let warm_report = warm.refit(cluster.clone(), &opts).unwrap();
+        prop_assert!(warm_report.converged);
+
+        let mut all = margins;
+        all.extend(cluster);
+        let (cold, cold_report) = SolverState::cold(&data, all, &opts).unwrap();
+        prop_assert!(cold_report.converged);
+
+        // Same constraint residuals (within the fit tolerance scale)…
+        for (t, (rw, rc)) in warm
+            .solver()
+            .residuals()
+            .iter()
+            .zip(cold.solver().residuals())
+            .enumerate()
+        {
+            prop_assert!(rw.abs() < 1e-5, "warm residual {} of constraint {}", rw, t);
+            prop_assert!((rw - rc).abs() < 1e-5, "constraint {}: {} vs {}", t, rw, rc);
+        }
+        // …and the same per-row moments of the fitted background.
+        for row in 0..n {
+            for (a, b) in warm
+                .background()
+                .mean(row)
+                .iter()
+                .zip(cold.background().mean(row))
+            {
+                prop_assert!((a - b).abs() < 1e-5, "row {} mean {} vs {}", row, a, b);
+            }
+            prop_assert!(
+                warm.background()
+                    .cov(row)
+                    .max_abs_diff(cold.background().cov(row))
+                    < 1e-5,
+                "row {}",
+                row
+            );
         }
     }
 

@@ -119,12 +119,24 @@ impl LineChart {
         for t in Mapper::ticks(m.x_min, m.x_max, 6) {
             let (px, _) = m.map(t, m.y_min);
             doc.line(px, bottom, px, bottom + 4.0, 1.0, colors::FRAME, 1.0);
-            doc.text(px, bottom + 16.0, 10.0, "middle", &self.tick_label(t, self.log_x));
+            doc.text(
+                px,
+                bottom + 16.0,
+                10.0,
+                "middle",
+                &self.tick_label(t, self.log_x),
+            );
         }
         for t in Mapper::ticks(m.y_min, m.y_max, 6) {
             let (_, py) = m.map(m.x_min, t);
             doc.line(left - 4.0, py, left, py, 1.0, colors::FRAME, 1.0);
-            doc.text(left - 7.0, py + 3.5, 10.0, "end", &self.tick_label(t, self.log_y));
+            doc.text(
+                left - 7.0,
+                py + 3.5,
+                10.0,
+                "end",
+                &self.tick_label(t, self.log_y),
+            );
         }
         doc.text(self.width / 2.0, 22.0, 13.0, "middle", &self.title);
         doc.text(
@@ -143,7 +155,15 @@ impl LineChart {
         // Legend (top-right corner inside the frame).
         for (k, s) in self.series.iter().enumerate() {
             let y = top + 16.0 + 15.0 * k as f64;
-            doc.line(right - 120.0, y - 4.0, right - 100.0, y - 4.0, 2.0, &s.color, 1.0);
+            doc.line(
+                right - 120.0,
+                y - 4.0,
+                right - 100.0,
+                y - 4.0,
+                2.0,
+                &s.color,
+                1.0,
+            );
             doc.text(right - 95.0, y, 10.0, "start", &s.name);
         }
         doc
@@ -184,7 +204,10 @@ mod tests {
         let svg = LineChart::new("t", "x", "y")
             .log_x()
             .log_y()
-            .series("a", vec![(0.0, 1.0), (1.0, 1.0), (10.0, 0.1), (100.0, 0.01)])
+            .series(
+                "a",
+                vec![(0.0, 1.0), (1.0, 1.0), (10.0, 0.1), (100.0, 0.01)],
+            )
             .render();
         // First point dropped (x=0): polyline must have 3 coordinate pairs.
         let poly = svg

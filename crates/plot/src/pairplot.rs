@@ -23,7 +23,11 @@ impl Pairplot {
         columns: Vec<Vec<f64>>,
         column_names: Vec<String>,
     ) -> Self {
-        assert_eq!(columns.len(), column_names.len(), "pairplot: names mismatch");
+        assert_eq!(
+            columns.len(),
+            column_names.len(),
+            "pairplot: names mismatch"
+        );
         Pairplot {
             title: title.into(),
             columns,
@@ -85,12 +89,16 @@ impl Pairplot {
                 }
                 let xs = &self.columns[pj];
                 let ys = &self.columns[pi];
-                let pts: Vec<(f64, f64)> = (0..n)
-                    .step_by(stride)
-                    .map(|i| (xs[i], ys[i]))
-                    .collect();
+                let pts: Vec<(f64, f64)> = (0..n).step_by(stride).map(|i| (xs[i], ys[i])).collect();
                 let (xb, yb) = crate::style::bounds(&[&pts]);
-                let m = Mapper::new(xb, yb, x0 + 2.0, x0 + self.panel - 2.0, y0 + 2.0, y0 + self.panel - 2.0);
+                let m = Mapper::new(
+                    xb,
+                    yb,
+                    x0 + 2.0,
+                    x0 + self.panel - 2.0,
+                    y0 + 2.0,
+                    y0 + self.panel - 2.0,
+                );
                 for (k, i) in (0..n).step_by(stride).enumerate() {
                     let (px, py) = m.map(pts[k].0, pts[k].1);
                     let color = if self.classes.is_empty() {

@@ -142,12 +142,9 @@ impl ScatterPlot {
         let bottom = self.height - 56.0;
 
         // Joint bounds over everything drawn.
-        let mut sets: Vec<&[(f64, f64)]> = self.series.iter().map(|s| s.points.as_slice()).collect();
-        let seg_pts: Vec<(f64, f64)> = self
-            .segments
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut sets: Vec<&[(f64, f64)]> =
+            self.series.iter().map(|s| s.points.as_slice()).collect();
+        let seg_pts: Vec<(f64, f64)> = self.segments.iter().flat_map(|&(a, b)| [a, b]).collect();
         sets.push(&seg_pts);
         let ell_pts: Vec<(f64, f64)> = self
             .ellipses

@@ -59,7 +59,16 @@ impl SvgDoc {
 
     /// Add a line segment.
     #[allow(clippy::too_many_arguments)] // geometric primitives are clearest flat
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: f64, color: &str, opacity: f64) {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: f64,
+        color: &str,
+        opacity: f64,
+    ) {
         let _ = writeln!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="{stroke:.2}" stroke-opacity="{opacity:.2}"/>"#
@@ -80,7 +89,11 @@ impl SvgDoc {
             return;
         }
         let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
-        let dash = if dashed { r#" stroke-dasharray="5,4""# } else { "" };
+        let dash = if dashed {
+            r#" stroke-dasharray="5,4""#
+        } else {
+            ""
+        };
         let _ = writeln!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"{dash}/>"#,
@@ -94,7 +107,11 @@ impl SvgDoc {
             return;
         }
         let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
-        let dash = if dashed { r#" stroke-dasharray="5,4""# } else { "" };
+        let dash = if dashed {
+            r#" stroke-dasharray="5,4""#
+        } else {
+            ""
+        };
         let _ = writeln!(
             self.body,
             r#"<polygon points="{}" fill="none" stroke="{color}" stroke-width="{stroke:.2}"{dash}/>"#,

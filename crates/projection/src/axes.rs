@@ -74,7 +74,10 @@ mod tests {
     fn label_sorts_by_absolute_weight() {
         let names = default_names(3);
         let label = axis_label("ICA1", 0.041, &[0.1, -0.9, 0.4], &names, 0);
-        assert!(label.starts_with("ICA1[0.041] = -0.90 (X2) +0.40 (X3) +0.10 (X1)"), "{label}");
+        assert!(
+            label.starts_with("ICA1[0.041] = -0.90 (X2) +0.40 (X3) +0.10 (X1)"),
+            "{label}"
+        );
     }
 
     #[test]

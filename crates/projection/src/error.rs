@@ -57,7 +57,10 @@ mod tests {
         let e: ProjectionError = LinalgError::NotFinite.into();
         assert!(matches!(e, ProjectionError::Linalg(_)));
         assert!(std::error::Error::source(&e).is_some());
-        let e = ProjectionError::RankDeficient { rank: 1, requested: 3 };
+        let e = ProjectionError::RankDeficient {
+            rank: 1,
+            requested: 3,
+        };
         assert!(e.to_string().contains("rank 1"));
     }
 }

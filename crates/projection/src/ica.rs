@@ -162,9 +162,9 @@ pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
                 .partial_cmp(&a.1.abs())
                 .unwrap_or(std::cmp::Ordering::Equal)
         }),
-        ComponentOrder::SignedDesc => scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        }),
+        ComponentOrder::SignedDesc => {
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+        }
     }
 
     let w_input = w.matmul(&kmat); // k × d: rows are unmixing directions
@@ -397,8 +397,8 @@ mod tests {
         for c in 0..res.sources.cols() {
             let col = res.sources.col(c);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-10);
             assert!((var - 1.0).abs() < 1e-10);
         }

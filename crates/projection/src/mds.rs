@@ -46,7 +46,10 @@ pub fn mds_from_squared_distances(d2: &Matrix, k: usize) -> Result<Matrix> {
         return Err(ProjectionError::EmptyData);
     }
     if k > n {
-        return Err(ProjectionError::RankDeficient { rank: n, requested: k });
+        return Err(ProjectionError::RankDeficient {
+            rank: n,
+            requested: k,
+        });
     }
     // Double centering: B = −½ J D² J.
     let row_means: Vec<f64> = (0..n)
@@ -145,18 +148,18 @@ mod tests {
         let mut rows = Vec::new();
         for c in [-5.0, 5.0] {
             for _ in 0..15 {
-                rows.push(vec![rng.normal(c, 0.2), rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)]);
+                rows.push(vec![
+                    rng.normal(c, 0.2),
+                    rng.normal(0.0, 0.2),
+                    rng.normal(0.0, 0.2),
+                ]);
             }
         }
         let data = Matrix::from_rows(&rows);
         let emb = classical_mds(&data, 2).unwrap();
         let left: Vec<f64> = (0..15).map(|i| emb[(i, 0)]).collect();
         let right: Vec<f64> = (15..30).map(|i| emb[(i, 0)]).collect();
-        let gap = left
-            .iter()
-            .map(|v| v.signum())
-            .sum::<f64>()
-            .abs()
+        let gap = left.iter().map(|v| v.signum()).sum::<f64>().abs()
             + right.iter().map(|v| v.signum()).sum::<f64>().abs();
         assert_eq!(gap, 30.0, "clusters mixed signs in MDS coordinate");
     }

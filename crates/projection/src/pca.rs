@@ -78,7 +78,11 @@ fn build(data: &Matrix, moment: Matrix, sort: SortBy) -> Result<PcaResult> {
     // Eigen is sorted by descending eigenvalue (= variance); re-sort by the
     // requested criterion.
     let mut idx: Vec<usize> = (0..d).collect();
-    let scores: Vec<f64> = eig.values.iter().map(|&v| display_score(v.max(0.0))).collect();
+    let scores: Vec<f64> = eig
+        .values
+        .iter()
+        .map(|&v| display_score(v.max(0.0)))
+        .collect();
     match sort {
         SortBy::Score => idx.sort_by(|&a, &b| {
             scores[b]
@@ -214,13 +218,17 @@ mod tests {
         // Column 1 is exactly constant zero: nothing to display there,
         // even though KL(0 ‖ 1) diverges.
         let mut rng = Rng::seed_from_u64(7);
-        let data = Matrix::from_fn(500, 2, |_, j| {
-            if j == 0 {
-                rng.normal(0.0, 2.0)
-            } else {
-                0.0
-            }
-        });
+        let data = Matrix::from_fn(
+            500,
+            2,
+            |_, j| {
+                if j == 0 {
+                    rng.normal(0.0, 2.0)
+                } else {
+                    0.0
+                }
+            },
+        );
         let p = pca_directions(&data).unwrap();
         assert!(p.direction(0)[0].abs() > 0.99, "{:?}", p.direction(0));
         assert_eq!(p.scores[1], 0.0);

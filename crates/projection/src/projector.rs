@@ -120,7 +120,11 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..2000)
             .map(|_| {
                 let c = if rng.bernoulli(0.5) { -3.0 } else { 3.0 };
-                vec![rng.normal(c, 0.4), rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)]
+                vec![
+                    rng.normal(c, 0.4),
+                    rng.normal(0.0, 1.0),
+                    rng.normal(0.0, 1.0),
+                ]
             })
             .collect();
         Matrix::from_rows(&rows)
@@ -143,8 +147,7 @@ mod tests {
         let data = clustered_data(3);
         let mut rng = Rng::seed_from_u64(4);
         let p =
-            most_informative_projection(&data, &Method::Ica(IcaOpts::default()), &mut rng)
-                .unwrap();
+            most_informative_projection(&data, &Method::Ica(IcaOpts::default()), &mut rng).unwrap();
         assert!(p.axes.row(0)[0].abs() > 0.9, "{:?}", p.axes.row(0));
         assert_eq!(p.method, "ICA");
         assert!(p.scores[0].abs() > p.scores[1].abs() - 1e-12);

@@ -113,7 +113,11 @@ pub fn correlation(data: &Matrix) -> Matrix {
     for i in 0..d {
         for j in 0..d {
             let denom = (cov[(i, i)] * cov[(j, j)]).sqrt();
-            out[(i, j)] = if denom > 0.0 { cov[(i, j)] / denom } else { 0.0 };
+            out[(i, j)] = if denom > 0.0 {
+                cov[(i, j)] / denom
+            } else {
+                0.0
+            };
         }
     }
     out

@@ -85,9 +85,7 @@ impl Contrast {
             Contrast::LogCosh { alpha } => {
                 if (alpha - 1.0).abs() < 1e-12 {
                     static CACHE: OnceLock<f64> = OnceLock::new();
-                    *CACHE.get_or_init(|| {
-                        gaussian_expectation_of(ln_cosh)
-                    })
+                    *CACHE.get_or_init(|| gaussian_expectation_of(ln_cosh))
                 } else {
                     gaussian_expectation_of(|u| ln_cosh(alpha * u) / alpha)
                 }
@@ -196,7 +194,9 @@ mod tests {
 
     #[test]
     fn exact_expectations() {
-        assert!((Contrast::Exp.gaussian_expectation() + std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(
+            (Contrast::Exp.gaussian_expectation() + std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
         assert_eq!(Contrast::Kurtosis.gaussian_expectation(), 0.75);
         // Cross-check the closed forms against the integrator.
         let e_exp = gaussian_expectation_of(|u| -(-0.5 * u * u).exp());
@@ -214,7 +214,10 @@ mod tests {
                 let dg = (contrast.big_g(u + h) - contrast.big_g(u - h)) / (2.0 * h);
                 assert!((dg - contrast.g(u)).abs() < 1e-6, "{contrast:?} u={u}");
                 let dgp = (contrast.g(u + h) - contrast.g(u - h)) / (2.0 * h);
-                assert!((dgp - contrast.g_prime(u)).abs() < 1e-5, "{contrast:?} u={u}");
+                assert!(
+                    (dgp - contrast.g_prime(u)).abs() < 1e-5,
+                    "{contrast:?} u={u}"
+                );
             }
         }
     }

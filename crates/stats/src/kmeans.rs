@@ -271,7 +271,14 @@ mod tests {
     fn separates_two_blobs_perfectly() {
         let mut rng = Rng::seed_from_u64(1);
         let (data, labels) = blobs(&mut rng);
-        let fit = kmeans(&data, &KMeansOpts { k: 2, ..Default::default() }, &mut rng);
+        let fit = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         // Clustering should agree with labels up to relabeling.
         let a0 = fit.assignments[0];
         for (i, &l) in labels.iter().enumerate() {
@@ -284,8 +291,22 @@ mod tests {
     fn inertia_decreases_with_more_clusters() {
         let mut rng = Rng::seed_from_u64(2);
         let (data, _) = blobs(&mut rng);
-        let f2 = kmeans(&data, &KMeansOpts { k: 2, ..Default::default() }, &mut rng);
-        let f4 = kmeans(&data, &KMeansOpts { k: 4, ..Default::default() }, &mut rng);
+        let f2 = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let f4 = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!(f4.inertia <= f2.inertia);
     }
 
@@ -293,7 +314,14 @@ mod tests {
     fn k_equals_one_gives_grand_centroid() {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 4.0]]);
         let mut rng = Rng::seed_from_u64(3);
-        let fit = kmeans(&data, &KMeansOpts { k: 1, ..Default::default() }, &mut rng);
+        let fit = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(fit.centroids.row(0), &[2.0, 2.0]);
         assert!(fit.assignments.iter().all(|&a| a == 0));
     }
@@ -302,7 +330,14 @@ mod tests {
     fn k_equals_n_gives_zero_inertia() {
         let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]);
         let mut rng = Rng::seed_from_u64(4);
-        let fit = kmeans(&data, &KMeansOpts { k: 3, ..Default::default() }, &mut rng);
+        let fit = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!(fit.inertia < 1e-18);
     }
 
@@ -373,6 +408,13 @@ mod tests {
     fn zero_k_panics() {
         let data = Matrix::from_rows(&[vec![0.0]]);
         let mut rng = Rng::seed_from_u64(1);
-        let _ = kmeans(&data, &KMeansOpts { k: 0, ..Default::default() }, &mut rng);
+        let _ = kmeans(
+            &data,
+            &KMeansOpts {
+                k: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
     }
 }

@@ -82,8 +82,7 @@ fn main() {
         let selection = &selection;
         marked.push(selection.clone());
         let js = jaccard_per_class(selection, &genres.assignments, 4);
-        let mut ranked: Vec<(usize, f64)> =
-            js.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = js.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         println!(
             "          marked {} texts; Jaccard to classes: {} ({:.3}), {} ({:.3})",
@@ -95,8 +94,7 @@ fn main() {
         );
         // SIDER's lower-right panel: the attributes in which the selection
         // differs most from the rest of the corpus.
-        let diffs =
-            sider::core::selection::most_differing_attributes(session.dataset(), selection);
+        let diffs = sider::core::selection::most_differing_attributes(session.dataset(), selection);
         let top: Vec<String> = diffs
             .iter()
             .take(4)
@@ -106,7 +104,9 @@ fn main() {
         view.to_scatter_plot(&format!("BNC view {step}"), Some(selection))
             .save(format!("out/bnc_view{step}.svg"))
             .expect("write svg");
-        session.add_cluster_constraint(selection).expect("constraint");
+        session
+            .add_cluster_constraint(selection)
+            .expect("constraint");
         let report = session.update_background(&fit).expect("update");
         println!(
             "          background: {}",

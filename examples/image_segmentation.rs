@@ -75,7 +75,10 @@ fn main() {
         println!("\n[view {step}] {}", view.axis_labels[0]);
         println!("         {}", view.axis_labels[1]);
         if view.scores()[0] < 0.004 {
-            println!("         no cluster structure left (top score {:.4})", view.scores()[0]);
+            println!(
+                "         no cluster structure left (top score {:.4})",
+                view.scores()[0]
+            );
             break;
         }
         let clusters = user.perceive_clusters(&view);
@@ -129,10 +132,7 @@ fn main() {
     extremes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top: Vec<usize> = extremes.iter().take(12).map(|&(i, _)| i).collect();
     let true_outliers = outliers.class_indices(1);
-    let hits = top
-        .iter()
-        .filter(|i| true_outliers.contains(i))
-        .count();
+    let hits = top.iter().filter(|i| true_outliers.contains(i)).count();
     println!(
         "most extreme points of the final view: {hits}/{} are injected outliers (rows {:?})",
         top.len(),

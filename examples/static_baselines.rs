@@ -58,7 +58,9 @@ fn main() {
     let mut user = SimulatedUser::new(6, 5, 42);
     let view1 = session.next_view(&Method::Pca).expect("view 1");
     for cluster in user.perceive_clusters(&view1) {
-        session.add_cluster_constraint(&cluster).expect("constraint");
+        session
+            .add_cluster_constraint(&cluster)
+            .expect("constraint");
     }
     session
         .update_background(&FitOpts::default())

@@ -29,11 +29,15 @@ fn main() {
 
     // Pairplot of the raw data (paper Fig. 3).
     let columns: Vec<Vec<f64>> = (0..dataset.d()).map(|j| dataset.matrix.col(j)).collect();
-    sider::plot::Pairplot::new("Xhat5 pairplot (Fig. 3)", columns, dataset.column_names.clone())
-        .classes(abcd.assignments.clone())
-        .max_points(250)
-        .save("out/xhat5_pairplot.svg")
-        .expect("write svg");
+    sider::plot::Pairplot::new(
+        "Xhat5 pairplot (Fig. 3)",
+        columns,
+        dataset.column_names.clone(),
+    )
+    .classes(abcd.assignments.clone())
+    .max_points(250)
+    .save("out/xhat5_pairplot.svg")
+    .expect("write svg");
 
     let mut session = EdaSession::new(dataset, 11).expect("session");
     let mut user = SimulatedUser::new(8, 25, 33);

@@ -169,7 +169,9 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
 
     let mut session = EdaSession::new(ds, seed).map_err(|e| e.to_string())?;
     if cli.flag("margins") {
-        session.add_margin_constraints().map_err(|e| e.to_string())?;
+        session
+            .add_margin_constraints()
+            .map_err(|e| e.to_string())?;
     }
     if cli.flag("one-cluster") {
         session
@@ -180,7 +182,10 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
         let report = session
             .update_background(&FitOpts::default())
             .map_err(|e| e.to_string())?;
-        println!("initial knowledge absorbed: {}", format_convergence(&report));
+        println!(
+            "initial knowledge absorbed: {}",
+            format_convergence(&report)
+        );
     }
 
     let mut user = SimulatedUser::new(6, (session.dataset().n() / 30).max(3), seed ^ 0xFACE);
@@ -194,10 +199,7 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
         score_threshold: threshold,
     };
     let records = explore(&mut session, &mut user, &config).map_err(|e| e.to_string())?;
-    println!(
-        "\n{}",
-        format_score_table(&records, config.method.prefix())
-    );
+    println!("\n{}", format_score_table(&records, config.method.prefix()));
     for r in &records {
         println!("[iteration {}] {}", r.iteration, r.axis_labels[0]);
         println!("              {}", r.axis_labels[1]);
@@ -218,7 +220,9 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
     );
 
     // Re-render the final view for the artifact.
-    let view = session.next_view(&config.method).map_err(|e| e.to_string())?;
+    let view = session
+        .next_view(&config.method)
+        .map_err(|e| e.to_string())?;
     let path = out.join(format!("{name}_final_view.svg"));
     view.to_scatter_plot(&format!("{name}: final view"), None)
         .save(&path)
@@ -244,7 +248,9 @@ fn run() -> Result<(), String> {
             cmd_explore(&cli, ds)
         }
         "demo" => {
-            let name = cli.get("dataset").ok_or(format!("demo needs a dataset\n{USAGE}"))?;
+            let name = cli
+                .get("dataset")
+                .ok_or(format!("demo needs a dataset\n{USAGE}"))?;
             let ds = builtin(name)?;
             cmd_explore(&cli, ds)
         }

@@ -42,6 +42,14 @@
 //! // 3. The next view shows what the user does *not* know yet.
 //! let next = session.next_view(&Method::Pca).unwrap();
 //! assert!(next.scores()[0] < view.scores()[0]);
+//!
+//! // 4. Later rounds are warm-started: new constraints are appended into
+//! //    the persistent solver engine instead of re-solving from scratch.
+//! assert!(session.has_warm_solver());
+//! for cluster in user.perceive_clusters(&next) {
+//!     session.add_cluster_constraint(&cluster).unwrap();
+//! }
+//! session.update_background(&FitOpts::default()).unwrap();
 //! ```
 
 pub use sider_core as core;

@@ -53,7 +53,11 @@ fn session_survives_constant_column() {
     // A constant column yields zero-variance margin constraints; the
     // session must stay finite and usable.
     let mut rng = Rng::seed_from_u64(3);
-    let m = Matrix::from_fn(80, 3, |_, j| if j == 2 { 5.0 } else { rng.normal(0.0, 1.0) });
+    let m = Matrix::from_fn(
+        80,
+        3,
+        |_, j| if j == 2 { 5.0 } else { rng.normal(0.0, 1.0) },
+    );
     let ds = Dataset::unlabeled("const-col", m);
     let mut session = EdaSession::new(ds, 1).unwrap();
     session.add_margin_constraints().unwrap();

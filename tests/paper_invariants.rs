@@ -92,9 +92,8 @@ fn replication_with_noise_fixes_case_b_convergence() {
     let ds = sider::data::Dataset::unlabeled("adv", data);
     let mut rng = Rng::seed_from_u64(17);
     let (big, groups) = ds.replicate_with_noise(10, 0.2, &mut rng);
-    let expand = |rows: &[usize]| -> Vec<usize> {
-        rows.iter().flat_map(|&r| groups[r].clone()).collect()
-    };
+    let expand =
+        |rows: &[usize]| -> Vec<usize> { rows.iter().flat_map(|&r| groups[r].clone()).collect() };
     let mut cs = axis_constraints(&big.matrix, &expand(&[0, 2]));
     cs.extend(axis_constraints(&big.matrix, &expand(&[1, 2])));
     let mut replicated = Solver::new(&big.matrix, cs).unwrap();
