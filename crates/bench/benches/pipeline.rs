@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
+    // Smoke mode (SIDER_BENCH_SMOKE=1): fewer samples on the same dataset,
+    // identical artifact schema — cheap enough for a CI schema check.
+    let samples = if sider_bench::smoke_mode() { 3 } else { 10 };
+    group.sample_size(samples);
 
     let dataset = sider_data::synthetic::xhat5(1000, 42);
 
@@ -111,7 +114,7 @@ fn staged_sessions(base: &EdaSession, next_cluster: &[usize], samples: usize) ->
 /// comparison (wall time, sweep counts, eigendecompositions) to
 /// `BENCH_pipeline.json` in the working directory.
 fn write_cold_vs_warm_json(base: &EdaSession, next_cluster: &[usize]) {
-    let samples = 10;
+    let samples = if sider_bench::smoke_mode() { 3 } else { 10 };
     let opts = FitOpts::default();
 
     let mut warm_sweeps = 0usize;
@@ -147,10 +150,13 @@ fn write_cold_vs_warm_json(base: &EdaSession, next_cluster: &[usize]) {
     // Cargo runs benches from the package dir; anchor the artifact at the
     // workspace root so the perf trajectory always finds it in one place.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("pipeline/cold_vs_warm: speedup {speedup:.2}x -> {path}"),
-        Err(e) => eprintln!("pipeline/cold_vs_warm: cannot write {path}: {e}"),
+    // A swallowed write failure would let the CI schema check pass green
+    // on a stale committed artifact — fail the bench run instead.
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("pipeline/cold_vs_warm: cannot write {path}: {e}");
+        std::process::exit(1);
     }
+    println!("pipeline/cold_vs_warm: speedup {speedup:.2}x -> {path}");
 }
 
 criterion_group!(benches, bench_pipeline);

@@ -1,0 +1,393 @@
+//! Scaling scenario matrix for the parallel execution subsystem.
+//!
+//! For every scenario `n × d` in the grid, the round-trip hot paths —
+//! background **sampling**, spectral **refresh** of all classes,
+//! **whitening**, **PCA** moment accumulation and a dataset-sized
+//! **matmul** — are timed at 1, 2 and `max` threads, plus a *PR-1
+//! baseline*: the allocation-per-row sampling loop and the
+//! non-early-exit Jacobi refresh exactly as they were before this
+//! subsystem landed, compiled in today's workspace on the same hardware.
+//!
+//! Two claims are persisted to `BENCH_scaling.json`:
+//!
+//! * **serial win** — `serial_speedup_vs_pr1` compares the 1-thread run of
+//!   the new kernels against the PR-1 baseline (allocation removal, loop
+//!   order, Jacobi early-exit);
+//! * **parallel win** — `parallel_speedup_max_vs_1` compares max-thread vs
+//!   1-thread runs of the same kernels (only meaningful when the host
+//!   grants more than one CPU; `available_parallelism` is recorded so the
+//!   trajectory can be read in context).
+//!
+//! Every run also cross-checks that sampling, whitening and PCA produce
+//! **bit-identical** outputs at every thread count
+//! (`bit_identical_across_threads`), which is the determinism contract of
+//! `sider_par`.
+//!
+//! Set `SIDER_BENCH_SMOKE=1` for the reduced CI grid (same JSON schema).
+
+use sider_bench::{median_duration, smoke_mode, time};
+use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_maxent::params::ClassParams;
+use sider_maxent::BackgroundDistribution;
+use sider_par::ThreadPool;
+use sider_projection::pca_directions_with;
+use sider_stats::Rng;
+use std::time::Duration;
+
+/// Distinct per-row Gaussians in every scenario (8 eigendecompositions per
+/// refresh — enough to give a multi-core pool real per-class parallelism).
+const N_CLASSES: usize = 8;
+
+struct Scenario {
+    n: usize,
+    d: usize,
+}
+
+struct StageTimes {
+    threads: usize,
+    sample: Duration,
+    refresh: Duration,
+    whiten: Duration,
+    pca: Duration,
+    matmul: Duration,
+}
+
+impl StageTimes {
+    /// The acceptance metric: sampling + refresh wall time.
+    fn hot_total(&self) -> Duration {
+        self.sample + self.refresh
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let reps = if smoke { 2 } else { 3 };
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_threads = sider_par::threads_from_env();
+    let mut thread_counts = vec![1usize, 2, max_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let (ns, ds): (&[usize], &[usize]) = if smoke {
+        (&[1_000], &[5, 16])
+    } else {
+        (&[1_000, 10_000, 100_000], &[5, 16, 64])
+    };
+    let scenarios: Vec<Scenario> = ns
+        .iter()
+        .flat_map(|&n| ds.iter().map(move |&d| Scenario { n, d }))
+        .collect();
+
+    let mut scenario_jsons = Vec::new();
+    for sc in &scenarios {
+        let json = run_scenario(sc, &thread_counts, max_threads, reps);
+        scenario_jsons.push(json);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"smoke\": {smoke},\n  \"available_parallelism\": {available},\n  \"max_threads\": {max_threads},\n  \"reps\": {reps},\n  \"classes\": {N_CLASSES},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scenario_jsons.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    // A swallowed write failure would let the CI schema check pass green
+    // on a stale committed artifact — fail the bench run instead.
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("scaling: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("scaling: wrote {path}");
+}
+
+/// Synthetic fitted background: `N_CLASSES` well-conditioned anisotropic
+/// Gaussians assigned round-robin to rows.
+fn build_background(n: usize, d: usize, seed: u64) -> (BackgroundDistribution, Vec<ClassParams>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let params: Vec<ClassParams> = (0..N_CLASSES)
+        .map(|_| {
+            let r = rng.standard_normal_matrix(d, d).scale(0.3);
+            let mut prec = r.gram();
+            for i in 0..d {
+                prec[(i, i)] += 1.0;
+            }
+            let mut p = ClassParams::prior(d, n / N_CLASSES);
+            p.m = rng.standard_normal_vec(d);
+            p.prec = prec;
+            p
+        })
+        .collect();
+    let class_of_row: Vec<u32> = (0..n).map(|i| (i % N_CLASSES) as u32).collect();
+    let bg = BackgroundDistribution::from_class_params(d, class_of_row, &params);
+    (bg, params)
+}
+
+fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps: usize) -> String {
+    let (n, d) = (sc.n, sc.d);
+    let (bg, params) = build_background(n, d, 0x5eed ^ (n as u64) ^ ((d as u64) << 32));
+    let class_of_row: Vec<u32> = (0..n).map(|i| (i % N_CLASSES) as u32).collect();
+    let parents: Vec<u32> = (0..N_CLASSES as u32).collect();
+    let mean_clean = vec![false; N_CLASSES];
+    let cov_dirty = vec![true; N_CLASSES];
+    let w = Rng::seed_from_u64(7).standard_normal_matrix(d, d);
+
+    // ---- PR-1 baseline: allocation-per-row sampling, non-early-exit
+    // Jacobi refresh, both serial. The spectral factors are prepared
+    // outside the timed region — PR-1's sample() read them from the
+    // ClassModel cache, so timing their construction would double-count
+    // the refresh stage and inflate the serial speedup. ----
+    let factors = pr1_factors(&bg);
+    let baseline_sample = median_of(reps, || {
+        let mut rng = Rng::seed_from_u64(11);
+        time(|| pr1_sample(&bg, &factors, &mut rng)).1
+    });
+    let baseline_refresh = median_of(reps, || time(|| pr1_refresh_all(&params)).1);
+
+    // ---- Current kernels at each thread count. ----
+    let mut runs: Vec<StageTimes> = Vec::new();
+    let mut bit_identical = true;
+    let mut reference: Option<(Matrix, Matrix, Matrix)> = None;
+    for &threads in thread_counts {
+        let pool = ThreadPool::new(threads);
+
+        let sample = median_of(reps, || {
+            let mut rng = Rng::seed_from_u64(11);
+            time(|| bg.sample_with(&mut rng, &pool)).1
+        });
+        let refresh = median_of(reps, || {
+            let mut target = bg.clone();
+            time(|| {
+                target.refresh_from_class_params_with(
+                    class_of_row.clone(),
+                    &params,
+                    &parents,
+                    &mean_clean,
+                    &cov_dirty,
+                    &pool,
+                )
+            })
+            .1
+        });
+
+        let mut rng = Rng::seed_from_u64(11);
+        let sampled = bg.sample_with(&mut rng, &pool);
+        let whiten = median_of(reps, || time(|| bg.whiten_with(&sampled, &pool).unwrap()).1);
+        let whitened = bg.whiten_with(&sampled, &pool).unwrap();
+        let pca = median_of(reps, || {
+            time(|| pca_directions_with(&whitened, &pool).unwrap()).1
+        });
+        let matmul = median_of(reps, || time(|| sampled.matmul_with(&w, &pool)).1);
+
+        // Determinism cross-check against the first (1-thread) run.
+        let directions = pca_directions_with(&whitened, &pool).unwrap().directions;
+        match &reference {
+            None => reference = Some((sampled, whitened, directions)),
+            Some((s0, w0, d0)) => {
+                bit_identical &= s0.as_slice() == sampled.as_slice()
+                    && w0.as_slice() == whitened.as_slice()
+                    && d0.as_slice() == directions.as_slice();
+            }
+        }
+
+        runs.push(StageTimes {
+            threads,
+            sample,
+            refresh,
+            whiten,
+            pca,
+            matmul,
+        });
+    }
+
+    let t1 = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .expect("1-thread run present");
+    // The "max" of the acceptance metric is SIDER_THREADS / available
+    // parallelism — not the largest count benched (the 2-thread row is
+    // benched even on 1-CPU hosts to keep the grid shape stable).
+    let tmax = runs
+        .iter()
+        .find(|r| r.threads == max_threads)
+        .expect("max-thread run present");
+    let baseline_total = baseline_sample + baseline_refresh;
+    let serial_speedup = ratio(baseline_total, t1.hot_total());
+    let parallel_speedup = ratio(t1.hot_total(), tmax.hot_total());
+
+    println!(
+        "scaling/{n}x{d}: pr1 {:.1}ms -> serial {:.1}ms ({serial_speedup:.2}x) -> {} threads {:.1}ms ({parallel_speedup:.2}x), bit_identical={bit_identical}",
+        baseline_total.as_secs_f64() * 1e3,
+        t1.hot_total().as_secs_f64() * 1e3,
+        tmax.threads,
+        tmax.hot_total().as_secs_f64() * 1e3,
+    );
+
+    let runs_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "        {{ \"threads\": {}, \"sample_ns\": {}, \"refresh_ns\": {}, \"whiten_ns\": {}, \"pca_ns\": {}, \"matmul_ns\": {}, \"hot_total_ns\": {} }}",
+                r.threads,
+                r.sample.as_nanos(),
+                r.refresh.as_nanos(),
+                r.whiten.as_nanos(),
+                r.pca.as_nanos(),
+                r.matmul.as_nanos(),
+                r.hot_total().as_nanos(),
+            )
+        })
+        .collect();
+    format!
+        (
+        "    {{\n      \"n\": {n},\n      \"d\": {d},\n      \"baseline_pr1\": {{ \"sample_ns\": {}, \"refresh_ns\": {}, \"hot_total_ns\": {} }},\n      \"runs\": [\n{}\n      ],\n      \"bit_identical_across_threads\": {bit_identical},\n      \"serial_speedup_vs_pr1\": {serial_speedup:.3},\n      \"parallel_speedup_max_vs_1\": {parallel_speedup:.3}\n    }}",
+        baseline_sample.as_nanos(),
+        baseline_refresh.as_nanos(),
+        baseline_total.as_nanos(),
+        runs_json.join(",\n"),
+    )
+}
+
+fn median_of(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let mut times: Vec<Duration> = (0..reps).map(|_| f()).collect();
+    median_duration(&mut times)
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-12)
+}
+
+// ---------------------------------------------------------------------------
+// PR-1 reference kernels (the code shape before this subsystem landed).
+// ---------------------------------------------------------------------------
+
+/// Per-class spectral factors, prepared once like ClassModel caches them
+/// at fit time (outside the sampling hot path).
+fn pr1_factors(bg: &BackgroundDistribution) -> Vec<(Matrix, Vec<f64>)> {
+    (0..N_CLASSES)
+        .map(|c| {
+            // Any row of class c (round-robin assignment ⇒ row c).
+            let eig = sym_eigen(bg.precision(c)).expect("bench precision eigen");
+            let scale: Vec<f64> = eig
+                .values
+                .iter()
+                .map(|&ev| {
+                    let ev = ev.max(0.0);
+                    if ev >= 1e10 {
+                        0.0
+                    } else if ev > 1e-12 {
+                        1.0 / ev.sqrt()
+                    } else {
+                        1.0
+                    }
+                })
+                .collect();
+            (eig.vectors, scale)
+        })
+        .collect()
+}
+
+/// PR-1 sampling loop: sequential shared RNG, one `standard_normal_vec`
+/// and one `matvec` allocation per row, `set_row` copy into the output.
+fn pr1_sample(
+    bg: &BackgroundDistribution,
+    factors: &[(Matrix, Vec<f64>)],
+    rng: &mut Rng,
+) -> Matrix {
+    let n = bg.n();
+    let d = bg.d();
+    let mut out = Matrix::zeros(n, d);
+    for i in 0..n {
+        let (u, scale) = &factors[bg.class_of_row(i)];
+        let mut z = rng.standard_normal_vec(d);
+        for (zk, &s) in z.iter_mut().zip(scale) {
+            *zk *= s;
+        }
+        let mut x = u.matvec(&z);
+        vector::axpy(1.0, bg.mean(i), &mut x);
+        out.set_row(i, &x);
+    }
+    out
+}
+
+/// PR-1 refresh: serial per-class eigendecomposition with the
+/// pre-early-exit cyclic Jacobi, plus the whitening-map reconstruction.
+fn pr1_refresh_all(params: &[ClassParams]) -> Vec<(Matrix, Matrix)> {
+    params
+        .iter()
+        .map(|p| {
+            let d = p.prec.rows();
+            let eig = pr1_jacobi(&p.prec);
+            let mut whiten = Matrix::zeros(d, d);
+            for k in 0..eig.0.len() {
+                let ev = eig.0[k].max(0.0);
+                if ev >= 1e10 {
+                    continue;
+                }
+                let col = eig.1.col(k);
+                whiten.add_outer(ev.sqrt(), &col, &col);
+            }
+            (whiten, eig.1)
+        })
+        .collect()
+}
+
+/// The pre-early-exit cyclic Jacobi: rotates every pivot above 1e-300 and
+/// checks convergence only at sweep boundaries.
+fn pr1_jacobi(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+    let norm = m.frobenius_norm().max(1e-300);
+    let tol = 1e-14 * norm;
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += 2.0 * m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    if k != p && k != q {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(p, k)] = m[(k, p)];
+                        m[(k, q)] = s * mkp + c * mkq;
+                        m[(q, k)] = m[(k, q)];
+                    }
+                }
+                m[(p, p)] = app - t * apq;
+                m[(q, q)] = aqq + t * apq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    ((0..n).map(|i| m[(i, i)]).collect(), v)
+}

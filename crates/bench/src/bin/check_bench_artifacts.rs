@@ -1,0 +1,135 @@
+//! Schema sanity check for the persisted benchmark artifacts.
+//!
+//! CI runs the `pipeline` and `scaling` benches in smoke mode and then
+//! this binary, which fails (exit code 1) when `BENCH_pipeline.json` or
+//! `BENCH_scaling.json` is missing, unparsable, or missing the fields the
+//! perf trajectory across PRs relies on. It deliberately does **not**
+//! gate on speedup values: CI machines (and 1-CPU containers) make timing
+//! thresholds meaningless — the guarded invariants are artifact shape and
+//! the recorded `bit_identical_across_threads` determinism flag.
+
+use sider_bench::json::Json;
+use std::process::ExitCode;
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(name: &str) -> Result<Json, String> {
+    let path = workspace_root().join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
+}
+
+fn check_pipeline(doc: &Json) -> Result<(), String> {
+    if doc.get("bench").and_then(Json::as_str) != Some("pipeline_cold_vs_warm") {
+        return Err("bench tag is not 'pipeline_cold_vs_warm'".into());
+    }
+    for key in [
+        "samples",
+        "cold_fit.median_ns",
+        "cold_fit.sweeps",
+        "cold_fit.eigen_recomputed",
+        "warm_refit.median_ns",
+        "warm_refit.sweeps",
+        "warm_refit.eigen_recomputed",
+        "speedup",
+    ] {
+        let v = doc.require_num(key)?;
+        if v < 0.0 {
+            return Err(format!("key '{key}' is negative"));
+        }
+    }
+    Ok(())
+}
+
+fn check_scaling(doc: &Json) -> Result<(), String> {
+    if doc.get("bench").and_then(Json::as_str) != Some("scaling") {
+        return Err("bench tag is not 'scaling'".into());
+    }
+    for key in ["available_parallelism", "max_threads", "reps", "classes"] {
+        if doc.require_num(key)? < 1.0 {
+            return Err(format!("key '{key}' must be >= 1"));
+        }
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'scenarios' array")?;
+    if scenarios.is_empty() {
+        return Err("'scenarios' is empty".into());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        for key in [
+            "n",
+            "d",
+            "baseline_pr1.sample_ns",
+            "baseline_pr1.refresh_ns",
+            "baseline_pr1.hot_total_ns",
+            "serial_speedup_vs_pr1",
+            "parallel_speedup_max_vs_1",
+        ] {
+            sc.require_num(key)
+                .map_err(|e| format!("scenario {i}: {e}"))?;
+        }
+        if sc
+            .path("bit_identical_across_threads")
+            .and_then(Json::as_bool)
+            != Some(true)
+        {
+            return Err(format!(
+                "scenario {i}: results were NOT bit-identical across thread counts"
+            ));
+        }
+        let runs = sc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("scenario {i}: missing 'runs' array"))?;
+        if runs.is_empty() {
+            return Err(format!("scenario {i}: 'runs' is empty"));
+        }
+        for (j, run) in runs.iter().enumerate() {
+            for key in [
+                "threads",
+                "sample_ns",
+                "refresh_ns",
+                "whiten_ns",
+                "pca_ns",
+                "matmul_ns",
+                "hot_total_ns",
+            ] {
+                run.require_num(key)
+                    .map_err(|e| format!("scenario {i} run {j}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+    for (name, check) in [
+        (
+            "BENCH_pipeline.json",
+            check_pipeline as fn(&Json) -> Result<(), String>,
+        ),
+        (
+            "BENCH_scaling.json",
+            check_scaling as fn(&Json) -> Result<(), String>,
+        ),
+    ] {
+        match load(name).and_then(|doc| check(&doc)) {
+            Ok(()) => println!("check_bench_artifacts: {name}: OK"),
+            Err(e) => {
+                eprintln!("check_bench_artifacts: {name}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,315 @@
+//! Minimal JSON parsing for benchmark-artifact schema checks.
+//!
+//! The workspace builds offline (no `serde`), and the only JSON we consume
+//! is the handful of `BENCH_*.json` artifacts our own benches emit — so
+//! this is a small recursive-descent parser covering exactly RFC 8259,
+//! plus the few typed accessors the `check_bench_artifacts` binary needs.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Walk a dotted path of object keys (`"warm_refit.median_ns"`).
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in dotted.split('.') {
+            cur = cur.get(key)?;
+        }
+        Some(cur)
+    }
+
+    /// Require a finite number at a dotted path — the core schema check.
+    pub fn require_num(&self, dotted: &str) -> Result<f64, String> {
+        let v = self
+            .path(dotted)
+            .ok_or_else(|| format!("missing key '{dotted}'"))?
+            .as_num()
+            .ok_or_else(|| format!("key '{dotted}' is not a number"))?;
+        if !v.is_finite() {
+            return Err(format!("key '{dotted}' is not finite"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape '\\{}'", *other as char)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let ch_len = utf8_len(b);
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = Json::parse(
+            r#"{ "a": 1.5, "b": [true, null, "x\n"], "c": { "d": -2e3 }, "e": false }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.require_num("a").unwrap(), 1.5);
+        assert_eq!(doc.path("c.d").unwrap().as_num(), Some(-2000.0));
+        assert_eq!(doc.get("e").unwrap().as_bool(), Some(false));
+        let arr = doc.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].as_str(), Some("x\n"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#"{"a": 1e999999}"#).is_ok()); // inf parses…
+        assert!(Json::parse(r#"{"a": 1e999999}"#)
+            .unwrap()
+            .require_num("a")
+            .is_err()); // …but fails the finiteness check
+    }
+
+    #[test]
+    fn missing_paths_reported() {
+        let doc = Json::parse(r#"{"warm": {"ns": 10}}"#).unwrap();
+        assert_eq!(doc.require_num("warm.ns").unwrap(), 10.0);
+        let err = doc.require_num("cold.ns").unwrap_err();
+        assert!(err.contains("cold.ns"));
+        let err = Json::parse(r#"{"x": "s"}"#)
+            .unwrap()
+            .require_num("x")
+            .unwrap_err();
+        assert!(err.contains("not a number"));
+    }
+
+    #[test]
+    fn parses_the_pipeline_artifact_shape() {
+        let doc = Json::parse(
+            "{\n  \"bench\": \"pipeline_cold_vs_warm\",\n  \"samples\": 10,\n  \"cold_fit\": { \"median_ns\": 123, \"sweeps\": 4, \"eigen_recomputed\": 2 },\n  \"warm_refit\": { \"median_ns\": 45, \"sweeps\": 1, \"eigen_recomputed\": 1 },\n  \"speedup\": 2.733\n}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("bench").unwrap().as_str(),
+            Some("pipeline_cold_vs_warm")
+        );
+        assert!(doc.require_num("cold_fit.median_ns").unwrap() > 0.0);
+        assert!(doc.require_num("warm_refit.median_ns").unwrap() > 0.0);
+        assert!(doc.require_num("speedup").is_ok());
+    }
+}

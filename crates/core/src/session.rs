@@ -12,8 +12,10 @@ use sider_maxent::{
     BackgroundDistribution, Constraint, ConvergenceReport, FitOpts, RefreshStats, RowSet,
     SolverState,
 };
-use sider_projection::{most_informative_projection, project, Method};
+use sider_par::ThreadPool;
+use sider_projection::{most_informative_projection_with, project, Method};
 use sider_stats::Rng;
+use std::sync::Arc;
 
 /// Kinds of knowledge the user can feed the system (paper §II-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,12 +85,25 @@ pub struct EdaSession {
     /// How many of `constraints` the engine has absorbed (the rest are
     /// pending and will be appended on the next update).
     fitted_constraints: usize,
+    /// Execution pool threaded through fit → sample → project. Shared with
+    /// the solver engine; by the `sider_par` determinism contract, session
+    /// results are bit-identical at any pool size.
+    pool: Arc<ThreadPool>,
 }
 
 impl EdaSession {
     /// Start a session on a dataset. `seed` drives background sampling and
-    /// ICA initialization, making whole sessions reproducible.
+    /// ICA initialization, making whole sessions reproducible. The
+    /// execution pool is sized from `SIDER_THREADS` (default: available
+    /// parallelism); use [`EdaSession::with_pool`] to inject one.
     pub fn new(dataset: Dataset, seed: u64) -> Result<Self> {
+        Self::with_pool(dataset, seed, Arc::new(ThreadPool::from_env()))
+    }
+
+    /// [`EdaSession::new`] with an explicit execution pool — for sharing
+    /// one pool across sessions, or pinning `threads = 1` in tests and
+    /// baselines. Results do not depend on the pool size.
+    pub fn with_pool(dataset: Dataset, seed: u64, pool: Arc<ThreadPool>) -> Result<Self> {
         dataset.validate().map_err(CoreError::BadDataset)?;
         if dataset.n() == 0 || dataset.d() == 0 {
             return Err(CoreError::BadDataset("empty dataset".into()));
@@ -104,7 +119,13 @@ impl EdaSession {
             last_report: None,
             solver: None,
             fitted_constraints: 0,
+            pool,
         })
+    }
+
+    /// The session's execution pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
     /// The dataset under exploration.
@@ -270,8 +291,12 @@ impl EdaSession {
                 state.refit(pending, opts)?
             }
             None => {
-                let (state, report) =
-                    SolverState::cold(&self.dataset.matrix, self.constraints.clone(), opts)?;
+                let (state, report) = SolverState::cold_with(
+                    &self.dataset.matrix,
+                    self.constraints.clone(),
+                    opts,
+                    Arc::clone(&self.pool),
+                )?;
                 self.solver = Some(state);
                 report
             }
@@ -306,9 +331,10 @@ impl EdaSession {
         self.solver.is_some()
     }
 
-    /// Whiten the data against the current background (paper Eq. 14).
+    /// Whiten the data against the current background (paper Eq. 14),
+    /// rows distributed over the session pool.
     pub fn whitened(&self) -> Result<Matrix> {
-        Ok(self.background().whiten(self.data())?)
+        Ok(self.background().whiten_with(self.data(), &self.pool)?)
     }
 
     /// How much the accumulated feedback has constrained the model, in
@@ -351,13 +377,14 @@ impl EdaSession {
     /// the found directions (paper Fig. 1, steps b–c).
     pub fn next_view(&mut self, method: &Method) -> Result<ViewState> {
         let whitened = self.whitened()?;
-        let projection = most_informative_projection(&whitened, method, &mut self.rng)?;
+        let projection =
+            most_informative_projection_with(&whitened, method, &mut self.rng, &self.pool)?;
         let projected_data = project(self.data(), &projection.axes);
         // Disjoint field borrows: the engine's distribution (or the prior
         // fallback) is read while the session RNG advances.
         let background_sample = match &self.solver {
-            Some(state) => state.background().sample(&mut self.rng),
-            None => self.background.sample(&mut self.rng),
+            Some(state) => state.background().sample_with(&mut self.rng, &self.pool),
+            None => self.background.sample_with(&mut self.rng, &self.pool),
         };
         let projected_background = project(&background_sample, &projection.axes);
         let axis_labels = projection.labels(&self.dataset.column_names, 5);
@@ -651,6 +678,38 @@ mod tests {
         assert!(report.converged);
         assert!(report.sweeps_done() > 0, "cold path must re-sweep");
         assert!((s.information_nats() - warm_kl).abs() < 1e-4 * warm_kl.max(1.0));
+    }
+
+    #[test]
+    fn session_bit_identical_across_pool_sizes() {
+        // The full round trip — fit, refresh, whiten, project, sample —
+        // on 1-, 2- and 4-thread pools produces the same bytes.
+        let run = |threads: usize| {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let mut s = EdaSession::with_pool(three_d_four_clusters(2018), 7, pool).unwrap();
+            s.add_margin_constraints().unwrap();
+            s.add_cluster_constraint(&(0..40).collect::<Vec<_>>())
+                .unwrap();
+            s.update_background(&FitOpts::default()).unwrap();
+            let view = s.next_view(&Method::Pca).unwrap();
+            (s.whitened().unwrap(), view, s.information_nats())
+        };
+        let (w1, v1, kl1) = run(1);
+        for threads in [2usize, 4] {
+            let (w, v, kl) = run(threads);
+            assert_eq!(w1.as_slice(), w.as_slice(), "{threads} threads: whitened");
+            assert_eq!(
+                v1.projected_data.as_slice(),
+                v.projected_data.as_slice(),
+                "{threads} threads: projection"
+            );
+            assert_eq!(
+                v1.projected_background.as_slice(),
+                v.projected_background.as_slice(),
+                "{threads} threads: background sample"
+            );
+            assert_eq!(kl1.to_bits(), kl.to_bits(), "{threads} threads: KL");
+        }
     }
 
     #[test]

@@ -5,6 +5,11 @@ use crate::vector;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Column-tile width of the matmul kernel: 256 `f64`s (2 KiB) of the output
+/// row and of each `other` row stay hot while `k` sweeps. Products narrower
+/// than one tile run exactly the untiled i-k-j loop.
+const MATMUL_J_TILE: usize = 256;
+
 /// A dense, row-major matrix of `f64` values.
 ///
 /// This is the single array type shared by the whole workspace: datasets are
@@ -201,6 +206,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Cache-friendly i-k-j loop order with column tiling for wide outputs;
+    /// per-element accumulation always runs over `k` ascending, so the
+    /// result is bit-identical to the textbook i-j-k triple loop (and to
+    /// [`Matrix::matmul_with`] at any thread count).
+    ///
     /// # Panics
     /// Panics if inner dimensions differ.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -210,22 +220,66 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: the inner loop walks rows of `other` and `out`
-        // contiguously, which matters for the d=128 covariance updates.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for j in 0..other.cols {
-                    out_row[j] += a * orow[j];
+        self.matmul_rows_into(other, 0, self.rows, out.as_mut_slice());
+        out
+    }
+
+    /// Matrix product `self * other`, splitting the rows of `self` across
+    /// the pool when the product is large enough to amortize dispatch.
+    /// Bit-identical to [`Matrix::matmul`]: every output row is computed by
+    /// exactly the same kernel, whole rows are never split.
+    pub fn matmul_with(&self, other: &Matrix, pool: &sider_par::ThreadPool) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let p = other.cols;
+        let flops = self.rows.saturating_mul(self.cols).saturating_mul(p);
+        let pool = pool.gated(flops);
+        if pool.threads() <= 1 || p == 0 {
+            self.matmul_rows_into(other, 0, self.rows, out.as_mut_slice());
+            return out;
+        }
+        let rows_per_chunk = self.rows.div_ceil(pool.threads() * 4).max(1);
+        pool.par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * p,
+            |chunk_idx, out_chunk| {
+                let start = chunk_idx * rows_per_chunk;
+                let end = start + out_chunk.len() / p;
+                self.matmul_rows_into(other, start, end, out_chunk);
+            },
+        );
+        out
+    }
+
+    /// Kernel shared by the serial and parallel products: rows
+    /// `row_start..row_end` of `self * other` into `out` (row-major,
+    /// `(row_end − row_start) × other.cols`). The `j` loop is tiled so the
+    /// active slices of `out` and `other` stay cache-resident when the
+    /// output is wide; for every output element the `k` accumulation order
+    /// is unchanged (ascending), keeping all paths bit-identical.
+    fn matmul_rows_into(&self, other: &Matrix, row_start: usize, row_end: usize, out: &mut [f64]) {
+        let p = other.cols;
+        debug_assert_eq!(out.len(), (row_end - row_start) * p);
+        for i in row_start..row_end {
+            let a_row = self.row(i);
+            let out_row = &mut out[(i - row_start) * p..(i - row_start + 1) * p];
+            for jb in (0..p).step_by(MATMUL_J_TILE) {
+                let je = (jb + MATMUL_J_TILE).min(p);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &other.row(k)[jb..je];
+                    for (o, &b) in out_row[jb..je].iter_mut().zip(orow) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// Matrix–vector product `self * x`.
@@ -234,6 +288,17 @@ impl Matrix {
         (0..self.rows)
             .map(|i| vector::dot(self.row(i), x))
             .collect()
+    }
+
+    /// Matrix–vector product `self * x` written into a caller-provided
+    /// buffer — the allocation-free kernel behind per-row sampling and
+    /// whitening.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: x length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec_into: out length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = vector::dot(self.row(i), x);
+        }
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -533,6 +598,70 @@ mod tests {
         let m = sample();
         assert_eq!(m.matmul(&Matrix::identity(2)), m);
         assert_eq!(Matrix::identity(3).matmul(&m), m);
+    }
+
+    /// The pre-tiling implementation: per-element indexed i-j-k triple
+    /// loop, kept as the reference the optimized kernel must reproduce
+    /// exactly (same ascending-`k` accumulation order ⇒ same bits).
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference_exactly_on_random_matrices() {
+        // Shapes straddling the j-tile boundary and the parallel threshold.
+        for (n, k, p, seed) in [
+            (7, 5, 3, 1u64),
+            (33, 17, 300, 2), // wide output: tiling active
+            (64, 64, 64, 3),
+            (5, 300, 513, 4), // deep inner dimension + 2 tiles and a tail
+        ] {
+            let a = pseudo_random_matrix(n, k, seed);
+            let b = pseudo_random_matrix(k, p, seed ^ 0xabcdef);
+            let expected = matmul_reference(&a, &b);
+            let got = a.matmul(&b);
+            assert_eq!(got, expected, "{n}x{k}x{p}: tiled kernel diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_at_any_thread_count() {
+        let a = pseudo_random_matrix(120, 40, 7);
+        let b = pseudo_random_matrix(40, 96, 8);
+        let serial = a.matmul(&b);
+        for threads in [1usize, 2, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            assert_eq!(a.matmul_with(&b, &pool), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let m = sample();
+        let x = [1.5, -2.0];
+        let mut out = [0.0; 3];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out.to_vec(), m.matvec(&x));
     }
 
     #[test]

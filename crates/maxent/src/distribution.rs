@@ -15,7 +15,14 @@
 use crate::params::ClassParams;
 use crate::Result;
 use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_par::ThreadPool;
 use sider_stats::Rng;
+
+/// Row-chunk length of the parallel sample/whiten loops. Scratch buffers
+/// are reused across the rows of a chunk (zero allocations per row); the
+/// value is fixed — never derived from the thread count — although with
+/// per-row RNG substreams the results would be identical for any split.
+const ROW_CHUNK: usize = 256;
 
 /// Per-class Gaussian with precomputed spectral transforms.
 #[derive(Debug, Clone)]
@@ -119,7 +126,21 @@ impl BackgroundDistribution {
 
     /// Package fitted class parameters (used by the solvers).
     pub fn from_class_params(d: usize, class_of_row: Vec<u32>, params: &[ClassParams]) -> Self {
-        let classes = params.iter().map(|p| ClassModel::compute(d, p)).collect();
+        Self::from_class_params_with(d, class_of_row, params, &ThreadPool::serial())
+    }
+
+    /// [`BackgroundDistribution::from_class_params`] with the per-class
+    /// `O(d³)` eigendecompositions distributed over `pool`. Classes are
+    /// independent, so the result is identical at any pool size.
+    pub fn from_class_params_with(
+        d: usize,
+        class_of_row: Vec<u32>,
+        params: &[ClassParams],
+        pool: &ThreadPool,
+    ) -> Self {
+        // O(d³) Jacobi per class; tiny sessions run inline.
+        let pool = pool.gated(params.len().saturating_mul(d * d * d));
+        let classes = pool.par_map(params, |p| ClassModel::compute(d, p));
         BackgroundDistribution {
             d,
             class_of_row,
@@ -151,6 +172,31 @@ impl BackgroundDistribution {
         mean_dirty: &[bool],
         cov_dirty: &[bool],
     ) -> RefreshStats {
+        self.refresh_from_class_params_with(
+            class_of_row,
+            params,
+            parent_of_class,
+            mean_dirty,
+            cov_dirty,
+            &ThreadPool::serial(),
+        )
+    }
+
+    /// [`BackgroundDistribution::refresh_from_class_params`] with the
+    /// dirty-class eigendecompositions distributed over `pool` — one
+    /// independent Jacobi solve per cov-dirty class, so a refresh touching
+    /// `k` classes scales down to `⌈k / threads⌉` decompositions of wall
+    /// time. Identical results and [`RefreshStats`] at any pool size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refresh_from_class_params_with(
+        &mut self,
+        class_of_row: Vec<u32>,
+        params: &[ClassParams],
+        parent_of_class: &[u32],
+        mean_dirty: &[bool],
+        cov_dirty: &[bool],
+        pool: &ThreadPool,
+    ) -> RefreshStats {
         assert_eq!(params.len(), parent_of_class.len());
         assert_eq!(params.len(), mean_dirty.len());
         assert_eq!(params.len(), cov_dirty.len());
@@ -176,12 +222,20 @@ impl BackgroundDistribution {
         }
         // Pass 2: recompute what the fit actually moved. Each class lands
         // in exactly one bucket: eigen-recomputed, mean-only-updated, or
-        // (for new classes handled above) cloned-from-parent.
+        // (for new classes handled above) cloned-from-parent. The
+        // cov-dirty decompositions are independent, so they fan out over
+        // the pool; placement is by class id, keeping the result
+        // scheduling-independent.
+        let dirty: Vec<usize> = (0..params.len()).filter(|&c| cov_dirty[c]).collect();
+        let d = self.d;
+        let pool = pool.gated(dirty.len().saturating_mul(d * d * d));
+        let recomputed = pool.par_map(&dirty, |&c| ClassModel::compute(d, &params[c]));
+        for (&c, model) in dirty.iter().zip(recomputed) {
+            self.classes[c] = model;
+            stats.eigen_recomputed += 1;
+        }
         for (c, p) in params.iter().enumerate() {
-            if cov_dirty[c] {
-                self.classes[c] = ClassModel::compute(self.d, p);
-                stats.eigen_recomputed += 1;
-            } else if mean_dirty[c] && c < n_cached {
+            if !cov_dirty[c] && mean_dirty[c] && c < n_cached {
                 self.classes[c].m = p.m.clone();
                 stats.mean_updated += 1;
             }
@@ -228,6 +282,15 @@ impl BackgroundDistribution {
     /// Whiten a dataset against this distribution (paper Eq. 14). The input
     /// must have the same shape the distribution was fitted on.
     pub fn whiten(&self, data: &Matrix) -> Result<Matrix> {
+        self.whiten_with(data, &ThreadPool::serial())
+    }
+
+    /// [`BackgroundDistribution::whiten`] with rows distributed over
+    /// `pool`. Each output row is `U·D^{1/2}·Uᵀ·(x_i − m_i)`, computed with
+    /// chunk-local scratch buffers straight into the output row slice —
+    /// no per-row allocations — and rows are independent, so the result is
+    /// bit-identical at any pool size.
+    pub fn whiten_with(&self, data: &Matrix, pool: &ThreadPool) -> Result<Matrix> {
         let (n, d) = data.shape();
         if n != self.n() || d != self.d {
             return Err(crate::MaxEntError::BadDirection {
@@ -236,12 +299,23 @@ impl BackgroundDistribution {
             });
         }
         let mut out = Matrix::zeros(n, d);
-        for i in 0..n {
-            let class = &self.classes[self.class_of_row(i)];
-            let centered = vector::sub(data.row(i), &class.m);
-            let y = class.whiten.matvec(&centered);
-            out.set_row(i, &y);
-        }
+        // One d×d matvec per row; tiny datasets run inline.
+        let pool = pool.gated(n.saturating_mul(d * d));
+        pool.par_chunks_mut(
+            out.as_mut_slice(),
+            ROW_CHUNK * d.max(1),
+            |chunk_idx, rows| {
+                let mut centered = vec![0.0; d];
+                for (off, out_row) in rows.chunks_mut(d).enumerate() {
+                    let i = chunk_idx * ROW_CHUNK + off;
+                    let class = &self.classes[self.class_of_row(i)];
+                    for ((c, &x), &m) in centered.iter_mut().zip(data.row(i)).zip(&class.m) {
+                        *c = x - m;
+                    }
+                    class.whiten.matvec_into(&centered, out_row);
+                }
+            },
+        );
         Ok(out)
     }
 
@@ -295,19 +369,45 @@ impl BackgroundDistribution {
 
     /// Draw one dataset: row `i` sampled from `N(m_i, Σ_i)` via the
     /// spectral factor `x = m + U·D^{-1/2}·z`.
+    ///
+    /// Row `i`'s normals come from the counter-seeded RNG substream
+    /// `(master, i)`, where `master` is one draw from `rng` — so the
+    /// caller's generator advances exactly once per dataset and the output
+    /// depends only on the generator state, never on how rows are
+    /// scheduled. Equivalent to `sample_with` on a serial pool.
     pub fn sample(&self, rng: &mut Rng) -> Matrix {
+        self.sample_with(rng, &ThreadPool::serial())
+    }
+
+    /// [`BackgroundDistribution::sample`] with row chunks distributed over
+    /// `pool`. Per-row substreams make parallel draws deterministic and
+    /// bit-identical at any pool size; chunk-local `z` scratch buffers and
+    /// [`Matrix::matvec_into`] straight into the output row slice keep the
+    /// whole loop allocation-free per row.
+    pub fn sample_with(&self, rng: &mut Rng, pool: &ThreadPool) -> Matrix {
+        let master = rng.next_u64();
         let n = self.n();
-        let mut out = Matrix::zeros(n, self.d);
-        for i in 0..n {
-            let class = &self.classes[self.class_of_row(i)];
-            let mut z = rng.standard_normal_vec(self.d);
-            for (zk, &s) in z.iter_mut().zip(&class.sample_scale) {
-                *zk *= s;
-            }
-            let mut x = class.u.matvec(&z);
-            vector::axpy(1.0, &class.m, &mut x);
-            out.set_row(i, &x);
-        }
+        let d = self.d;
+        let mut out = Matrix::zeros(n, d);
+        // One d×d matvec (plus d normals) per row; tiny datasets run inline.
+        let pool = pool.gated(n.saturating_mul(d * d));
+        pool.par_chunks_mut(
+            out.as_mut_slice(),
+            ROW_CHUNK * d.max(1),
+            |chunk_idx, rows| {
+                let mut z = vec![0.0; d];
+                for (off, out_row) in rows.chunks_mut(d).enumerate() {
+                    let i = chunk_idx * ROW_CHUNK + off;
+                    let class = &self.classes[self.class_of_row(i)];
+                    let mut row_rng = Rng::substream(master, i as u64);
+                    for (zk, &s) in z.iter_mut().zip(&class.sample_scale) {
+                        *zk = row_rng.standard_normal() * s;
+                    }
+                    class.u.matvec_into(&z, out_row);
+                    vector::axpy(1.0, &class.m, out_row);
+                }
+            },
+        );
         out
     }
 }
@@ -515,6 +615,155 @@ mod tests {
             let mean_along = (bg.mean(i)[0] + bg.mean(i)[1]) / 2.0_f64.sqrt();
             assert!((along - mean_along).abs() < 1e-3, "row {i}");
         }
+    }
+
+    /// Allocation-per-row reference sampler: same per-row substreams, but
+    /// the straightforward `standard_normal_vec` + `matvec` + `set_row`
+    /// formulation. The scratch-buffer kernel must reproduce it bit for
+    /// bit — reusing buffers is a pure optimization.
+    fn sample_reference(bg: &BackgroundDistribution, rng: &mut Rng) -> Matrix {
+        let master = rng.next_u64();
+        let n = bg.n();
+        let d = bg.d();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let class_mean = bg.mean(i).to_vec();
+            let mut row_rng = Rng::substream(master, i as u64);
+            let z = row_rng.standard_normal_vec(d);
+            // Rebuild the scaled spectral draw through public accessors:
+            // x = m + U·(z ⊙ scale). The test helper recomputes U and the
+            // scales from the precision like ClassModel does.
+            let eig = sym_eigen(bg.precision(i)).unwrap();
+            let mut scaled = vec![0.0; d];
+            for k in 0..d {
+                let ev = eig.values[k].max(0.0);
+                let s = if ev >= EVAL_COLLAPSED {
+                    0.0
+                } else if ev > EVAL_FLOOR {
+                    1.0 / ev.sqrt()
+                } else {
+                    1.0
+                };
+                scaled[k] = z[k] * s;
+            }
+            let mut x = eig.vectors.matvec(&scaled);
+            vector::axpy(1.0, &class_mean, &mut x);
+            out.set_row(i, &x);
+        }
+        out
+    }
+
+    #[test]
+    fn scratch_buffer_sampling_output_unchanged_vs_reference() {
+        let mut rng = Rng::seed_from_u64(71);
+        let data = Matrix::from_fn(120, 3, |_, j| rng.normal(j as f64, 1.0 + j as f64));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts::default());
+        let bg = solver.distribution();
+        let mut rng_a = Rng::seed_from_u64(9);
+        let mut rng_b = Rng::seed_from_u64(9);
+        let fast = bg.sample(&mut rng_a);
+        let reference = sample_reference(&bg, &mut rng_b);
+        assert_eq!(
+            fast.as_slice(),
+            reference.as_slice(),
+            "scratch-buffer kernel changed the sampled bytes"
+        );
+        // The caller's generator advanced identically on both paths.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn sample_bit_identical_across_pool_sizes() {
+        // n·d² above the dispatch gate so multi-thread pools really fan out.
+        let bg = BackgroundDistribution::prior(12_000, 4);
+        let serial = bg.sample(&mut Rng::seed_from_u64(3));
+        for threads in [2usize, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            let par = bg.sample_with(&mut Rng::seed_from_u64(3), &pool);
+            assert_eq!(serial.as_slice(), par.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn whiten_bit_identical_across_pool_sizes() {
+        // n·d² above the dispatch gate so multi-thread pools really fan out.
+        let mut rng = Rng::seed_from_u64(90);
+        let data = Matrix::from_fn(6000, 5, |_, j| rng.normal(j as f64, 2.0));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts::default());
+        let bg = solver.distribution();
+        let serial = bg.whiten(&data).unwrap();
+        for threads in [2usize, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            let par = bg.whiten_with(&data, &pool).unwrap();
+            assert_eq!(serial.as_slice(), par.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_construction_and_refresh_match_serial() {
+        let mut rng = Rng::seed_from_u64(55);
+        let data = Matrix::from_fn(80, 3, |_, j| rng.normal(0.0, 1.0 + j as f64));
+        let mut cs = margin_constraints(&data).unwrap();
+        cs.extend(
+            crate::constraint::cluster_constraints(
+                &data,
+                crate::rowset::RowSet::from_indices(&(0..20).collect::<Vec<_>>()),
+                "c",
+            )
+            .unwrap(),
+        );
+        let mut solver = Solver::new(&data, cs).unwrap();
+        solver.fit(&FitOpts::default());
+        let pool = sider_par::ThreadPool::new(4);
+        let serial = solver.distribution();
+        let par = BackgroundDistribution::from_class_params_with(
+            serial.d(),
+            (0..serial.n())
+                .map(|i| serial.class_of_row(i) as u32)
+                .collect(),
+            solver.class_params(),
+            &pool,
+        );
+        for row in 0..serial.n() {
+            assert_eq!(serial.mean(row), par.mean(row));
+            assert_eq!(serial.cov(row), par.cov(row));
+        }
+        // Refresh with every class marked cov-dirty: parallel and serial
+        // paths must agree bit for bit (and report the same stats).
+        let n_classes = solver.class_params().len();
+        let parents: Vec<u32> = (0..n_classes as u32).collect();
+        let all_dirty = vec![true; n_classes];
+        let no_mean = vec![false; n_classes];
+        let class_of_row: Vec<u32> = (0..serial.n())
+            .map(|i| serial.class_of_row(i) as u32)
+            .collect();
+        let mut a = serial.clone();
+        let mut b = serial.clone();
+        let stats_a = a.refresh_from_class_params(
+            class_of_row.clone(),
+            solver.class_params(),
+            &parents,
+            &no_mean,
+            &all_dirty,
+        );
+        let stats_b = b.refresh_from_class_params_with(
+            class_of_row,
+            solver.class_params(),
+            &parents,
+            &no_mean,
+            &all_dirty,
+            &pool,
+        );
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_a.eigen_recomputed, n_classes);
+        let mut rng_a = Rng::seed_from_u64(1);
+        let mut rng_b = Rng::seed_from_u64(1);
+        assert_eq!(
+            a.sample(&mut rng_a).as_slice(),
+            b.sample(&mut rng_b).as_slice()
+        );
     }
 
     #[test]

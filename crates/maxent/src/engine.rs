@@ -24,29 +24,47 @@ use crate::solver::{ConvergenceReport, FitOpts, Solver};
 use crate::Constraint;
 use crate::Result;
 use sider_linalg::Matrix;
+use sider_par::ThreadPool;
+use std::sync::Arc;
 
 /// Solver + fitted background distribution that persist across feedback
 /// rounds. Create it with [`SolverState::cold`] on the first
 /// `update_background`; afterwards feed each round's new constraints to
 /// [`SolverState::refit`].
+///
+/// The engine owns a handle to the session's [`ThreadPool`] and uses it
+/// for every per-class spectral refresh; by the pool's determinism
+/// contract, results are identical at any pool size.
 #[derive(Debug, Clone)]
 pub struct SolverState {
     solver: Solver,
     background: BackgroundDistribution,
     last_refresh: RefreshStats,
+    pool: Arc<ThreadPool>,
 }
 
 impl SolverState {
     /// Fit from scratch: build the solver, run a full fit over every
-    /// constraint, and decompose every class.
+    /// constraint, and decompose every class (serial pool).
     pub fn cold(
         data: &Matrix,
         constraints: Vec<Constraint>,
         opts: &FitOpts,
     ) -> Result<(Self, ConvergenceReport)> {
+        Self::cold_with(data, constraints, opts, Arc::new(ThreadPool::serial()))
+    }
+
+    /// [`SolverState::cold`] parallelizing the class decompositions over
+    /// `pool`; the engine keeps the handle for later warm refreshes.
+    pub fn cold_with(
+        data: &Matrix,
+        constraints: Vec<Constraint>,
+        opts: &FitOpts,
+        pool: Arc<ThreadPool>,
+    ) -> Result<(Self, ConvergenceReport)> {
         let mut solver = Solver::new(data, constraints)?;
         let report = solver.fit(opts);
-        let background = solver.distribution();
+        let background = solver.distribution_with(&pool);
         let n_classes = solver.n_classes();
         solver.reset_dirty();
         Ok((
@@ -58,6 +76,7 @@ impl SolverState {
                     eigen_recomputed: n_classes,
                     ..RefreshStats::default()
                 },
+                pool,
             },
             report,
         ))
@@ -77,12 +96,13 @@ impl SolverState {
         let any_dirty = self.solver.mean_dirty().iter().any(|&b| b)
             || self.solver.cov_dirty().iter().any(|&b| b);
         if any_dirty || self.solver.n_classes() > self.background.n_classes() {
-            self.last_refresh = self.background.refresh_from_class_params(
+            self.last_refresh = self.background.refresh_from_class_params_with(
                 self.solver.partition().class_of_row.clone(),
                 self.solver.class_params(),
                 self.solver.parent_of_class(),
                 self.solver.mean_dirty(),
                 self.solver.cov_dirty(),
+                &self.pool,
             );
             self.solver.reset_dirty();
         } else {

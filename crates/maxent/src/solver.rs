@@ -632,10 +632,17 @@ impl Solver {
 
     /// Snapshot the fitted background distribution.
     pub fn distribution(&self) -> BackgroundDistribution {
-        BackgroundDistribution::from_class_params(
+        self.distribution_with(&sider_par::ThreadPool::serial())
+    }
+
+    /// [`Solver::distribution`] with the per-class eigendecompositions
+    /// distributed over `pool` (identical result at any pool size).
+    pub fn distribution_with(&self, pool: &sider_par::ThreadPool) -> BackgroundDistribution {
+        BackgroundDistribution::from_class_params_with(
             self.d,
             self.partition.class_of_row.clone(),
             &self.params,
+            pool,
         )
     }
 }

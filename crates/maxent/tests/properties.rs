@@ -157,6 +157,67 @@ proptest! {
     }
 
     #[test]
+    fn parallel_engine_is_bit_identical_to_serial(seed in 0u64..500, n in 12usize..30, d in 2usize..4) {
+        // The whole warm engine — cold fit, warm refit with a partition
+        // split, background refresh, sampling, whitening — must produce
+        // exactly the same bytes on a 1-thread and a 4-thread pool.
+        let data = gen_data(seed, n, d);
+        let opts = FitOpts::with_tolerance(1e-9, 5000);
+        let margins = margin_constraints(&data).unwrap();
+        let cluster_rows: Vec<usize> = (0..(d + 3)).collect();
+        let cluster =
+            cluster_constraints(&data, RowSet::from_indices(&cluster_rows), "c").unwrap();
+
+        let run = |threads: usize| {
+            let pool = std::sync::Arc::new(sider_par::ThreadPool::new(threads));
+            let (mut state, _) =
+                SolverState::cold_with(&data, margins.clone(), &opts, pool.clone()).unwrap();
+            state.refit(cluster.clone(), &opts).unwrap();
+            let mut rng = Rng::seed_from_u64(seed ^ 0xfeed);
+            let sample = state.background().sample_with(&mut rng, &pool);
+            let whitened = state.background().whiten_with(&data, &pool).unwrap();
+            (state, sample, whitened)
+        };
+        let (state1, sample1, whitened1) = run(1);
+        let (state4, sample4, whitened4) = run(4);
+
+        prop_assert_eq!(state1.last_refresh(), state4.last_refresh());
+        prop_assert_eq!(sample1.as_slice(), sample4.as_slice());
+        prop_assert_eq!(whitened1.as_slice(), whitened4.as_slice());
+        for row in 0..n {
+            prop_assert_eq!(state1.background().mean(row), state4.background().mean(row));
+            prop_assert_eq!(state1.background().cov(row), state4.background().cov(row));
+        }
+        // Warm-vs-cold equivalence (PR 1's invariant) must survive the
+        // parallel refresh path: a cold fit of everything on the 4-thread
+        // pool lands on the same optimum within fit tolerance.
+        let mut all = margins.clone();
+        all.extend(cluster.clone());
+        let pool4 = std::sync::Arc::new(sider_par::ThreadPool::new(4));
+        let (cold4, report) = SolverState::cold_with(&data, all, &opts, pool4).unwrap();
+        prop_assert!(report.converged);
+        for row in 0..n {
+            for (a, b) in state4
+                .background()
+                .mean(row)
+                .iter()
+                .zip(cold4.background().mean(row))
+            {
+                prop_assert!((a - b).abs() < 1e-5, "row {} mean {} vs {}", row, a, b);
+            }
+            prop_assert!(
+                state4
+                    .background()
+                    .cov(row)
+                    .max_abs_diff(cold4.background().cov(row))
+                    < 1e-5,
+                "row {}",
+                row
+            );
+        }
+    }
+
+    #[test]
     fn whitening_background_sample_is_spherical(seed in 0u64..200) {
         let data = gen_data(seed, 500, 2);
         let cs = margin_constraints(&data).unwrap();

@@ -19,7 +19,8 @@
 use crate::error::ProjectionError;
 use crate::Result;
 use sider_linalg::{sym_eigen, vector, Matrix};
-use sider_stats::descriptive::covariance;
+use sider_par::ThreadPool;
+use sider_stats::descriptive::covariance_with;
 use sider_stats::gaussianity::{negentropy_offset, standardize_inplace, Contrast};
 use sider_stats::Rng;
 
@@ -58,6 +59,13 @@ pub struct IcaOpts {
     pub rank_rtol: f64,
     /// Component ordering.
     pub order: ComponentOrder,
+    /// Independent random initializations of the fixed-point iteration;
+    /// the run with the largest total `|negentropy|` wins (ties break
+    /// toward the earlier restart, so selection is deterministic). FastICA
+    /// converges to a local optimum of a non-convex contrast, so restarts
+    /// buy robustness; with [`fastica_with`] they execute in parallel.
+    /// `1` (the default) reproduces the single-run behavior exactly.
+    pub restarts: usize,
 }
 
 impl Default for IcaOpts {
@@ -71,6 +79,7 @@ impl Default for IcaOpts {
             strict: false,
             rank_rtol: 1e-9,
             order: ComponentOrder::AbsoluteDesc,
+            restarts: 1,
         }
     }
 }
@@ -93,6 +102,20 @@ pub struct IcaResult {
 
 /// Run FastICA on the rows of `y`.
 pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
+    fastica_with(y, opts, rng, &ThreadPool::serial())
+}
+
+/// [`fastica`] with the heavy stages distributed over `pool`: covariance
+/// accumulation and the whitening product parallelize over row chunks
+/// (bit-identical at any pool size), and when [`IcaOpts::restarts`] > 1
+/// the independent fixed-point runs execute concurrently, each on its own
+/// seeded substream so results never depend on scheduling.
+pub fn fastica_with(
+    y: &Matrix,
+    opts: &IcaOpts,
+    rng: &mut Rng,
+    pool: &ThreadPool,
+) -> Result<IcaResult> {
     let (n, d) = y.shape();
     if n == 0 || d == 0 {
         return Err(ProjectionError::EmptyData);
@@ -102,7 +125,7 @@ pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
     let x = y.center_rows(&means);
 
     // 2. Whiten: eigen of covariance, keep rank-supported directions.
-    let cov = covariance(&x);
+    let cov = covariance_with(&x, pool);
     let eig = sym_eigen(&cov)?;
     let ev_max = eig.values.first().copied().unwrap_or(0.0).max(0.0);
     let mut keep: Vec<usize> = Vec::new();
@@ -135,13 +158,74 @@ pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
             kmat[(row, j)] = scale * col[j];
         }
     }
-    let z = x.matmul(&kmat.transpose()); // n × rank
+    let z = x.matmul_with(&kmat.transpose(), pool); // n × rank
+
+    // 3–4. Fixed-point iteration + scoring, once per restart. A single
+    // restart consumes the caller's generator directly (exactly the
+    // pre-restart behavior); multiple restarts draw one seed each from the
+    // caller's stream up front and run on independent generators, so the
+    // winning result depends only on the seeds — never on scheduling.
+    if opts.restarts <= 1 {
+        return run_restart(&z, &kmat, k, opts, rng);
+    }
+    let seeds: Vec<u64> = (0..opts.restarts).map(|_| rng.next_u64()).collect();
+    let runs = pool.par_map(&seeds, |&seed| {
+        run_restart(&z, &kmat, k, opts, &mut Rng::seed_from_u64(seed))
+    });
+    // Restarts exist for robustness: a failed run (e.g. `strict` hitting
+    // `max_iter` from one unlucky start) is simply out of the running, and
+    // an error surfaces only when *every* restart failed. Selection walks
+    // the runs in seed order, so the winner is deterministic.
+    let mut best: Option<IcaResult> = None;
+    let mut first_err: Option<crate::ProjectionError> = None;
+    for run in runs {
+        match run {
+            Ok(run) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => total_abs_score(&run) > total_abs_score(b),
+                };
+                if better {
+                    best = Some(run);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some(best) => Ok(best),
+        None => Err(first_err.expect("restarts >= 1 run")),
+    }
+}
+
+/// Total `|negentropy|` across components — the restart-selection
+/// objective (larger = stronger non-Gaussian structure captured).
+fn total_abs_score(r: &IcaResult) -> f64 {
+    r.scores.iter().map(|s| s.abs()).sum()
+}
+
+/// One complete fixed-point run (steps 3–4 of [`fastica`]): iterate from a
+/// random orthonormal start, then build sources, input-space directions
+/// and scores.
+fn run_restart(
+    z: &Matrix,
+    kmat: &Matrix,
+    k: usize,
+    opts: &IcaOpts,
+    rng: &mut Rng,
+) -> Result<IcaResult> {
+    let n = z.rows();
+    let d = kmat.cols();
 
     // 3. Fixed-point iteration in the whitened space.
     let (w, converged, iterations) = if opts.symmetric {
-        symmetric_iteration(&z, k, opts, rng)?
+        symmetric_iteration(z, k, opts, rng)?
     } else {
-        deflation_iteration(&z, k, opts, rng)?
+        deflation_iteration(z, k, opts, rng)?
     };
     if opts.strict && !converged {
         return Err(ProjectionError::NotConverged { iterations });
@@ -167,7 +251,7 @@ pub fn fastica(y: &Matrix, opts: &IcaOpts, rng: &mut Rng) -> Result<IcaResult> {
         }
     }
 
-    let w_input = w.matmul(&kmat); // k × d: rows are unmixing directions
+    let w_input = w.matmul(kmat); // k × d: rows are unmixing directions
     let mut directions = Matrix::zeros(k, d);
     let mut scores = Vec::with_capacity(k);
     let mut sources_sorted = Matrix::zeros(n, k);
@@ -499,6 +583,81 @@ mod tests {
         assert!(signed_first.directions.row(0)[0].abs() > 0.9);
         // Absolute ordering must sort by magnitude.
         assert!(abs_first.scores[0].abs() >= abs_first.scores[1].abs());
+    }
+
+    #[test]
+    fn single_restart_matches_pre_restart_behavior() {
+        // restarts == 1 must consume the caller's generator directly, so
+        // the result is byte-identical to the historical single-run path.
+        let (data, _, _) = mixed_sources(3000, 0.7, 40);
+        let res_a = fastica(&data, &IcaOpts::default(), &mut Rng::seed_from_u64(41)).unwrap();
+        let opts_explicit = IcaOpts {
+            restarts: 1,
+            ..IcaOpts::default()
+        };
+        let res_b = fastica(&data, &opts_explicit, &mut Rng::seed_from_u64(41)).unwrap();
+        assert_eq!(res_a.directions.as_slice(), res_b.directions.as_slice());
+        assert_eq!(res_a.scores, res_b.scores);
+    }
+
+    #[test]
+    fn restarts_deterministic_across_pool_sizes_and_never_worse() {
+        let (data, _, _) = mixed_sources(4000, 0.5, 50);
+        let opts = IcaOpts {
+            restarts: 4,
+            ..IcaOpts::default()
+        };
+        let run = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            fastica_with(&data, &opts, &mut Rng::seed_from_u64(51), &pool).unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            let par = run(threads);
+            assert_eq!(
+                serial.directions.as_slice(),
+                par.directions.as_slice(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.scores, par.scores, "{threads} threads");
+        }
+        // The winner of 4 restarts scores at least as high as the run
+        // seeded with the first drawn seed alone.
+        let mut rng = Rng::seed_from_u64(51);
+        let first_seed = rng.next_u64();
+        let single = fastica(
+            &data,
+            &IcaOpts::default(),
+            &mut Rng::seed_from_u64(first_seed),
+        )
+        .unwrap();
+        let sum = |r: &IcaResult| r.scores.iter().map(|s| s.abs()).sum::<f64>();
+        assert!(sum(&serial) >= sum(&single) - 1e-12);
+    }
+
+    #[test]
+    fn restarts_error_only_when_every_restart_fails() {
+        let (data, _, _) = mixed_sources(2000, 0.4, 60);
+        // strict + max_iter 1 + impossible tolerance: every restart fails.
+        let all_fail = IcaOpts {
+            restarts: 3,
+            strict: true,
+            max_iter: 1,
+            tol: 1e-15,
+            ..IcaOpts::default()
+        };
+        assert!(matches!(
+            fastica(&data, &all_fail, &mut Rng::seed_from_u64(61)),
+            Err(ProjectionError::NotConverged { .. })
+        ));
+        // Same setup without strict: best iterate is still returned.
+        let lenient = IcaOpts {
+            strict: false,
+            ..all_fail
+        };
+        let res = fastica(&data, &lenient, &mut Rng::seed_from_u64(61)).unwrap();
+        assert!(!res.converged);
+        assert_eq!(res.directions.rows(), 2);
     }
 
     #[test]

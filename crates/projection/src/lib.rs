@@ -30,10 +30,12 @@ pub mod pca;
 pub mod projector;
 
 pub use error::ProjectionError;
-pub use ica::{fastica, ComponentOrder, IcaOpts, IcaResult};
+pub use ica::{fastica, fastica_with, ComponentOrder, IcaOpts, IcaResult};
 pub use mds::classical_mds;
-pub use pca::{pca_classic, pca_directions, PcaResult};
-pub use projector::{most_informative_projection, project, Method, Projection};
+pub use pca::{pca_classic, pca_directions, pca_directions_with, PcaResult};
+pub use projector::{
+    most_informative_projection, most_informative_projection_with, project, Method, Projection,
+};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ProjectionError>;

@@ -3,7 +3,8 @@
 use crate::error::ProjectionError;
 use crate::Result;
 use sider_linalg::{sym_eigen, Matrix};
-use sider_stats::descriptive::{covariance, second_moment};
+use sider_par::ThreadPool;
+use sider_stats::descriptive::{covariance, second_moment_with};
 use sider_stats::gaussianity::pca_score;
 
 /// Principal directions with their variances and informativeness scores.
@@ -39,7 +40,17 @@ impl PcaResult {
 /// second moment and is correctly treated as a deviation from the
 /// background model.
 pub fn pca_directions(y: &Matrix) -> Result<PcaResult> {
-    build(y, second_moment(y), SortBy::Score)
+    pca_directions_with(y, &ThreadPool::serial())
+}
+
+/// [`pca_directions`] with the `O(n·d²)` second-moment accumulation
+/// distributed over `pool`. The reduction folds fixed row chunks in chunk
+/// order, so directions and scores are bit-identical at any pool size.
+pub fn pca_directions_with(y: &Matrix, pool: &ThreadPool) -> Result<PcaResult> {
+    if y.rows() == 0 || y.cols() == 0 {
+        return Err(ProjectionError::EmptyData);
+    }
+    build(y, second_moment_with(y, pool), SortBy::Score)
 }
 
 /// Classic PCA (centered covariance, sorted by variance descending) — the

@@ -5,10 +5,11 @@
 //! FastICA non-Gaussianity — and package them for display.
 
 use crate::axes::axis_label;
-use crate::ica::{fastica, IcaOpts};
-use crate::pca::pca_directions;
+use crate::ica::{fastica_with, IcaOpts};
+use crate::pca::pca_directions_with;
 use crate::Result;
 use sider_linalg::Matrix;
+use sider_par::ThreadPool;
 use sider_stats::Rng;
 
 /// Projection-pursuit method selector.
@@ -75,9 +76,23 @@ pub fn most_informative_projection(
     method: &Method,
     rng: &mut Rng,
 ) -> Result<Projection> {
+    most_informative_projection_with(whitened, method, rng, &ThreadPool::serial())
+}
+
+/// [`most_informative_projection`] with the heavy stages — PCA moment
+/// accumulation, ICA whitening and fixed-point restarts — distributed
+/// over `pool`. Bit-identical to the serial path at any pool size (the
+/// crate-level determinism contract of `sider_par` plus per-restart
+/// seeding in [`fastica_with`]).
+pub fn most_informative_projection_with(
+    whitened: &Matrix,
+    method: &Method,
+    rng: &mut Rng,
+    pool: &ThreadPool,
+) -> Result<Projection> {
     match method {
         Method::Pca => {
-            let p = pca_directions(whitened)?;
+            let p = pca_directions_with(whitened, pool)?;
             let axes = p.top2();
             let s1 = p.scores.get(1).copied().unwrap_or(p.scores[0]);
             Ok(Projection {
@@ -88,7 +103,7 @@ pub fn most_informative_projection(
             })
         }
         Method::Ica(opts) => {
-            let res = fastica(whitened, opts, rng)?;
+            let res = fastica_with(whitened, opts, rng, pool)?;
             let d = whitened.cols();
             let mut axes = Matrix::zeros(2, d);
             axes.set_row(0, res.directions.row(0));
@@ -180,5 +195,34 @@ mod tests {
     fn method_prefixes() {
         assert_eq!(Method::Pca.prefix(), "PCA");
         assert_eq!(Method::Ica(IcaOpts::default()).prefix(), "ICA");
+    }
+
+    #[test]
+    fn projection_bit_identical_across_pool_sizes() {
+        let data = clustered_data(8);
+        for method in [
+            Method::Pca,
+            Method::Ica(IcaOpts {
+                restarts: 3,
+                ..IcaOpts::default()
+            }),
+        ] {
+            let run = |threads: usize| {
+                let pool = ThreadPool::new(threads);
+                let mut rng = Rng::seed_from_u64(77);
+                most_informative_projection_with(&data, &method, &mut rng, &pool).unwrap()
+            };
+            let serial = run(1);
+            for threads in [2usize, 4] {
+                let par = run(threads);
+                assert_eq!(
+                    serial.axes.as_slice(),
+                    par.axes.as_slice(),
+                    "{}: {threads} threads",
+                    serial.method
+                );
+                assert_eq!(serial.all_scores, par.all_scores);
+            }
+        }
     }
 }

@@ -87,22 +87,96 @@ pub fn column_stats(data: &Matrix) -> Vec<ColumnStats> {
 
 /// Sample covariance matrix (denominator `n − 1`) of the rows of `data`.
 pub fn covariance(data: &Matrix) -> Matrix {
+    covariance_with(data, &sider_par::ThreadPool::serial())
+}
+
+/// [`covariance`] with the moment accumulation distributed over `pool`.
+///
+/// Rows are reduced in fixed chunks of [`MOMENT_ROW_CHUNK`] whose partial
+/// Gram matrices are folded in chunk order, so the result is bit-identical
+/// at any pool size. Centering happens on the fly into a per-chunk scratch
+/// row — the `n × d` centered copy the naive formulation materializes is
+/// never allocated.
+pub fn covariance_with(data: &Matrix, pool: &sider_par::ThreadPool) -> Matrix {
     let (n, d) = data.shape();
     if n < 2 {
         return Matrix::zeros(d, d);
     }
-    let centered = data.center_rows(&data.col_means());
-    centered.gram().scale(1.0 / (n as f64 - 1.0))
+    let means = data.col_means();
+    chunked_gram(data, Some(&means), pool).scale(1.0 / (n as f64 - 1.0))
 }
 
 /// Second-moment matrix `XᵀX / n` (uncentered) — used for the PCA view on
 /// whitened data where deviations of the *mean* from zero are signal.
 pub fn second_moment(data: &Matrix) -> Matrix {
-    let (n, _) = data.shape();
+    second_moment_with(data, &sider_par::ThreadPool::serial())
+}
+
+/// [`second_moment`] with the accumulation distributed over `pool`
+/// (bit-identical at any pool size; see [`covariance_with`]).
+pub fn second_moment_with(data: &Matrix, pool: &sider_par::ThreadPool) -> Matrix {
+    let (n, d) = data.shape();
     if n == 0 {
-        return Matrix::zeros(data.cols(), data.cols());
+        return Matrix::zeros(d, d);
     }
-    data.gram().scale(1.0 / n as f64)
+    chunked_gram(data, None, pool).scale(1.0 / n as f64)
+}
+
+/// Fixed row-chunk length of the parallel moment reductions. Chosen once
+/// and never derived from the thread count: chunk boundaries define the
+/// floating-point summation tree, and that tree must not move when the
+/// pool grows.
+pub const MOMENT_ROW_CHUNK: usize = 512;
+
+/// Upper-triangle Gram accumulation `Σᵢ (xᵢ−c)(xᵢ−c)ᵀ` over row chunks,
+/// partials folded in chunk order, mirrored to full symmetry at the end.
+fn chunked_gram(data: &Matrix, center: Option<&[f64]>, pool: &sider_par::ThreadPool) -> Matrix {
+    let (n, d) = data.shape();
+    // d²/2 multiply-adds per row; small moments run inline (identical
+    // result — the chunk tree is fixed either way).
+    let pool = pool.gated(n.saturating_mul(d * d) / 2);
+    let mut g = pool
+        .map_reduce(
+            n,
+            MOMENT_ROW_CHUNK,
+            |range| {
+                let mut partial = Matrix::zeros(d, d);
+                let mut scratch = vec![0.0; d];
+                for i in range {
+                    let row: &[f64] = match center {
+                        Some(c) => {
+                            for ((s, &x), &m) in scratch.iter_mut().zip(data.row(i)).zip(c) {
+                                *s = x - m;
+                            }
+                            &scratch
+                        }
+                        None => data.row(i),
+                    };
+                    for a in 0..d {
+                        let ra = row[a];
+                        if ra == 0.0 {
+                            continue;
+                        }
+                        let dst = &mut partial.row_mut(a)[a..];
+                        for (acc, &rb) in dst.iter_mut().zip(&row[a..]) {
+                            *acc += ra * rb;
+                        }
+                    }
+                }
+                partial
+            },
+            |mut acc, partial| {
+                acc.add_assign_scaled(1.0, &partial);
+                acc
+            },
+        )
+        .unwrap_or_else(|| Matrix::zeros(d, d));
+    for i in 0..d {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
 }
 
 /// Pearson correlation matrix of the columns.
@@ -184,6 +258,33 @@ mod tests {
         assert_eq!(s[1].min, 10.0);
         assert_eq!(s[1].max, 30.0);
         assert!((s[0].sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_moments_bit_identical_across_pool_sizes() {
+        // Spans several MOMENT_ROW_CHUNK boundaries so the reduction tree
+        // is actually exercised.
+        let mut s = 7u64;
+        // n·d²/2 above the dispatch gate so multi-thread pools really fan out.
+        let data = Matrix::from_fn(MOMENT_ROW_CHUNK * 9 + 41, 8, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let sm1 = second_moment(&data);
+        let cov1 = covariance(&data);
+        for threads in [2usize, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            assert_eq!(second_moment_with(&data, &pool), sm1, "{threads} threads");
+            assert_eq!(covariance_with(&data, &pool), cov1, "{threads} threads");
+        }
+        // And the chunked path still agrees with the direct formulation.
+        let direct = data
+            .center_rows(&data.col_means())
+            .gram()
+            .scale(1.0 / (data.rows() as f64 - 1.0));
+        assert!(cov1.max_abs_diff(&direct) < 1e-12);
     }
 
     #[test]

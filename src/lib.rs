@@ -10,6 +10,9 @@
 //! * [`stats`] — RNG, descriptive statistics, k-means, metrics, ellipses.
 //! * [`maxent`] — the MaxEnt background distribution with linear and
 //!   quadratic constraints (the paper's §II-A engine).
+//! * [`par`] — scoped thread pool + deterministic data-parallel
+//!   primitives (pool size from `SIDER_THREADS`); results are
+//!   bit-identical at any thread count.
 //! * [`projection`] — whitened-data projection pursuit: PCA and FastICA.
 //! * [`data`] — every dataset of the paper's evaluation (simulated where
 //!   the original is not redistributable).
@@ -56,6 +59,7 @@ pub use sider_core as core;
 pub use sider_data as data;
 pub use sider_linalg as linalg;
 pub use sider_maxent as maxent;
+pub use sider_par as par;
 pub use sider_plot as plot;
 pub use sider_projection as projection;
 pub use sider_stats as stats;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use sider_data::{Dataset, LabelSet};
     pub use sider_linalg::Matrix;
     pub use sider_maxent::{BackgroundDistribution, FitOpts, RowSet, Solver};
+    pub use sider_par::ThreadPool;
     pub use sider_projection::{IcaOpts, Method};
     pub use sider_stats::Rng;
 }
