@@ -7,8 +7,12 @@
 //! gate on speedup values: CI machines (and 1-CPU containers) make timing
 //! thresholds meaningless — the guarded invariants are artifact shape and
 //! the recorded `bit_identical_across_threads` determinism flag.
+//!
+//! Every failure message names the offending file and the full JSON path
+//! (e.g. `BENCH_scaling.json: scenarios[2].runs[1].sample_ns`), so a
+//! broken artifact can be located without opening the file.
 
-use sider_bench::json::Json;
+use sider_json::Json;
 use std::process::ExitCode;
 
 fn workspace_root() -> std::path::PathBuf {
@@ -22,9 +26,26 @@ fn load(name: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
 }
 
+/// Require a finite non-negative number at `prefix` + `key`, reporting the
+/// full JSON path on failure.
+fn require_num_at(doc: &Json, prefix: &str, key: &str) -> Result<f64, String> {
+    let full = if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}.{key}")
+    };
+    let v = doc
+        .require_num(key)
+        .map_err(|e| format!("at JSON path '{full}': {e}"))?;
+    if v < 0.0 {
+        return Err(format!("JSON path '{full}' is negative ({v})"));
+    }
+    Ok(v)
+}
+
 fn check_pipeline(doc: &Json) -> Result<(), String> {
     if doc.get("bench").and_then(Json::as_str) != Some("pipeline_cold_vs_warm") {
-        return Err("bench tag is not 'pipeline_cold_vs_warm'".into());
+        return Err("JSON path 'bench' is not the string 'pipeline_cold_vs_warm'".into());
     }
     for key in [
         "samples",
@@ -36,21 +57,18 @@ fn check_pipeline(doc: &Json) -> Result<(), String> {
         "warm_refit.eigen_recomputed",
         "speedup",
     ] {
-        let v = doc.require_num(key)?;
-        if v < 0.0 {
-            return Err(format!("key '{key}' is negative"));
-        }
+        require_num_at(doc, "", key)?;
     }
     Ok(())
 }
 
 fn check_scaling(doc: &Json) -> Result<(), String> {
     if doc.get("bench").and_then(Json::as_str) != Some("scaling") {
-        return Err("bench tag is not 'scaling'".into());
+        return Err("JSON path 'bench' is not the string 'scaling'".into());
     }
     for key in ["available_parallelism", "max_threads", "reps", "classes"] {
-        if doc.require_num(key)? < 1.0 {
-            return Err(format!("key '{key}' must be >= 1"));
+        if require_num_at(doc, "", key)? < 1.0 {
+            return Err(format!("JSON path '{key}' must be >= 1"));
         }
     }
     let scenarios = doc
@@ -58,9 +76,10 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
         .and_then(Json::as_arr)
         .ok_or("missing 'scenarios' array")?;
     if scenarios.is_empty() {
-        return Err("'scenarios' is empty".into());
+        return Err("JSON path 'scenarios' is an empty array".into());
     }
     for (i, sc) in scenarios.iter().enumerate() {
+        let at = format!("scenarios[{i}]");
         for key in [
             "n",
             "d",
@@ -70,8 +89,7 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             "serial_speedup_vs_pr1",
             "parallel_speedup_max_vs_1",
         ] {
-            sc.require_num(key)
-                .map_err(|e| format!("scenario {i}: {e}"))?;
+            require_num_at(sc, &at, key)?;
         }
         if sc
             .path("bit_identical_across_threads")
@@ -79,17 +97,19 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             != Some(true)
         {
             return Err(format!(
-                "scenario {i}: results were NOT bit-identical across thread counts"
+                "JSON path '{at}.bit_identical_across_threads': results were NOT \
+                 bit-identical across thread counts"
             ));
         }
         let runs = sc
             .get("runs")
             .and_then(Json::as_arr)
-            .ok_or_else(|| format!("scenario {i}: missing 'runs' array"))?;
+            .ok_or_else(|| format!("missing '{at}.runs' array"))?;
         if runs.is_empty() {
-            return Err(format!("scenario {i}: 'runs' is empty"));
+            return Err(format!("JSON path '{at}.runs' is an empty array"));
         }
         for (j, run) in runs.iter().enumerate() {
+            let at = format!("{at}.runs[{j}]");
             for key in [
                 "threads",
                 "sample_ns",
@@ -99,8 +119,7 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
                 "matmul_ns",
                 "hot_total_ns",
             ] {
-                run.require_num(key)
-                    .map_err(|e| format!("scenario {i} run {j}: {e}"))?;
+                require_num_at(run, &at, key)?;
             }
         }
     }

@@ -19,8 +19,6 @@
 
 use std::time::{Duration, Instant};
 
-pub mod json;
-
 /// True when the benches should run in reduced "smoke" mode (set
 /// `SIDER_BENCH_SMOKE=1`): small datasets, few samples, same artifact
 /// schema — cheap enough for CI, still exercising every code path.

@@ -15,6 +15,8 @@ pub enum CoreError {
     BadSelection(String),
     /// The dataset failed validation.
     BadDataset(String),
+    /// A JSON wire payload was malformed (see [`crate::wire`]).
+    BadWire(String),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +26,7 @@ impl fmt::Display for CoreError {
             CoreError::Projection(e) => write!(f, "projection pursuit: {e}"),
             CoreError::BadSelection(msg) => write!(f, "bad selection: {msg}"),
             CoreError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            CoreError::BadWire(msg) => write!(f, "bad wire payload: {msg}"),
         }
     }
 }

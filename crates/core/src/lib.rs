@@ -23,6 +23,7 @@
 // kernels, where several arrays are indexed in lockstep and the index is
 // part of the math; iterator rewrites obscure it.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod report;
@@ -31,6 +32,7 @@ pub mod session;
 pub mod sim_user;
 pub mod snapshot;
 pub mod view;
+pub mod wire;
 
 pub use error::CoreError;
 pub use session::{EdaSession, KnowledgeKind};

@@ -161,6 +161,11 @@ impl EdaSession {
         self.constraints.len()
     }
 
+    /// The accumulated primitive constraints (fitted and pending).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
     /// Whether knowledge was added since the last background update.
     pub fn is_dirty(&self) -> bool {
         self.dirty

@@ -1,0 +1,605 @@
+//! JSON wire formats for session state — the vocabulary of the
+//! `sider_server` HTTP API.
+//!
+//! Everything a client exchanges with a SIDER service is expressible in
+//! four payload families, each with a `*_to_json` serializer and (where a
+//! client can send it) a `*_from_json` parser:
+//!
+//! * **views** ([`view_to_json`] / [`view_from_json`]) — the full
+//!   [`ViewState`]: projection axes, scores, axis captions, projected data
+//!   and background sample;
+//! * **constraints** ([`constraint_to_json`] / [`constraint_from_json`]) —
+//!   primitive MaxEnt constraints, useful for debugging and for clients
+//!   that persist the raw constraint set;
+//! * **fit options** ([`fit_opts_to_json`] / [`fit_opts_from_json`]) —
+//!   every field optional, missing fields take [`FitOpts::default`];
+//! * **session snapshots** ([`snapshot_to_json`] / [`snapshot_from_json`])
+//!   — the JSON twin of the line-oriented [`crate::snapshot`] text format:
+//!   knowledge statements only, replayable against the same dataset.
+//!
+//! Serialization is **deterministic**: object keys are emitted sorted
+//! (`sider_json` stores objects in a `BTreeMap`) and every number is
+//! printed as its shortest round-tripping decimal form. Combined with the
+//! workspace-wide thread-count determinism contract (`sider_par`), two
+//! servers running the same request sequence on different pool sizes
+//! produce byte-identical response bodies — the end-to-end test in
+//! `sider_server` asserts exactly that. For the same reason wall-clock
+//! durations are deliberately **not** serialized ([`report_to_json`] omits
+//! `ConvergenceReport::elapsed`).
+//!
+//! Round-trip guarantees (`from_json ∘ to_json = id`) are property-tested
+//! in `crates/core/tests/wire.rs`.
+
+use crate::error::CoreError;
+use crate::session::{EdaSession, KnowledgeKind, KnowledgeRecord};
+use crate::view::ViewState;
+use crate::Result;
+use sider_json::Json;
+use sider_linalg::Matrix;
+use sider_maxent::{
+    Constraint, ConstraintKind, ConvergenceReport, FitOpts, RefreshStats, RowSet, SweepInfo,
+};
+use sider_projection::Projection;
+use std::time::Duration;
+
+fn bad(msg: impl Into<String>) -> CoreError {
+    CoreError::BadWire(msg.into())
+}
+
+fn as_index(x: f64, what: &str) -> Result<usize> {
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64 {
+        Ok(x as usize)
+    } else {
+        Err(bad(format!("'{what}' is not a row index: {x}")))
+    }
+}
+
+fn num_vec(v: &Json, what: &str) -> Result<Vec<f64>> {
+    v.as_arr()
+        .ok_or_else(|| bad(format!("'{what}' is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_num()
+                .filter(|f| f.is_finite())
+                .ok_or_else(|| bad(format!("'{what}' contains a non-finite non-number")))
+        })
+        .collect()
+}
+
+fn index_arr(v: &Json, what: &str) -> Result<Vec<usize>> {
+    num_vec(v, what)?
+        .into_iter()
+        .map(|x| as_index(x, what))
+        .collect()
+}
+
+/// Serialize a matrix as an array of row arrays.
+pub fn matrix_to_json(m: &Matrix) -> Json {
+    Json::Arr(
+        (0..m.rows())
+            .map(|i| Json::from(m.row(i).to_vec()))
+            .collect(),
+    )
+}
+
+/// Parse a matrix from an array of equal-length row arrays of finite
+/// numbers. An empty array is rejected (a matrix needs a column count).
+pub fn matrix_from_json(v: &Json) -> Result<Matrix> {
+    let rows = v.as_arr().ok_or_else(|| bad("matrix is not an array"))?;
+    if rows.is_empty() {
+        return Err(bad("matrix has no rows"));
+    }
+    let parsed: Vec<Vec<f64>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| num_vec(row, &format!("matrix row {i}")))
+        .collect::<Result<_>>()?;
+    let d = parsed[0].len();
+    if d == 0 || parsed.iter().any(|r| r.len() != d) {
+        return Err(bad("matrix rows are empty or ragged"));
+    }
+    Ok(Matrix::from_rows(&parsed))
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// Serialize a [`ViewState`] — everything the SIDER scatter plot shows.
+pub fn view_to_json(view: &ViewState) -> Json {
+    Json::obj([
+        ("method", Json::from(view.projection.method)),
+        ("axes", matrix_to_json(&view.projection.axes)),
+        ("scores", Json::from(view.projection.scores.to_vec())),
+        ("all_scores", Json::from(view.projection.all_scores.clone())),
+        (
+            "axis_labels",
+            Json::arr(view.axis_labels.iter().map(|s| Json::from(s.as_str()))),
+        ),
+        ("projected_data", matrix_to_json(&view.projected_data)),
+        (
+            "projected_background",
+            matrix_to_json(&view.projected_background),
+        ),
+    ])
+}
+
+/// Parse a [`ViewState`] back from [`view_to_json`] output — for clients
+/// that post-process views offline.
+pub fn view_from_json(v: &Json) -> Result<ViewState> {
+    let method = match v.require_str("method").map_err(bad)? {
+        "PCA" => "PCA",
+        "ICA" => "ICA",
+        other => return Err(bad(format!("unknown projection method '{other}'"))),
+    };
+    let axes = matrix_from_json(v.get("axes").ok_or_else(|| bad("missing 'axes'"))?)?;
+    let scores = v.require_num_arr("scores").map_err(bad)?;
+    if scores.len() != 2 {
+        return Err(bad("'scores' must have exactly 2 elements"));
+    }
+    let all_scores = v.require_num_arr("all_scores").map_err(bad)?;
+    let labels = v.require_arr("axis_labels").map_err(bad)?;
+    let [Some(l0), Some(l1)] = [labels.first(), labels.get(1)].map(|l| l.and_then(Json::as_str))
+    else {
+        return Err(bad("'axis_labels' must be 2 strings"));
+    };
+    let projected_data = matrix_from_json(
+        v.get("projected_data")
+            .ok_or_else(|| bad("missing 'projected_data'"))?,
+    )?;
+    let projected_background = matrix_from_json(
+        v.get("projected_background")
+            .ok_or_else(|| bad("missing 'projected_background'"))?,
+    )?;
+    if projected_data.shape() != projected_background.shape() || projected_data.cols() != 2 {
+        return Err(bad("projected matrices must both be n×2"));
+    }
+    Ok(ViewState {
+        projection: Projection {
+            axes,
+            scores: [scores[0], scores[1]],
+            all_scores,
+            method,
+        },
+        projected_data,
+        projected_background,
+        axis_labels: [l0.to_string(), l1.to_string()],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Constraints
+// ---------------------------------------------------------------------------
+
+fn kind_str(kind: ConstraintKind) -> &'static str {
+    match kind {
+        ConstraintKind::Linear => "linear",
+        ConstraintKind::Quadratic => "quadratic",
+    }
+}
+
+/// Serialize a primitive MaxEnt constraint with its data-derived target.
+pub fn constraint_to_json(c: &Constraint) -> Json {
+    Json::obj([
+        ("kind", Json::from(kind_str(c.kind))),
+        ("rows", Json::from(c.rows.to_usize_vec())),
+        ("w", Json::from(c.w.clone())),
+        ("target", Json::from(c.target)),
+        ("mhat", Json::from(c.mhat.clone())),
+        ("delta", Json::from(c.delta)),
+        ("label", Json::from(c.label.as_str())),
+    ])
+}
+
+/// Parse a primitive constraint back from [`constraint_to_json`] output.
+pub fn constraint_from_json(v: &Json) -> Result<Constraint> {
+    let kind = match v.require_str("kind").map_err(bad)? {
+        "linear" => ConstraintKind::Linear,
+        "quadratic" => ConstraintKind::Quadratic,
+        other => return Err(bad(format!("unknown constraint kind '{other}'"))),
+    };
+    let rows = index_arr(v.get("rows").ok_or_else(|| bad("missing 'rows'"))?, "rows")?;
+    if rows.is_empty() {
+        return Err(bad("'rows' is empty"));
+    }
+    let w = v.require_num_arr("w").map_err(bad)?;
+    let mhat = v.require_num_arr("mhat").map_err(bad)?;
+    if w.is_empty() || w.len() != mhat.len() {
+        return Err(bad("'w' and 'mhat' must be non-empty and equal length"));
+    }
+    let target = v.require_num("target").map_err(bad)?;
+    let delta = v.require_num("delta").map_err(bad)?;
+    let label = v.require_str("label").map_err(bad)?.to_string();
+    Ok(Constraint {
+        kind,
+        rows: RowSet::from_indices(&rows),
+        w,
+        target,
+        mhat,
+        delta,
+        label,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fit options
+// ---------------------------------------------------------------------------
+
+/// Serialize [`FitOpts`] (the wall-clock cutoff as `time_cutoff_ms`).
+pub fn fit_opts_to_json(o: &FitOpts) -> Json {
+    let mut obj = vec![
+        ("lambda_tol", Json::from(o.lambda_tol)),
+        ("moment_tol", Json::from(o.moment_tol)),
+        ("max_sweeps", Json::from(o.max_sweeps)),
+        ("lambda_max", Json::from(o.lambda_max)),
+        ("trace", Json::from(o.trace)),
+    ];
+    if let Some(cutoff) = o.time_cutoff {
+        obj.push(("time_cutoff_ms", Json::from(cutoff.as_millis() as f64)));
+    }
+    Json::obj(obj)
+}
+
+/// Parse [`FitOpts`] from a (possibly partial) object: every missing field
+/// takes its [`FitOpts::default`] value, so `{}` is valid.
+pub fn fit_opts_from_json(v: &Json) -> Result<FitOpts> {
+    if v.as_obj().is_none() {
+        return Err(bad("fit options must be an object"));
+    }
+    let defaults = FitOpts::default();
+    let num = |key: &str, dflt: f64| -> Result<f64> {
+        match v.get(key) {
+            None => Ok(dflt),
+            Some(_) => v.require_num(key).map_err(bad),
+        }
+    };
+    let lambda_tol = num("lambda_tol", defaults.lambda_tol)?;
+    let moment_tol = num("moment_tol", defaults.moment_tol)?;
+    let lambda_max = num("lambda_max", defaults.lambda_max)?;
+    let max_sweeps = as_index(num("max_sweeps", defaults.max_sweeps as f64)?, "max_sweeps")?;
+    let time_cutoff = match v.get("time_cutoff_ms") {
+        None | Some(Json::Null) => defaults.time_cutoff,
+        Some(_) => {
+            // `require_num` already guarantees finiteness.
+            let ms = v.require_num("time_cutoff_ms").map_err(bad)?;
+            if ms < 0.0 {
+                return Err(bad("'time_cutoff_ms' must be >= 0"));
+            }
+            Some(Duration::from_millis(ms as u64))
+        }
+    };
+    let trace = match v.get("trace") {
+        None => defaults.trace,
+        Some(t) => t.as_bool().ok_or_else(|| bad("'trace' is not a boolean"))?,
+    };
+    // All three are finite (via `require_num`), so plain comparisons
+    // cover the NaN case too.
+    if lambda_tol <= 0.0 || moment_tol <= 0.0 || lambda_max <= 0.0 {
+        return Err(bad("tolerances and lambda_max must be positive"));
+    }
+    Ok(FitOpts {
+        lambda_tol,
+        moment_tol,
+        max_sweeps,
+        time_cutoff,
+        lambda_max,
+        trace,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reports and stats
+// ---------------------------------------------------------------------------
+
+fn sweep_info_to_json(s: &SweepInfo) -> Json {
+    Json::obj([
+        ("sweep", Json::from(s.sweep)),
+        ("max_lambda_change", Json::from(s.max_lambda_change)),
+        ("max_moment_change", Json::from(s.max_moment_change)),
+        ("max_residual", Json::from(s.max_residual)),
+    ])
+}
+
+/// Serialize a [`ConvergenceReport`].
+///
+/// `elapsed` is deliberately omitted: wall-clock time varies run to run,
+/// and the wire format guarantees byte-identical responses for identical
+/// request sequences (the determinism contract the end-to-end tests pin).
+pub fn report_to_json(r: &ConvergenceReport) -> Json {
+    let mut obj = vec![
+        ("sweeps", Json::from(r.sweeps)),
+        ("converged", Json::from(r.converged)),
+        ("hit_time_cutoff", Json::from(r.hit_time_cutoff)),
+    ];
+    if let Some(last) = &r.last {
+        obj.push(("last", sweep_info_to_json(last)));
+    }
+    if !r.trace.is_empty() {
+        obj.push(("trace", Json::arr(r.trace.iter().map(sweep_info_to_json))));
+    }
+    Json::obj(obj)
+}
+
+/// Serialize [`RefreshStats`] — what the last background refresh actually
+/// recomputed (the warm path's observable win).
+pub fn refresh_stats_to_json(s: &RefreshStats) -> Json {
+    Json::obj([
+        ("classes_total", Json::from(s.classes_total)),
+        ("eigen_recomputed", Json::from(s.eigen_recomputed)),
+        ("mean_updated", Json::from(s.mean_updated)),
+        ("cloned_from_parent", Json::from(s.cloned_from_parent)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+fn knowledge_kind_str(kind: KnowledgeKind) -> &'static str {
+    match kind {
+        KnowledgeKind::Margin => "margin",
+        KnowledgeKind::OneCluster => "one-cluster",
+        KnowledgeKind::Cluster => "cluster",
+        KnowledgeKind::TwoD => "twod",
+    }
+}
+
+/// Serialize one knowledge statement (kind + the selection it came from).
+pub fn knowledge_to_json(k: &KnowledgeRecord) -> Json {
+    let mut obj = vec![("kind", Json::from(knowledge_kind_str(k.kind)))];
+    if !k.rows.is_empty() {
+        obj.push(("rows", Json::from(k.rows.clone())));
+    }
+    if let Some(axes) = &k.axes {
+        obj.push(("axes", matrix_to_json(axes)));
+    }
+    obj.push(("n_constraints", Json::from(k.n_constraints)));
+    obj.push(("tag", Json::from(k.tag.as_str())));
+    Json::obj(obj)
+}
+
+/// Serialize the session's accumulated knowledge — the JSON twin of
+/// [`crate::snapshot::save`]. Replaying the statements against the same
+/// dataset reconstructs the same constraints; one
+/// [`EdaSession::update_background`] then reproduces the same background
+/// distribution.
+pub fn snapshot_to_json(session: &EdaSession) -> Json {
+    Json::obj([
+        ("format", Json::from("sider-session")),
+        ("version", Json::from(1.0)),
+        (
+            "dataset",
+            Json::obj([
+                ("name", Json::from(session.dataset().name.as_str())),
+                ("n", Json::from(session.dataset().n())),
+                ("d", Json::from(session.dataset().d())),
+            ]),
+        ),
+        (
+            "knowledge",
+            Json::arr(session.knowledge().iter().map(knowledge_to_json)),
+        ),
+    ])
+}
+
+/// Replay a JSON snapshot's knowledge statements into a session over the
+/// same dataset (checked by shape). The background is *not* refitted —
+/// call [`EdaSession::update_background`] afterwards. Returns the number
+/// of statements applied.
+pub fn snapshot_from_json(session: &mut EdaSession, v: &Json) -> Result<usize> {
+    if v.require_str("format").map_err(bad)? != "sider-session" {
+        return Err(bad("not a sider-session snapshot"));
+    }
+    if v.require_num("version").map_err(bad)? != 1.0 {
+        return Err(bad("unsupported snapshot version"));
+    }
+    let n = as_index(v.require_num("dataset.n").map_err(bad)?, "dataset.n")?;
+    let d = as_index(v.require_num("dataset.d").map_err(bad)?, "dataset.d")?;
+    if n != session.dataset().n() || d != session.dataset().d() {
+        return Err(bad(format!(
+            "snapshot is for a {n}x{d} dataset, session has {}x{}",
+            session.dataset().n(),
+            session.dataset().d()
+        )));
+    }
+    let statements = v.require_arr("knowledge").map_err(bad)?;
+    // Replay into a scratch copy first so a malformed statement in the
+    // middle of the list cannot leave the live session half-mutated.
+    let mut staged = session.clone();
+    for (i, stmt) in statements.iter().enumerate() {
+        let kind = stmt
+            .require_str("kind")
+            .map_err(|e| bad(format!("knowledge[{i}]: {e}")))?;
+        let rows = || -> Result<Vec<usize>> {
+            index_arr(
+                stmt.get("rows")
+                    .ok_or_else(|| bad(format!("knowledge[{i}]: missing 'rows'")))?,
+                "rows",
+            )
+        };
+        match kind {
+            "margin" => staged.add_margin_constraints()?,
+            "one-cluster" => staged.add_one_cluster_constraint()?,
+            "cluster" => staged.add_cluster_constraint(&rows()?)?,
+            "twod" => {
+                let axes = matrix_from_json(
+                    stmt.get("axes")
+                        .ok_or_else(|| bad(format!("knowledge[{i}]: missing 'axes'")))?,
+                )?;
+                staged.add_twod_constraint(&rows()?, &axes)?;
+            }
+            other => {
+                return Err(bad(format!(
+                    "knowledge[{i}]: unknown knowledge kind '{other}'"
+                )))
+            }
+        }
+    }
+    *session = staged;
+    Ok(statements.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_data::synthetic::three_d_four_clusters;
+    use sider_projection::Method;
+
+    fn session() -> EdaSession {
+        EdaSession::new(three_d_four_clusters(2018), 7).unwrap()
+    }
+
+    #[test]
+    fn view_roundtrips() {
+        let mut s = session();
+        let view = s.next_view(&Method::Pca).unwrap();
+        let json = view_to_json(&view);
+        let back = view_from_json(&Json::parse(&json.dump()).unwrap()).unwrap();
+        assert_eq!(back.projection.method, "PCA");
+        assert_eq!(
+            back.projected_data.as_slice(),
+            view.projected_data.as_slice()
+        );
+        assert_eq!(
+            back.projected_background.as_slice(),
+            view.projected_background.as_slice()
+        );
+        assert_eq!(back.axis_labels, view.axis_labels);
+        assert_eq!(back.projection.scores, view.projection.scores);
+    }
+
+    #[test]
+    fn constraint_roundtrips_bitwise() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&[0, 5, 9]).unwrap();
+        for c in s.constraints() {
+            let json = constraint_to_json(c);
+            let back = constraint_from_json(&Json::parse(&json.dump()).unwrap()).unwrap();
+            assert_eq!(back.kind, c.kind);
+            assert_eq!(back.rows.to_usize_vec(), c.rows.to_usize_vec());
+            assert_eq!(back.w, c.w);
+            assert_eq!(back.target.to_bits(), c.target.to_bits());
+            assert_eq!(back.delta.to_bits(), c.delta.to_bits());
+            assert_eq!(back.label, c.label);
+        }
+    }
+
+    #[test]
+    fn fit_opts_defaults_and_roundtrip() {
+        let parsed = fit_opts_from_json(&Json::parse("{}").unwrap()).unwrap();
+        let d = FitOpts::default();
+        assert_eq!(parsed.lambda_tol, d.lambda_tol);
+        assert_eq!(parsed.max_sweeps, d.max_sweeps);
+        assert_eq!(parsed.time_cutoff, None);
+
+        let opts = FitOpts {
+            lambda_tol: 1e-6,
+            moment_tol: 1e-5,
+            max_sweeps: 123,
+            time_cutoff: Some(Duration::from_millis(2500)),
+            lambda_max: 1e9,
+            trace: true,
+        };
+        let back = fit_opts_from_json(&fit_opts_to_json(&opts)).unwrap();
+        assert_eq!(back.lambda_tol, opts.lambda_tol);
+        assert_eq!(back.moment_tol, opts.moment_tol);
+        assert_eq!(back.max_sweeps, opts.max_sweeps);
+        assert_eq!(back.time_cutoff, opts.time_cutoff);
+        assert_eq!(back.lambda_max, opts.lambda_max);
+        assert_eq!(back.trace, opts.trace);
+    }
+
+    #[test]
+    fn bad_payloads_rejected() {
+        assert!(matrix_from_json(&Json::parse("[]").unwrap()).is_err());
+        assert!(matrix_from_json(&Json::parse("[[1,2],[3]]").unwrap()).is_err());
+        assert!(matrix_from_json(&Json::parse("3").unwrap()).is_err());
+        assert!(fit_opts_from_json(&Json::parse("[]").unwrap()).is_err());
+        assert!(fit_opts_from_json(&Json::parse(r#"{"lambda_tol": -1}"#).unwrap()).is_err());
+        assert!(fit_opts_from_json(&Json::parse(r#"{"max_sweeps": 1.5}"#).unwrap()).is_err());
+        assert!(constraint_from_json(&Json::parse(r#"{"kind":"cubic"}"#).unwrap()).is_err());
+        assert!(view_from_json(&Json::parse(r#"{"method":"UMAP"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reproduces_background() {
+        let mut original = session();
+        original.add_margin_constraints().unwrap();
+        original.add_cluster_constraint(&[0, 1, 2, 3, 4]).unwrap();
+        let axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        original.add_twod_constraint(&[10, 11, 12], &axes).unwrap();
+        original.update_background(&FitOpts::default()).unwrap();
+
+        let json = snapshot_to_json(&original);
+        let reparsed = Json::parse(&json.dump()).unwrap();
+        let mut restored = session();
+        assert_eq!(snapshot_from_json(&mut restored, &reparsed).unwrap(), 3);
+        assert_eq!(restored.n_constraints(), original.n_constraints());
+        restored.update_background(&FitOpts::default()).unwrap();
+        for row in [0usize, 11, 100] {
+            assert!(
+                original
+                    .background()
+                    .cov(row)
+                    .max_abs_diff(restored.background().cov(row))
+                    < 1e-12
+            );
+        }
+        assert!((original.information_nats() - restored.information_nats()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_dataset() {
+        let donor = {
+            let mut s = session();
+            s.add_margin_constraints().unwrap();
+            snapshot_to_json(&s)
+        };
+        let mut tiny = EdaSession::new(
+            sider_data::Dataset::unlabeled("tiny", Matrix::identity(2)),
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            snapshot_from_json(&mut tiny, &donor),
+            Err(CoreError::BadWire(_))
+        ));
+        let mut s = session();
+        assert!(snapshot_from_json(&mut s, &Json::parse(r#"{"format":"x"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn snapshot_apply_is_atomic() {
+        // A snapshot whose *last* statement is malformed must leave the
+        // target session untouched — not half-applied.
+        let text = r#"{"format":"sider-session","version":1,
+            "dataset":{"name":"x","n":150,"d":3},
+            "knowledge":[{"kind":"margin"},
+                         {"kind":"cluster","rows":[0,1,2]},
+                         {"kind":"frobnicate"}]}"#;
+        let parsed = Json::parse(text).unwrap();
+        let mut s = session();
+        assert!(snapshot_from_json(&mut s, &parsed).is_err());
+        assert_eq!(s.n_constraints(), 0);
+        assert_eq!(s.knowledge().len(), 0);
+        assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn report_omits_wall_clock() {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        let report = s.update_background(&FitOpts::default()).unwrap();
+        let json = report_to_json(&report);
+        assert!(json.get("elapsed").is_none());
+        assert_eq!(json.require_num("sweeps").unwrap(), report.sweeps as f64);
+        assert_eq!(json.get("converged").unwrap().as_bool(), Some(true));
+        let stats = s.last_refresh_stats().unwrap();
+        let sj = refresh_stats_to_json(&stats);
+        assert_eq!(
+            sj.require_num("classes_total").unwrap(),
+            stats.classes_total as f64
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Round-trip property tests for the JSON wire formats
+//! (`from_json ∘ to_json = id`, through an actual parse of the dumped
+//! text — the same bytes a server would put on the socket).
+
+use proptest::prelude::*;
+use sider_core::wire;
+use sider_core::EdaSession;
+use sider_data::synthetic::three_d_four_clusters;
+use sider_json::Json;
+use sider_linalg::Matrix;
+use sider_maxent::FitOpts;
+use sider_projection::Method;
+use std::time::Duration;
+
+fn session() -> EdaSession {
+    EdaSession::new(three_d_four_clusters(2018), 7).unwrap()
+}
+
+/// Deterministic selection of `k` distinct rows out of 150, keyed by seed.
+fn rows(seed: u64, k: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..150).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for i in (1..out.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    out.truncate(k.max(2));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn constraint_payloads_roundtrip(seed in 0u64..10_000, k in 2usize..40) {
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&rows(seed, k)).unwrap();
+        let axes = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        s.add_twod_constraint(&rows(seed ^ 0xA5, k), &axes).unwrap();
+        for c in s.constraints() {
+            let text = wire::constraint_to_json(c).dump();
+            let back = wire::constraint_from_json(&Json::parse(&text).unwrap()).unwrap();
+            prop_assert_eq!(back.kind, c.kind);
+            prop_assert_eq!(back.rows.to_usize_vec(), c.rows.to_usize_vec());
+            prop_assert_eq!(back.label.clone(), c.label.clone());
+            prop_assert_eq!(back.target.to_bits(), c.target.to_bits());
+            prop_assert_eq!(back.delta.to_bits(), c.delta.to_bits());
+            for (a, b) in back.w.iter().zip(&c.w) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in back.mhat.iter().zip(&c.mhat) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_payloads_roundtrip(seed in 0u64..10_000, k in 2usize..30) {
+        let mut donor = session();
+        donor.add_margin_constraints().unwrap();
+        donor.add_cluster_constraint(&rows(seed, k)).unwrap();
+        if seed % 2 == 0 {
+            donor.add_one_cluster_constraint().unwrap();
+        }
+        let axes = Matrix::from_rows(&[vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        donor.add_twod_constraint(&rows(seed ^ 0x5A, k), &axes).unwrap();
+
+        let text = wire::snapshot_to_json(&donor).dump();
+        let parsed = Json::parse(&text).unwrap();
+        let mut restored = session();
+        let applied = wire::snapshot_from_json(&mut restored, &parsed).unwrap();
+        prop_assert_eq!(applied, donor.knowledge().len());
+        prop_assert_eq!(restored.n_constraints(), donor.n_constraints());
+        // Same knowledge → same serialized snapshot, byte for byte.
+        prop_assert_eq!(wire::snapshot_to_json(&restored).dump(), text);
+    }
+
+    #[test]
+    fn fit_opts_payloads_roundtrip(
+        tol_exp in 1u32..10,
+        sweeps in 1usize..5000,
+        cutoff_ms in 0u64..100_000,
+        trace in 0u64..2,
+    ) {
+        let opts = FitOpts {
+            lambda_tol: 10f64.powi(-(tol_exp as i32)),
+            moment_tol: 10f64.powi(-(tol_exp as i32) / 2),
+            max_sweeps: sweeps,
+            time_cutoff: (cutoff_ms % 2 == 0).then(|| Duration::from_millis(cutoff_ms)),
+            lambda_max: 10f64.powi(tol_exp as i32 + 2),
+            trace: trace == 1,
+        };
+        let text = wire::fit_opts_to_json(&opts).dump();
+        let back = wire::fit_opts_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.lambda_tol.to_bits(), opts.lambda_tol.to_bits());
+        prop_assert_eq!(back.moment_tol.to_bits(), opts.moment_tol.to_bits());
+        prop_assert_eq!(back.max_sweeps, opts.max_sweeps);
+        prop_assert_eq!(back.time_cutoff, opts.time_cutoff);
+        prop_assert_eq!(back.lambda_max.to_bits(), opts.lambda_max.to_bits());
+        prop_assert_eq!(back.trace, opts.trace);
+    }
+}
+
+#[test]
+fn view_payload_roundtrips_bitwise() {
+    let mut s = session();
+    s.add_margin_constraints().unwrap();
+    s.update_background(&FitOpts::default()).unwrap();
+    let view = s.next_view(&Method::Pca).unwrap();
+    let text = wire::view_to_json(&view).dump();
+    let back = wire::view_from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back.projection.method, view.projection.method);
+    assert_eq!(
+        back.projection.axes.as_slice(),
+        view.projection.axes.as_slice()
+    );
+    assert_eq!(back.projection.all_scores, view.projection.all_scores);
+    assert_eq!(back.axis_labels, view.axis_labels);
+    assert_eq!(
+        back.projected_data.as_slice(),
+        view.projected_data.as_slice()
+    );
+    assert_eq!(
+        back.projected_background.as_slice(),
+        view.projected_background.as_slice()
+    );
+    // Serializing the reconstruction reproduces the exact bytes.
+    assert_eq!(wire::view_to_json(&back).dump(), text);
+}

@@ -1,0 +1,624 @@
+//! Shared std-only JSON wire format for the `sider` workspace.
+//!
+//! The workspace builds offline (no `serde`), yet three subsystems speak
+//! JSON: the benchmark artifacts (`BENCH_*.json`), the session wire
+//! formats of `sider_core::wire`, and the HTTP API of `sider_server`.
+//! This crate is the single implementation all of them share:
+//!
+//! * [`Json::parse`] — a small recursive-descent parser covering exactly
+//!   RFC 8259 (originally grown inside `sider_bench` for artifact schema
+//!   checks, promoted here once the server needed it too);
+//! * [`Json::dump`] — the matching serializer. Output is **deterministic**
+//!   (objects are stored in a [`BTreeMap`], so members are emitted in
+//!   sorted key order) and **round-trips**: for every value without
+//!   non-finite numbers, `Json::parse(&v.dump()) == Ok(v)` — property
+//!   tested in `tests/roundtrip.rs`. Determinism is what lets the HTTP
+//!   end-to-end tests compare whole response bodies byte for byte across
+//!   thread counts.
+//!
+//! Numbers are `f64` (like JavaScript); non-finite numbers have no JSON
+//! representation and serialize as `null`. Typed accessors ([`Json::get`],
+//! [`Json::path`], [`Json::require_num`], …) keep call sites short and
+//! produce error messages that name the offending dotted path.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always an `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Stored sorted by key, which makes serialization
+    /// deterministic regardless of insertion order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Serialize compactly (no whitespace). Object members are emitted in
+    /// sorted key order; parsing the output yields back an equal value as
+    /// long as every number is finite (non-finite numbers become `null`).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation — for artifacts meant to be
+    /// read by humans (`BENCH_*.json`, exported snapshots).
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, &mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Build an object from key/value pairs (later duplicates win).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Object member lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Walk a dotted path of object keys (`"warm_refit.median_ns"`).
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in dotted.split('.') {
+            cur = cur.get(key)?;
+        }
+        Some(cur)
+    }
+
+    /// Require a finite number at a dotted path — the core schema check.
+    pub fn require_num(&self, dotted: &str) -> Result<f64, String> {
+        let v = self
+            .path(dotted)
+            .ok_or_else(|| format!("missing key '{dotted}'"))?
+            .as_num()
+            .ok_or_else(|| format!("key '{dotted}' is not a number"))?;
+        if !v.is_finite() {
+            return Err(format!("key '{dotted}' is not finite"));
+        }
+        Ok(v)
+    }
+
+    /// Require a string at a dotted path.
+    pub fn require_str(&self, dotted: &str) -> Result<&str, String> {
+        self.path(dotted)
+            .ok_or_else(|| format!("missing key '{dotted}'"))?
+            .as_str()
+            .ok_or_else(|| format!("key '{dotted}' is not a string"))
+    }
+
+    /// Require an array at a dotted path.
+    pub fn require_arr(&self, dotted: &str) -> Result<&[Json], String> {
+        self.path(dotted)
+            .ok_or_else(|| format!("missing key '{dotted}'"))?
+            .as_arr()
+            .ok_or_else(|| format!("key '{dotted}' is not an array"))
+    }
+
+    /// A vector of finite numbers at a dotted path.
+    pub fn require_num_arr(&self, dotted: &str) -> Result<Vec<f64>, String> {
+        self.require_arr(dotted)?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_num()
+                    .filter(|x| x.is_finite())
+                    .ok_or_else(|| format!("key '{dotted}[{i}]' is not a finite number"))
+            })
+            .collect()
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(x) => write_num(*x, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Json, out: &mut String, indent: usize) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Json::Obj(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Shortest decimal representation that parses back to the same `f64`
+/// (Rust's `Display` for floats guarantees round-tripping); non-finite
+/// numbers have no JSON representation and become `null`.
+fn write_num(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `write!` to a String cannot fail.
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape '\\{}'", *other as char)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let ch_len = utf8_len(b);
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = Json::parse(
+            r#"{ "a": 1.5, "b": [true, null, "x\n"], "c": { "d": -2e3 }, "e": false }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.require_num("a").unwrap(), 1.5);
+        assert_eq!(doc.path("c.d").unwrap().as_num(), Some(-2000.0));
+        assert_eq!(doc.get("e").unwrap().as_bool(), Some(false));
+        let arr = doc.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].as_str(), Some("x\n"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#"{"a": 1e999999}"#).is_ok()); // inf parses…
+        assert!(Json::parse(r#"{"a": 1e999999}"#)
+            .unwrap()
+            .require_num("a")
+            .is_err()); // …but fails the finiteness check
+    }
+
+    #[test]
+    fn missing_paths_reported() {
+        let doc = Json::parse(r#"{"warm": {"ns": 10}}"#).unwrap();
+        assert_eq!(doc.require_num("warm.ns").unwrap(), 10.0);
+        let err = doc.require_num("cold.ns").unwrap_err();
+        assert!(err.contains("cold.ns"));
+        let err = Json::parse(r#"{"x": "s"}"#)
+            .unwrap()
+            .require_num("x")
+            .unwrap_err();
+        assert!(err.contains("not a number"));
+    }
+
+    #[test]
+    fn dump_is_compact_and_sorted() {
+        let v = Json::obj([
+            ("z", Json::from(1.0)),
+            ("a", Json::arr([Json::Null, Json::from(true)])),
+            ("m", Json::from("hi")),
+        ]);
+        assert_eq!(v.dump(), r#"{"a":[null,true],"m":"hi","z":1}"#);
+    }
+
+    #[test]
+    fn dump_escapes_strings() {
+        let v = Json::from("a\"b\\c\nd\u{1}e");
+        assert_eq!(v.dump(), r#""a\"b\\c\nd\u0001e""#);
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+    }
+
+    #[test]
+    fn dump_numbers_roundtrip() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1e-300,
+            1e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+        ] {
+            let dumped = Json::Num(x).dump();
+            let back = Json::parse(&dumped).unwrap().as_num().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {dumped}");
+        }
+        assert_eq!(Json::Num(f64::NAN).dump(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn dump_pretty_parses_back() {
+        let v = Json::obj([
+            ("name", Json::from("sider")),
+            ("xs", Json::from(vec![1.0, 2.5])),
+            ("empty_obj", Json::Obj(BTreeMap::new())),
+            ("empty_arr", Json::Arr(Vec::new())),
+        ]);
+        let pretty = v.dump_pretty();
+        assert!(pretty.contains("  \"name\": \"sider\""));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_requires() {
+        let doc = Json::parse(r#"{"s":"x","a":[1,2],"o":{"b":true}}"#).unwrap();
+        assert_eq!(doc.require_str("s").unwrap(), "x");
+        assert_eq!(doc.require_arr("a").unwrap().len(), 2);
+        assert_eq!(doc.require_num_arr("a").unwrap(), vec![1.0, 2.0]);
+        assert!(doc.require_str("a").is_err());
+        assert!(doc.require_arr("s").is_err());
+        assert!(doc.require_num_arr("o").is_err());
+        assert!(doc.get("o").unwrap().as_obj().is_some());
+    }
+
+    #[test]
+    fn parses_the_pipeline_artifact_shape() {
+        let doc = Json::parse(
+            "{\n  \"bench\": \"pipeline_cold_vs_warm\",\n  \"samples\": 10,\n  \"cold_fit\": { \"median_ns\": 123, \"sweeps\": 4, \"eigen_recomputed\": 2 },\n  \"warm_refit\": { \"median_ns\": 45, \"sweeps\": 1, \"eigen_recomputed\": 1 },\n  \"speedup\": 2.733\n}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("bench").unwrap().as_str(),
+            Some("pipeline_cold_vs_warm")
+        );
+        assert!(doc.require_num("cold_fit.median_ns").unwrap() > 0.0);
+        assert!(doc.require_num("warm_refit.median_ns").unwrap() > 0.0);
+        assert!(doc.require_num("speedup").is_ok());
+    }
+}

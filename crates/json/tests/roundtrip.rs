@@ -1,0 +1,125 @@
+//! Property tests: `parse ∘ dump = id` over randomly generated values.
+
+use proptest::prelude::*;
+use sider_json::Json;
+use std::collections::BTreeMap;
+
+/// Small deterministic SplitMix64 stream for structural generation.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        // A mix of magnitudes, signs and exact integers.
+        match self.below(5) {
+            0 => self.below(2000) as f64 - 1000.0,
+            1 => f64::from_bits(self.next() >> 2) % 1e12, // small exponent soup
+            2 => (self.next() >> 11) as f64 / (1u64 << 53) as f64,
+            3 => -((self.next() >> 20) as f64) * 1e-9,
+            _ => (self.below(1_000_000) as f64) * 1e6,
+        }
+    }
+
+    fn string(&mut self) -> String {
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| match self.below(8) {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\t',
+                4 => '\u{1}',
+                5 => 'λ', // multi-byte UTF-8
+                6 => '🦀',
+                _ => (b'a' + self.below(26) as u8) as char,
+            })
+            .collect()
+    }
+
+    fn value(&mut self, depth: usize) -> Json {
+        let choices = if depth == 0 { 4 } else { 6 };
+        match self.below(choices) {
+            0 => Json::Null,
+            1 => Json::Bool(self.below(2) == 0),
+            2 => {
+                let x = self.f64();
+                Json::Num(if x.is_finite() { x } else { 0.0 })
+            }
+            3 => Json::Str(self.string()),
+            4 => {
+                let len = self.below(5) as usize;
+                Json::Arr((0..len).map(|_| self.value(depth - 1)).collect())
+            }
+            _ => {
+                let len = self.below(5) as usize;
+                let mut map = BTreeMap::new();
+                for _ in 0..len {
+                    map.insert(self.string(), self.value(depth - 1));
+                }
+                Json::Obj(map)
+            }
+        }
+    }
+}
+
+/// `Json` equality with bitwise number comparison — `PartialEq` on `f64`
+/// treats `0.0 == -0.0`, but the round-trip guarantee is bit-exact.
+fn bit_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_eq(x, y))
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bit_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_dump_roundtrips(seed in 0u64..1_000_000) {
+        let value = Gen(seed).value(3);
+        let compact = value.dump();
+        let back = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("reparse failed for {compact}: {e}"));
+        prop_assert!(bit_eq(&back, &value), "compact roundtrip: {compact}");
+
+        let pretty = value.dump_pretty();
+        let back = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("pretty reparse failed: {e}"));
+        prop_assert!(bit_eq(&back, &value), "pretty roundtrip: {pretty}");
+
+        // Serialization is deterministic: dump(parse(dump(v))) == dump(v).
+        prop_assert_eq!(Json::parse(&compact).unwrap().dump(), compact);
+    }
+
+    #[test]
+    fn number_bits_survive(seed in 0u64..1_000_000) {
+        let mut g = Gen(seed ^ 0xD1CE);
+        let x = g.f64();
+        if x.is_finite() {
+            let dumped = Json::Num(x).dump();
+            let back = Json::parse(&dumped).unwrap().as_num().unwrap();
+            prop_assert_eq!(back.to_bits(), x.to_bits(), "{} via {}", x, dumped);
+        }
+    }
+}

@@ -46,7 +46,7 @@ pub struct Constraint {
     pub mhat: Vec<f64>,
     /// `δ = m̂_Iᵀ w`, cached for the quadratic update rules.
     pub delta: f64,
-    /// Human-readable tag for diagnostics ("margin[3]-quad", …).
+    /// Human-readable tag for diagnostics (`margin[3]-quad`, …).
     pub label: String,
 }
 

@@ -8,7 +8,7 @@
 //!   sample ghosts (gray) with displacement segments connecting each data
 //!   point to its background counterpart, selection highlighting (red) and
 //!   confidence-ellipse overlays (paper Fig. 7).
-//! * [`line`] — line/step charts with optional log axes (the convergence
+//! * [`mod@line`] — line/step charts with optional log axes (the convergence
 //!   curves of paper Fig. 5b are log–log).
 //! * [`pairplot`] — a d×d grid of panels colored by class (paper
 //!   Figs. 3 and 6).

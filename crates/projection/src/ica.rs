@@ -1,6 +1,6 @@
 //! FastICA — Hyvärinen's fixed-point independent component analysis.
 //!
-//! The paper uses "the FastICA algorithm [6] with log-cosh G function as a
+//! The paper uses "the FastICA algorithm \[6\] with log-cosh G function as a
 //! default method to find non-Gaussian directions" in the whitened data.
 //! This is a from-scratch implementation supporting both the symmetric
 //! (parallel) and deflation variants, with the three classic contrasts.

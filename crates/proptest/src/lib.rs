@@ -167,7 +167,7 @@ pub mod collection {
         VecStrategy { element, count }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         count: usize,

@@ -1,0 +1,618 @@
+//! Route dispatch: the JSON API over the session registry.
+//!
+//! Every endpoint is a pure function of `(registry state, request)` — no
+//! dates, no timing, no randomness outside the sessions' own seeded RNGs —
+//! so identical request sequences produce byte-identical responses at any
+//! pool size. See `docs/ARCHITECTURE.md` for the full protocol reference
+//! with request/response examples.
+//!
+//! | Method & path | Action |
+//! |---|---|
+//! | `GET /health` | liveness + session count |
+//! | `GET /api/sessions` | list sessions |
+//! | `POST /api/sessions` | create (builtin dataset or inline CSV) |
+//! | `GET /api/sessions/{id}` | session detail incl. knowledge list |
+//! | `DELETE /api/sessions/{id}` | delete |
+//! | `POST /api/sessions/{id}/knowledge` | add a knowledge statement |
+//! | `POST /api/sessions/{id}/view` | next most-informative view (JSON) |
+//! | `POST /api/sessions/{id}/view.svg` | same, rendered as an SVG plot |
+//! | `POST /api/sessions/{id}/update` | (warm) background refit |
+//! | `POST /api/sessions/{id}/undo` | drop the last knowledge statement |
+//! | `GET /api/sessions/{id}/snapshot` | export knowledge as JSON |
+//! | `POST /api/sessions/{id}/snapshot` | replay a snapshot |
+
+use crate::http::{Request, Response};
+use crate::manager::{CreateError, SessionManager, Slot};
+use sider_core::wire;
+use sider_core::{CoreError, EdaSession};
+use sider_data::Dataset;
+use sider_json::Json;
+use sider_projection::{IcaOpts, Method};
+use std::io::BufReader;
+
+/// An API-level failure: status code + message for the JSON error body.
+struct ApiError(u16, String);
+
+type ApiResult = Result<Response, ApiError>;
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> Self {
+        let status = match &e {
+            CoreError::BadSelection(_) | CoreError::BadDataset(_) | CoreError::BadWire(_) => 400,
+            CoreError::MaxEnt(_) | CoreError::Projection(_) => 500,
+        };
+        ApiError(status, e.to_string())
+    }
+}
+
+impl From<String> for ApiError {
+    fn from(msg: String) -> Self {
+        ApiError(500, msg)
+    }
+}
+
+fn bad_request(msg: impl Into<String>) -> ApiError {
+    ApiError(400, msg.into())
+}
+
+/// Dispatch one request against the registry.
+pub fn handle(manager: &SessionManager, req: &Request) -> Response {
+    let path = req.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let outcome = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => health(manager),
+        ("GET", ["api", "sessions"]) => list_sessions(manager),
+        ("POST", ["api", "sessions"]) => create_session(manager, req),
+        ("GET", ["api", "sessions", id]) => with_slot(manager, id, session_detail),
+        ("DELETE", ["api", "sessions", id]) => delete_session(manager, id),
+        ("POST", ["api", "sessions", id, "knowledge"]) => {
+            with_slot_req(manager, id, req, add_knowledge)
+        }
+        ("POST", ["api", "sessions", id, "view"]) => with_slot_req(manager, id, req, next_view),
+        ("POST", ["api", "sessions", id, "view.svg"]) => {
+            with_slot_req(manager, id, req, next_view_svg)
+        }
+        ("POST", ["api", "sessions", id, "update"]) => {
+            with_slot_req(manager, id, req, update_background)
+        }
+        ("POST", ["api", "sessions", id, "undo"]) => with_slot(manager, id, undo),
+        ("GET", ["api", "sessions", id, "snapshot"]) => with_slot(manager, id, export_snapshot),
+        ("POST", ["api", "sessions", id, "snapshot"]) => {
+            with_slot_req(manager, id, req, apply_snapshot)
+        }
+        // Known paths hit with the wrong method get 405; everything else
+        // (including unknown paths under /api) is 404.
+        (_, ["health"])
+        | (_, ["api", "sessions"])
+        | (_, ["api", "sessions", _])
+        | (
+            _,
+            ["api", "sessions", _, "knowledge" | "view" | "view.svg" | "update" | "undo" | "snapshot"],
+        ) => Err(ApiError(405, format!("{} not allowed here", req.method))),
+        _ => Err(ApiError(404, format!("no route for {}", req.path))),
+    };
+    outcome.unwrap_or_else(|ApiError(status, msg)| Response::error(status, &msg))
+}
+
+fn with_slot(
+    manager: &SessionManager,
+    id: &str,
+    f: impl FnOnce(&mut EdaSession, &Slot) -> ApiResult,
+) -> ApiResult {
+    let slot = manager
+        .get(id)
+        .ok_or_else(|| ApiError(404, format!("no session '{id}'")))?;
+    let mut session = slot.lock()?;
+    f(&mut session, &slot)
+}
+
+fn with_slot_req(
+    manager: &SessionManager,
+    id: &str,
+    req: &Request,
+    f: impl FnOnce(&mut EdaSession, &Slot, &Json) -> ApiResult,
+) -> ApiResult {
+    let body = req.json_body().map_err(bad_request)?;
+    with_slot(manager, id, |session, slot| f(session, slot, &body))
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+fn health(manager: &SessionManager) -> ApiResult {
+    Ok(Response::json(
+        200,
+        &Json::obj([
+            ("status", Json::from("ok")),
+            ("sessions", Json::from(manager.len())),
+            ("max_sessions", Json::from(manager.max_sessions())),
+            ("pool_threads", Json::from(manager.pool().threads())),
+        ]),
+    ))
+}
+
+fn session_summary(session: &EdaSession, slot: &Slot) -> Json {
+    Json::obj([
+        ("id", Json::from(slot.id_str())),
+        ("dataset", Json::from(session.dataset().name.as_str())),
+        ("n", Json::from(session.dataset().n())),
+        ("d", Json::from(session.dataset().d())),
+        ("n_constraints", Json::from(session.n_constraints())),
+        ("n_knowledge", Json::from(session.knowledge().len())),
+        ("dirty", Json::from(session.is_dirty())),
+        ("warm", Json::from(session.has_warm_solver())),
+        ("information_nats", Json::from(session.information_nats())),
+    ])
+}
+
+fn list_sessions(manager: &SessionManager) -> ApiResult {
+    let sessions = manager
+        .list()
+        .into_iter()
+        .map(|slot| {
+            let session = slot.lock()?;
+            Ok(session_summary(&session, &slot))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Response::json(
+        200,
+        &Json::obj([("sessions", Json::Arr(sessions))]),
+    ))
+}
+
+/// Resolve the dataset of a create request: `{"dataset": "fig2"}` for the
+/// paper's builtins, or `{"name": …, "csv": "a,b\n1,2\n…"}` for inline
+/// data.
+fn resolve_dataset(body: &Json) -> Result<Dataset, ApiError> {
+    if let Some(csv) = body.get("csv") {
+        let text = csv
+            .as_str()
+            .ok_or_else(|| bad_request("'csv' must be a string"))?;
+        let (header, matrix) = sider_data::csv::read_matrix(BufReader::new(text.as_bytes()))
+            .map_err(|e| bad_request(format!("bad csv: {e}")))?;
+        let name = body
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("uploaded")
+            .to_string();
+        let mut ds = Dataset::unlabeled(name, matrix);
+        ds.column_names = header;
+        return Ok(ds);
+    }
+    match body.get("dataset").and_then(Json::as_str) {
+        Some("fig2") => Ok(sider_data::synthetic::three_d_four_clusters(2018)),
+        Some("xhat5") => Ok(sider_data::synthetic::xhat5(1000, 42)),
+        Some("bnc") => Ok(sider_data::bnc::bnc_like_corpus(
+            &sider_data::bnc::BncOpts::default(),
+            2018,
+        )),
+        Some("segmentation") => Ok(sider_data::segmentation::segmentation_like(
+            &sider_data::segmentation::SegmentationOpts::default(),
+            2018,
+        )),
+        Some(other) => Err(bad_request(format!(
+            "unknown dataset '{other}' (fig2|xhat5|bnc|segmentation, or inline 'csv')"
+        ))),
+        None => Err(bad_request("need 'dataset' (builtin name) or 'csv'")),
+    }
+}
+
+fn create_session(manager: &SessionManager, req: &Request) -> ApiResult {
+    let body = req.json_body().map_err(bad_request)?;
+    let dataset = resolve_dataset(&body)?;
+    let seed = match body.get("seed") {
+        None => 7,
+        Some(_) => body.require_num("seed").map_err(bad_request)? as u64,
+    };
+    let slot = manager.create(dataset, seed).map_err(|e| match e {
+        CreateError::BadDataset(msg) => bad_request(msg),
+        CreateError::AtCapacity(cap) => ApiError(429, format!("at capacity ({cap} sessions)")),
+    })?;
+    let session = slot.lock()?;
+    Ok(Response::json(201, &session_summary(&session, &slot)))
+}
+
+fn session_detail(session: &mut EdaSession, slot: &Slot) -> ApiResult {
+    let mut detail = session_summary(session, slot);
+    if let Json::Obj(map) = &mut detail {
+        map.insert(
+            "knowledge".into(),
+            Json::arr(session.knowledge().iter().map(wire::knowledge_to_json)),
+        );
+        if let Some(report) = session.last_report() {
+            map.insert("last_report".into(), wire::report_to_json(report));
+        }
+    }
+    Ok(Response::json(200, &detail))
+}
+
+fn delete_session(manager: &SessionManager, id: &str) -> ApiResult {
+    if manager.remove(id) {
+        Ok(Response::json(
+            200,
+            &Json::obj([("deleted", Json::from(id))]),
+        ))
+    } else {
+        Err(ApiError(404, format!("no session '{id}'")))
+    }
+}
+
+/// `{"kind": "margin" | "one-cluster" | "cluster" | "twod",
+///   "rows": [...], "axes": [[...],[...]]}` — rows for cluster/twod,
+/// axes for twod only. Alternatively `{"kind":"cluster","label_set":0,
+/// "class":2}` marks a predefined class as the selection.
+fn add_knowledge(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
+    let kind = body.require_str("kind").map_err(bad_request)?;
+    let index_of = |v: &Json, what: &str| -> Result<usize, ApiError> {
+        v.as_num()
+            .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+            .map(|x| x as usize)
+            .ok_or_else(|| bad_request(format!("'{what}' must be a non-negative integer")))
+    };
+    let rows = |what: &str| -> Result<Vec<usize>, ApiError> {
+        if let (Some(set), Some(class)) = (body.get("label_set"), body.get("class")) {
+            let (set, class) = (index_of(set, "label_set")?, index_of(class, "class")?);
+            return Ok(session.select_class(set, class)?);
+        }
+        let raw = body
+            .get("rows")
+            .ok_or_else(|| bad_request(format!("'{what}' knowledge needs 'rows'")))?;
+        let nums = raw
+            .as_arr()
+            .ok_or_else(|| bad_request("'rows' must be an array"))?;
+        nums.iter()
+            .map(|v| {
+                v.as_num()
+                    .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                    .map(|x| x as usize)
+                    .ok_or_else(|| bad_request("'rows' must contain non-negative integers"))
+            })
+            .collect()
+    };
+    match kind {
+        "margin" => session.add_margin_constraints()?,
+        "one-cluster" => session.add_one_cluster_constraint()?,
+        "cluster" => {
+            let rows = rows("cluster")?;
+            session.add_cluster_constraint(&rows)?;
+        }
+        "twod" => {
+            let axes = wire::matrix_from_json(
+                body.get("axes")
+                    .ok_or_else(|| bad_request("'twod' knowledge needs 'axes'"))?,
+            )?;
+            let rows = rows("twod")?;
+            session.add_twod_constraint(&rows, &axes)?;
+        }
+        other => {
+            return Err(bad_request(format!(
+                "unknown knowledge kind '{other}' (margin|one-cluster|cluster|twod)"
+            )))
+        }
+    }
+    let added = session
+        .knowledge()
+        .last()
+        .map(wire::knowledge_to_json)
+        .unwrap_or(Json::Null);
+    let mut resp = session_summary(session, slot);
+    if let Json::Obj(map) = &mut resp {
+        map.insert("added".into(), added);
+    }
+    Ok(Response::json(200, &resp))
+}
+
+fn parse_method(body: &Json) -> Result<Method, ApiError> {
+    match body.get("method").and_then(Json::as_str).unwrap_or("pca") {
+        "pca" => Ok(Method::Pca),
+        "ica" => {
+            let mut opts = IcaOpts::default();
+            if let Some(r) = body.get("restarts") {
+                let r = r
+                    .as_num()
+                    .filter(|x| x.fract() == 0.0 && *x >= 1.0)
+                    .ok_or_else(|| bad_request("'restarts' must be a positive integer"))?;
+                opts.restarts = r as usize;
+            }
+            Ok(Method::Ica(opts))
+        }
+        other => Err(bad_request(format!("unknown method '{other}' (pca|ica)"))),
+    }
+}
+
+fn next_view(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResult {
+    let method = parse_method(body)?;
+    let view = session.next_view(&method)?;
+    Ok(Response::json(
+        200,
+        &Json::obj([
+            ("view", wire::view_to_json(&view)),
+            ("information_nats", Json::from(session.information_nats())),
+        ]),
+    ))
+}
+
+/// Like [`next_view`] but rendered server-side with `sider_plot`:
+/// `{"method": …, "title": …, "selection": [rows…]}` → `image/svg+xml`.
+fn next_view_svg(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResult {
+    let method = parse_method(body)?;
+    let title = body
+        .get("title")
+        .and_then(Json::as_str)
+        .unwrap_or("sider view")
+        .to_string();
+    let selection: Option<Vec<usize>> = match body.get("selection") {
+        None => None,
+        Some(v) => Some(
+            v.as_arr()
+                .ok_or_else(|| bad_request("'selection' must be an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_num()
+                        .filter(|f| f.fract() == 0.0 && *f >= 0.0)
+                        .map(|f| f as usize)
+                        .ok_or_else(|| bad_request("'selection' must contain row indices"))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+    };
+    let view = session.next_view(&method)?;
+    let svg = view.to_scatter_plot(&title, selection.as_deref()).render();
+    Ok(Response::svg(svg))
+}
+
+/// Refit the background with all accumulated constraints — warm after the
+/// first call. Body: fit options (all fields optional).
+fn update_background(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
+    let opts = wire::fit_opts_from_json(body)?;
+    let cold = body.get("cold").and_then(Json::as_bool).unwrap_or(false);
+    let warm_before = session.has_warm_solver();
+    let report = if cold {
+        session.refit_cold(&opts)?
+    } else {
+        session.update_background(&opts)?
+    };
+    let mut resp = session_summary(session, slot);
+    if let Json::Obj(map) = &mut resp {
+        map.insert("report".into(), wire::report_to_json(&report));
+        map.insert("was_warm".into(), Json::from(warm_before && !cold));
+        if let Some(stats) = session.last_refresh_stats() {
+            map.insert("refresh".into(), wire::refresh_stats_to_json(&stats));
+        }
+    }
+    Ok(Response::json(200, &resp))
+}
+
+fn undo(session: &mut EdaSession, slot: &Slot) -> ApiResult {
+    let removed = session
+        .undo_last_knowledge()
+        .map(|r| wire::knowledge_to_json(&r))
+        .ok_or_else(|| ApiError(409, "nothing to undo".into()))?;
+    let mut resp = session_summary(session, slot);
+    if let Json::Obj(map) = &mut resp {
+        map.insert("removed".into(), removed);
+    }
+    Ok(Response::json(200, &resp))
+}
+
+fn export_snapshot(session: &mut EdaSession, _slot: &Slot) -> ApiResult {
+    Ok(Response::json(200, &wire::snapshot_to_json(session)))
+}
+
+fn apply_snapshot(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
+    let applied = wire::snapshot_from_json(session, body)?;
+    let mut resp = session_summary(session, slot);
+    if let Json::Obj(map) = &mut resp {
+        map.insert("applied".into(), Json::from(applied));
+    }
+    Ok(Response::json(200, &resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::DEFAULT_IDLE_TIMEOUT;
+    use sider_par::ThreadPool;
+    use std::sync::Arc;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Arc::new(ThreadPool::new(1)), 4, DEFAULT_IDLE_TIMEOUT)
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn json(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_loop_over_dispatch() {
+        let m = manager();
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        assert_eq!(resp.status, 201);
+        assert_eq!(json(&resp).require_str("id").unwrap(), "s1");
+
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(json(&resp).require_num("n_constraints").unwrap(), 6.0);
+        assert_eq!(json(&resp).get("dirty").unwrap().as_bool(), Some(true));
+
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/update", "{}"));
+        assert_eq!(resp.status, 200);
+        let body = json(&resp);
+        assert_eq!(body.get("converged"), None); // nested under "report"
+        assert_eq!(body.path("report.converged").unwrap().as_bool(), Some(true));
+        assert!(body.require_num("refresh.classes_total").unwrap() >= 1.0);
+        assert_eq!(body.get("dirty").unwrap().as_bool(), Some(false));
+
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/view", "{}"));
+        assert_eq!(resp.status, 200);
+        let body = json(&resp);
+        assert_eq!(body.require_str("view.method").unwrap(), "PCA");
+        assert_eq!(body.require_arr("view.projected_data").unwrap().len(), 150);
+
+        let resp = handle(&m, &request("GET", "/api/sessions/s1", ""));
+        let body = json(&resp);
+        assert_eq!(body.require_arr("knowledge").unwrap().len(), 1);
+
+        let resp = handle(&m, &request("GET", "/api/sessions/s1/snapshot", ""));
+        assert_eq!(json(&resp).require_str("format").unwrap(), "sider-session");
+
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/undo", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(json(&resp).require_str("removed.kind").unwrap(), "margin");
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/undo", ""));
+        assert_eq!(resp.status, 409);
+
+        let resp = handle(&m, &request("DELETE", "/api/sessions/s1", ""));
+        assert_eq!(resp.status, 200);
+        let resp = handle(&m, &request("GET", "/api/sessions/s1", ""));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn svg_endpoint_renders() {
+        let m = manager();
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        let resp = handle(
+            &m,
+            &request(
+                "POST",
+                "/api/sessions/s1/view.svg",
+                r#"{"title":"test view","selection":[0,1,2,3]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "image/svg+xml");
+        let svg = String::from_utf8(resp.body).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("test view"));
+        assert!(svg.contains("<polygon")); // selection ellipses
+    }
+
+    #[test]
+    fn csv_upload_and_class_selection() {
+        let m = manager();
+        let resp = handle(
+            &m,
+            &request(
+                "POST",
+                "/api/sessions",
+                r#"{"name":"tiny","csv":"a,b\n1,2\n3,4\n5,6\n","seed":1}"#,
+            ),
+        );
+        assert_eq!(resp.status, 201, "{:?}", json(&resp));
+        assert_eq!(json(&resp).require_num("n").unwrap(), 3.0);
+        assert_eq!(json(&resp).require_str("dataset").unwrap(), "tiny");
+    }
+
+    #[test]
+    fn errors_are_json_with_status() {
+        let m = manager();
+        for (method, path, body, status) in [
+            ("GET", "/nope", "", 404),
+            ("GET", "/api/bogus", "", 404),
+            ("POST", "/api/sessions/s9/teapot", "", 404),
+            ("PATCH", "/api/sessions", "", 405),
+            ("DELETE", "/api/sessions/s1/view", "", 405),
+            ("POST", "/api/sessions", "{]", 400),
+            ("POST", "/api/sessions", r#"{"dataset":"mars"}"#, 400),
+            ("POST", "/api/sessions", "{}", 400),
+            ("GET", "/api/sessions/s9", "", 404),
+            ("POST", "/api/sessions/s9/view", "", 404),
+        ] {
+            let resp = handle(&m, &request(method, path, body));
+            assert_eq!(resp.status, status, "{method} {path}");
+            assert!(json(&resp).require_str("error").is_ok(), "{method} {path}");
+        }
+        // Capacity → 429.
+        for _ in 0..4 {
+            handle(
+                &m,
+                &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+            );
+        }
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        assert_eq!(resp.status, 429);
+        // Bad knowledge kinds and rows.
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions/s1/knowledge", r#"{"kind":"vibes"}"#),
+        );
+        assert_eq!(resp.status, 400);
+        let resp = handle(
+            &m,
+            &request(
+                "POST",
+                "/api/sessions/s1/knowledge",
+                r#"{"kind":"cluster","rows":[999999]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 400);
+        // label_set/class must be validated, not saturated to 0.
+        for body in [
+            r#"{"kind":"cluster","label_set":-1,"class":0}"#,
+            r#"{"kind":"cluster","label_set":0,"class":1.5}"#,
+            r#"{"kind":"cluster","label_set":"a","class":0}"#,
+        ] {
+            let resp = handle(&m, &request("POST", "/api/sessions/s1/knowledge", body));
+            assert_eq!(resp.status, 400, "{body}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_across_sessions() {
+        let m = manager();
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        handle(
+            &m,
+            &request("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        );
+        handle(
+            &m,
+            &request(
+                "POST",
+                "/api/sessions/s1/knowledge",
+                r#"{"kind":"cluster","rows":[0,1,2,3,4]}"#,
+            ),
+        );
+        let snap = handle(&m, &request("GET", "/api/sessions/s1/snapshot", ""));
+        let snap_text = String::from_utf8(snap.body).unwrap();
+
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions/s2/snapshot", &snap_text),
+        );
+        assert_eq!(resp.status, 200, "{:?}", json(&resp));
+        assert_eq!(json(&resp).require_num("applied").unwrap(), 2.0);
+        assert_eq!(json(&resp).require_num("n_constraints").unwrap(), 12.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Minimal blocking HTTP/1.1 plumbing: request parsing and response
+//! writing over any `Read`/`Write` pair.
+//!
+//! Scope is deliberately small — exactly what a JSON API over TCP needs:
+//! request line + headers + `Content-Length` body in, status line +
+//! headers + body out, one request per connection (every response carries
+//! `Connection: close`, which HTTP/1.1 clients honor). No chunked
+//! encoding, no TLS, no keep-alive: the server's unit of work is one
+//! exploration-loop step, which dwarfs connection setup.
+//!
+//! Responses never include a `Date` header or any other
+//! run-dependent field — response bytes are a pure function of the request
+//! and session state, which is what lets the end-to-end tests compare
+//! whole responses byte for byte across thread counts.
+
+use sider_json::Json;
+use std::io::{BufRead, Write};
+
+/// Parsing limit: maximal total header block size.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Parsing limit: maximal request body size (inline CSV datasets are the
+/// largest legitimate payload).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Why a request could not be served at the HTTP layer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error (client went away, timeout, …).
+    Io(std::io::Error),
+    /// The bytes were not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// A size limit was exceeded; the payload carries the offending limit.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(msg) => write!(f, "request too large: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/api/sessions/s1`).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Read one request from a buffered stream.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+        let request_line = read_line(reader, MAX_HEADER_BYTES)?;
+        let mut parts = request_line.split_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) => (m, t, v),
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "bad request line: {request_line:?}"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version: {version}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+
+        let mut headers = Vec::new();
+        let mut header_bytes = 0usize;
+        loop {
+            let line = read_line(reader, MAX_HEADER_BYTES)?;
+            if line.is_empty() {
+                break;
+            }
+            header_bytes += line.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(HttpError::TooLarge(format!(
+                    "header block exceeds {MAX_HEADER_BYTES} bytes"
+                )));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length: {v:?}")))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+            )));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        Ok(Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON; an empty body parses as `{}` (every POST
+    /// endpoint treats all fields as optional).
+    pub fn json_body(&self) -> Result<Json, String> {
+        if self.body.is_empty() {
+            return Ok(Json::Obj(Default::default()));
+        }
+        let text =
+            std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))?;
+        Json::parse(text)
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line, without the terminator.
+fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before request line",
+                    )));
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > limit {
+                    return Err(HttpError::TooLarge(format!("line exceeds {limit} bytes")));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|e| HttpError::Malformed(format!("non-UTF-8 header: {e}")))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, value: &Json) -> Response {
+        let mut body = value.dump().into_bytes();
+        body.push(b'\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A `200 OK` SVG response (the rendered SIDER view).
+    pub fn svg(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "image/svg+xml",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj([("error", Json::from(message))]))
+    }
+
+    /// The standard reason phrase for the status code.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize the status line, headers and body onto a stream.
+    ///
+    /// The header set is fixed (`Content-Type`, `Content-Length`,
+    /// `Connection: close`) — deliberately free of dates and versions so
+    /// that identical API state produces identical bytes.
+    pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /api/sessions?limit=3 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/api/sessions");
+        assert_eq!(req.query.as_deref(), Some("limit=3"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.json_body().unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = parse(
+            "POST /x HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"seed\": 42}\n",
+        )
+        .unwrap();
+        assert_eq!(req.body.len(), 13);
+        assert_eq!(req.json_body().unwrap().require_num("seed").unwrap(), 42.0);
+    }
+
+    #[test]
+    fn lf_only_lines_accepted() {
+        let req = parse("GET / HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("FLUB\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_declarations() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let resp = Response::json(200, &Json::obj([("ok", Json::from(true))]));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        resp.write_to(&mut a).unwrap();
+        resp.write_to(&mut b).unwrap();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}\n"));
+        assert!(!text.contains("Date:"));
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = Response::error(404, "no such session");
+        assert_eq!(resp.status, 404);
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":\"no such session\"}\n"
+        );
+    }
+}

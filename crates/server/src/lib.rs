@@ -1,0 +1,311 @@
+//! `sider_server` — a std-only HTTP/1.1 + JSON service exposing the full
+//! SIDER interactive loop (paper Fig. 1, §III) over persistent sessions.
+//!
+//! The paper's system is a long-lived dialogue: the computer shows the
+//! most informative 2-D view, the analyst marks patterns, the background
+//! distribution absorbs them, repeat. In-process that dialogue is
+//! `sider_core::EdaSession`; this crate puts it behind a network boundary
+//! so many analysts (or scripted agents) can hold concurrent dialogues
+//! with one server process:
+//!
+//! * [`manager::SessionManager`] — the registry of live sessions
+//!   (`Mutex<EdaSession>` slots sharing one `Arc<ThreadPool>`, dense IDs,
+//!   capacity cap, idle eviction);
+//! * [`http`] — minimal blocking HTTP/1.1 parsing/serialization
+//!   (one request per connection, fixed header set, no dates — responses
+//!   are byte-deterministic);
+//! * [`api`] — the route table mapping the protocol onto sessions:
+//!   create/list/delete, knowledge statements, `next_view` (PCA/ICA, JSON
+//!   or rendered SVG), warm `update_background` with [`RefreshStats`]
+//!   counters in the response, undo, snapshot export/replay;
+//! * [`Server`] — the blocking accept loop: one handler thread per
+//!   connection, gated to a small multiple of the pool size so a flood of
+//!   clients queues at the socket instead of oversubscribing the host.
+//!
+//! The warm-started solver engine (PR 1) is what makes the service
+//! interactive: the first `update` on a session fits cold, every later
+//! one appends into the persistent `SolverState` and re-decomposes only
+//! the classes the fit moved. The deterministic pool (PR 2) is what makes
+//! it testable: identical request sequences produce **byte-identical**
+//! responses at any `SIDER_THREADS`, which the end-to-end test pins over a
+//! real TCP socket.
+//!
+//! ```no_run
+//! use sider_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::from_env()).unwrap();
+//! eprintln!("listening on http://{}", server.local_addr());
+//! server.run().unwrap(); // blocks; Ctrl-C to stop
+//! ```
+//!
+//! [`RefreshStats`]: sider_maxent::RefreshStats
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod manager;
+
+use manager::{SessionManager, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_SESSIONS};
+use sider_par::ThreadPool;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Environment variable with the default listen address.
+pub const ADDR_ENV_VAR: &str = "SIDER_ADDR";
+
+/// Environment variable with the default session cap.
+pub const MAX_SESSIONS_ENV_VAR: &str = "SIDER_MAX_SESSIONS";
+
+/// The address used when neither `--addr` nor `SIDER_ADDR` is given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:8080";
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximal number of live sessions.
+    pub max_sessions: usize,
+    /// Idle lifetime before a session is evicted.
+    pub idle_timeout: Duration,
+    /// Execution pool size (`None` = `SIDER_THREADS` / available
+    /// parallelism, via [`ThreadPool::from_env`]).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            threads: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults with `SIDER_ADDR` / `SIDER_MAX_SESSIONS` applied.
+    pub fn from_env() -> Self {
+        let mut config = ServerConfig::default();
+        if let Ok(addr) = std::env::var(ADDR_ENV_VAR) {
+            if !addr.is_empty() {
+                config.addr = addr;
+            }
+        }
+        if let Some(max) = std::env::var(MAX_SESSIONS_ENV_VAR)
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            config.max_sessions = max;
+        }
+        config
+    }
+}
+
+/// Counting gate bounding concurrent connection-handler threads.
+#[derive(Debug)]
+struct Gate {
+    active: Mutex<usize>,
+    freed: Condvar,
+    limit: usize,
+}
+
+impl Gate {
+    fn new(limit: usize) -> Self {
+        Gate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut active = self.active.lock().expect("gate lock");
+        while *active >= self.limit {
+            active = self.freed.wait(active).expect("gate wait");
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        *self.active.lock().expect("gate lock") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Releases a gate slot on drop, so a panicking handler thread cannot
+/// leak its slot and starve the accept loop.
+struct GateSlot(Arc<Gate>);
+
+impl Drop for GateSlot {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// The blocking HTTP server: a bound listener plus the session registry.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    gate: Arc<Gate>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle for stopping a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Ask the accept loop to exit. In-flight requests complete; the
+    /// wake-up connection this sends is answered with `Connection: close`.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind the listen socket and build the session registry. The
+    /// connection gate is sized at `2 × pool threads` (at least 4): enough
+    /// to keep every core busy while excess clients queue in the OS
+    /// accept backlog.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = Arc::new(match config.threads {
+            Some(k) => ThreadPool::new(k),
+            None => ThreadPool::from_env(),
+        });
+        let gate = Arc::new(Gate::new((pool.threads() * 2).max(4)));
+        let manager = Arc::new(SessionManager::new(
+            pool,
+            config.max_sessions,
+            config.idle_timeout,
+        ));
+        Ok(Server {
+            listener,
+            manager,
+            gate,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The session registry (shared with all handler threads).
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serve until [`ShutdownHandle::shutdown`] is called: accept, gate,
+    /// and hand each connection to a short-lived handler thread.
+    ///
+    /// Thread-per-connection is a deliberate fit for the workload: one
+    /// request is one exploration-loop step (a MaxEnt refit, a projection
+    /// pursuit), which costs milliseconds to seconds — connection and
+    /// thread overhead is noise, and the blocking model keeps the whole
+    /// stack std-only and trivially debuggable.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept error
+            };
+            self.gate.acquire();
+            let manager = Arc::clone(&self.manager);
+            let slot = GateSlot(Arc::clone(&self.gate));
+            std::thread::spawn(move || {
+                let _slot = slot; // released on drop, panic included
+                handle_connection(&manager, stream);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Read one request, dispatch it, write one response, close.
+fn handle_connection(manager: &SessionManager, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match http::Request::read_from(&mut reader) {
+        Ok(request) => api::handle(manager, &request),
+        Err(http::HttpError::Io(_)) => return, // client went away mid-request
+        Err(http::HttpError::Malformed(msg)) => http::Response::error(400, &msg),
+        Err(http::HttpError::TooLarge(msg)) => http::Response::error(413, &msg),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_reads_overrides() {
+        // Uses a private mutex-free check: defaults when vars are unset.
+        let config = ServerConfig::default();
+        assert_eq!(config.addr, DEFAULT_ADDR);
+        assert_eq!(config.max_sessions, DEFAULT_MAX_SESSIONS);
+        assert!(config.threads.is_none());
+    }
+
+    #[test]
+    fn gate_limits_concurrency() {
+        let gate = Arc::new(Gate::new(2));
+        gate.acquire();
+        gate.acquire();
+        let g = Arc::clone(&gate);
+        let blocked = std::thread::spawn(move || {
+            g.acquire();
+            g.release();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "third acquire must block");
+        gate.release();
+        blocked.join().unwrap();
+        gate.release();
+    }
+
+    #[test]
+    fn bind_run_shutdown() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: Some(1),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.shutdown_handle();
+        let joiner = std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(10));
+        handle.shutdown();
+        joiner.join().unwrap().unwrap();
+    }
+}

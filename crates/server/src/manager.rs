@@ -1,0 +1,282 @@
+//! The concurrent session registry behind the HTTP API.
+//!
+//! A [`SessionManager`] owns every live [`EdaSession`] plus the **one**
+//! `Arc<ThreadPool>` they all share: request handler threads provide the
+//! concurrency across sessions, the pool provides the data-parallelism
+//! within one session's fit/sample/project step, and nested dispatch in
+//! `sider_par` runs inline — so the two layers compose without
+//! oversubscribing the machine.
+//!
+//! Sessions are addressed by dense, monotonically increasing IDs
+//! (`s1`, `s2`, …) handed out by the manager. Dense IDs keep the API
+//! deterministic: two servers fed the same request sequence mint the same
+//! IDs and therefore produce byte-identical responses (sessions are *not*
+//! secrets; deploy an authenticating proxy in front if they must be).
+//!
+//! Capacity is bounded twice: a hard session cap (`max_sessions`,
+//! default [`DEFAULT_MAX_SESSIONS`], env `SIDER_MAX_SESSIONS`) rejects
+//! creation with `429`, and **idle eviction** reclaims sessions not
+//! touched for longer than the idle timeout. Eviction is lazy — swept on
+//! every create/list — so an idle server holds no background threads.
+
+use sider_core::EdaSession;
+use sider_par::ThreadPool;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Default cap on concurrently live sessions.
+pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+/// Default idle lifetime before a session is evicted.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(3600);
+
+/// One live session slot: the session itself plus bookkeeping.
+#[derive(Debug)]
+pub struct Slot {
+    /// Numeric part of the session ID (`s{id}`).
+    pub id: u64,
+    /// The session, serialized per-slot — two requests to the *same*
+    /// session queue up; requests to different sessions run concurrently.
+    pub session: Mutex<EdaSession>,
+    /// Last time a request touched this slot (drives idle eviction).
+    last_used: Mutex<Instant>,
+}
+
+impl Slot {
+    /// The wire-format session ID (`s3`).
+    pub fn id_str(&self) -> String {
+        format!("s{}", self.id)
+    }
+
+    /// Lock the session for a request. Mutex poisoning (a handler panic
+    /// mid-mutation) is surfaced as an error so the client sees a `500`
+    /// instead of possibly-inconsistent state.
+    pub fn lock(&self) -> Result<MutexGuard<'_, EdaSession>, String> {
+        self.session
+            .lock()
+            .map_err(|_| format!("session {} is poisoned by an earlier panic", self.id_str()))
+    }
+
+    fn touch(&self) {
+        if let Ok(mut t) = self.last_used.lock() {
+            *t = Instant::now();
+        }
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .map(|t| t.elapsed())
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Concurrent registry of sessions sharing one execution pool.
+#[derive(Debug)]
+pub struct SessionManager {
+    pool: Arc<ThreadPool>,
+    max_sessions: usize,
+    idle_timeout: Duration,
+    slots: Mutex<BTreeMap<u64, Arc<Slot>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// A manager enforcing the given capacity bounds; all sessions will
+    /// share `pool`.
+    pub fn new(pool: Arc<ThreadPool>, max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionManager {
+            pool,
+            max_sessions: max_sessions.max(1),
+            idle_timeout,
+            slots: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared execution pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// The session cap.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Live session count (after sweeping idle ones).
+    pub fn len(&self) -> usize {
+        self.evict_idle();
+        self.slots.lock().expect("slots lock").len()
+    }
+
+    /// Whether no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Create a session over `dataset` seeded with `seed`. Fails when the
+    /// dataset is invalid or the server is at capacity (even after
+    /// sweeping idle sessions).
+    pub fn create(
+        &self,
+        dataset: sider_data::Dataset,
+        seed: u64,
+    ) -> Result<Arc<Slot>, CreateError> {
+        self.evict_idle();
+        // Cheap pre-check so an at-capacity flood doesn't pay session
+        // construction; the authoritative check repeats under the lock.
+        if self.slots.lock().expect("slots lock").len() >= self.max_sessions {
+            return Err(CreateError::AtCapacity(self.max_sessions));
+        }
+        let session = EdaSession::with_pool(dataset, seed, Arc::clone(&self.pool))
+            .map_err(|e| CreateError::BadDataset(e.to_string()))?;
+        let mut slots = self.slots.lock().expect("slots lock");
+        if slots.len() >= self.max_sessions {
+            return Err(CreateError::AtCapacity(self.max_sessions));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot {
+            id,
+            session: Mutex::new(session),
+            last_used: Mutex::new(Instant::now()),
+        });
+        slots.insert(id, Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Look up a session by wire ID (`"s3"`), refreshing its idle clock.
+    pub fn get(&self, id_str: &str) -> Option<Arc<Slot>> {
+        let id = parse_id(id_str)?;
+        let slot = self.slots.lock().expect("slots lock").get(&id).cloned()?;
+        slot.touch();
+        Some(slot)
+    }
+
+    /// Delete a session; `true` when it existed.
+    pub fn remove(&self, id_str: &str) -> bool {
+        match parse_id(id_str) {
+            Some(id) => self.slots.lock().expect("slots lock").remove(&id).is_some(),
+            None => false,
+        }
+    }
+
+    /// All live sessions in ID order (after sweeping idle ones).
+    pub fn list(&self) -> Vec<Arc<Slot>> {
+        self.evict_idle();
+        self.slots
+            .lock()
+            .expect("slots lock")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Drop every session idle for longer than the timeout; returns how
+    /// many were evicted.
+    pub fn evict_idle(&self) -> usize {
+        let mut slots = self.slots.lock().expect("slots lock");
+        let before = slots.len();
+        slots.retain(|_, slot| slot.idle_for() <= self.idle_timeout);
+        before - slots.len()
+    }
+}
+
+/// Why a session could not be created.
+#[derive(Debug)]
+pub enum CreateError {
+    /// The dataset failed validation.
+    BadDataset(String),
+    /// The manager is at its session cap.
+    AtCapacity(usize),
+}
+
+/// Parse a wire session ID (`"s3"` → `3`).
+pub fn parse_id(id_str: &str) -> Option<u64> {
+    id_str.strip_prefix('s')?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_data::synthetic::three_d_four_clusters;
+
+    fn manager(max: usize, idle: Duration) -> SessionManager {
+        SessionManager::new(Arc::new(ThreadPool::new(1)), max, idle)
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let m = manager(8, Duration::from_secs(60));
+        let a = m.create(three_d_four_clusters(2018), 1).unwrap();
+        let b = m.create(three_d_four_clusters(2018), 2).unwrap();
+        assert_eq!(a.id_str(), "s1");
+        assert_eq!(b.id_str(), "s2");
+        assert_eq!(m.get("s1").unwrap().id, 1);
+        assert!(m.get("s99").is_none());
+        assert!(m.get("zzz").is_none());
+        assert_eq!(m.len(), 2);
+        let ids: Vec<u64> = m.list().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let m = manager(2, Duration::from_secs(60));
+        m.create(three_d_four_clusters(2018), 1).unwrap();
+        m.create(three_d_four_clusters(2018), 2).unwrap();
+        assert!(matches!(
+            m.create(three_d_four_clusters(2018), 3),
+            Err(CreateError::AtCapacity(2))
+        ));
+        // Deleting frees a slot.
+        assert!(m.remove("s1"));
+        assert!(!m.remove("s1"));
+        m.create(three_d_four_clusters(2018), 3).unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let m = manager(8, Duration::ZERO);
+        m.create(three_d_four_clusters(2018), 1).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.evict_idle(), 1);
+        assert!(m.is_empty());
+        // IDs are never reused after eviction.
+        let c = m.create(three_d_four_clusters(2018), 2).unwrap();
+        assert_eq!(c.id_str(), "s2");
+    }
+
+    #[test]
+    fn get_refreshes_idle_clock() {
+        let m = manager(8, Duration::from_millis(80));
+        m.create(three_d_four_clusters(2018), 1).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(m.get("s1").is_some(), "touching must keep it alive");
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(m.evict_idle(), 1);
+    }
+
+    #[test]
+    fn bad_dataset_rejected() {
+        let m = manager(8, Duration::from_secs(60));
+        let empty = sider_data::Dataset::unlabeled("none", sider_linalg::Matrix::zeros(0, 0));
+        assert!(matches!(
+            m.create(empty, 1),
+            Err(CreateError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_share_the_pool() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let m = SessionManager::new(Arc::clone(&pool), 8, Duration::from_secs(60));
+        let slot = m.create(three_d_four_clusters(2018), 1).unwrap();
+        let session = slot.lock().unwrap();
+        assert!(Arc::ptr_eq(session.pool(), &pool));
+    }
+}

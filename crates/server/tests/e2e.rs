@@ -1,0 +1,272 @@
+//! End-to-end tests over a real TCP socket: a scripted HTTP client drives
+//! full exploration loops against a running server and pins the
+//! determinism contract — identical request sequences produce
+//! **byte-identical** responses whether the server's pool has 1 thread or
+//! 4 (the HTTP twin of `session_bit_identical_across_pool_sizes`).
+
+use sider_server::{Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct RunningServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    joiner: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(threads: usize, idle_timeout: Duration) -> RunningServer {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 16,
+        idle_timeout,
+        threads: Some(threads),
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+    RunningServer {
+        addr,
+        handle,
+        joiner,
+    }
+}
+
+impl RunningServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.joiner.join().unwrap().unwrap();
+    }
+}
+
+/// One scripted HTTP request; returns the raw response bytes (status
+/// line, headers and body — everything the server put on the wire).
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sider\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    response
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    let text = std::str::from_utf8(&raw[..raw.len().min(64)]).unwrap();
+    text.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+fn body_of(raw: &[u8]) -> &str {
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    std::str::from_utf8(&raw[pos + 4..]).expect("utf-8 body")
+}
+
+/// The scripted client of the acceptance criteria: two full loop
+/// iterations — create session, `next_view`, post cluster knowledge,
+/// warm `update_background`, `next_view` — returning every raw response.
+fn scripted_loop(addr: SocketAddr) -> Vec<Vec<u8>> {
+    let steps: Vec<(&str, &str, String)> = vec![
+        (
+            "POST",
+            "/api/sessions",
+            r#"{"dataset":"fig2","seed":7}"#.into(),
+        ),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+        (
+            "POST",
+            "/api/sessions/s1/knowledge",
+            format!(
+                r#"{{"kind":"cluster","rows":[{}]}}"#,
+                (0..40).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+            ),
+        ),
+        ("POST", "/api/sessions/s1/update", "{}".into()),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+        // Second iteration: another cluster, a warm refit, another view.
+        (
+            "POST",
+            "/api/sessions/s1/knowledge",
+            format!(
+                r#"{{"kind":"cluster","rows":[{}]}}"#,
+                (50..90)
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        ),
+        ("POST", "/api/sessions/s1/update", "{}".into()),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+        ("GET", "/api/sessions/s1/snapshot", String::new()),
+        ("GET", "/api/sessions/s1", String::new()),
+    ];
+    steps
+        .iter()
+        .map(|(method, path, body)| raw_request(addr, method, path, body))
+        .collect()
+}
+
+#[test]
+fn two_loop_iterations_byte_identical_across_pool_sizes() {
+    let run = |threads: usize| {
+        let server = start(threads, Duration::from_secs(3600));
+        let responses = scripted_loop(server.addr);
+        server.stop();
+        responses
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    // Every step succeeded…
+    for (i, raw) in serial.iter().enumerate() {
+        let status = status_of(raw);
+        assert!(
+            status == 200 || status == 201,
+            "step {i} failed with {status}: {}",
+            body_of(raw)
+        );
+    }
+    // …the warm path was actually exercised…
+    let second_update = body_of(&serial[6]);
+    assert!(
+        second_update.contains("\"was_warm\":true"),
+        "second update must warm-start: {second_update}"
+    );
+    assert!(second_update.contains("\"refresh\":"));
+    // …both views carry a full projection payload…
+    assert!(body_of(&serial[4]).contains("\"projected_background\":"));
+    // …and the whole transcript is byte-identical across pool sizes.
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "step {i}: 1-thread and 4-thread responses differ:\n{}\nvs\n{}",
+            body_of(a),
+            body_of(b)
+        );
+    }
+}
+
+#[test]
+fn svg_rendering_over_tcp() {
+    let server = start(2, Duration::from_secs(3600));
+    let created = raw_request(
+        server.addr,
+        "POST",
+        "/api/sessions",
+        r#"{"dataset":"fig2"}"#,
+    );
+    assert_eq!(status_of(&created), 201);
+    let raw = raw_request(
+        server.addr,
+        "POST",
+        "/api/sessions/s1/view.svg",
+        r#"{"title":"over tcp","selection":[0,1,2,3,4]}"#,
+    );
+    assert_eq!(status_of(&raw), 200);
+    let text = std::str::from_utf8(&raw).unwrap();
+    assert!(text.contains("Content-Type: image/svg+xml"));
+    assert!(body_of(&raw).starts_with("<svg"));
+    assert!(body_of(&raw).contains("over tcp"));
+    server.stop();
+}
+
+#[test]
+fn malformed_requests_get_http_errors() {
+    let server = start(1, Duration::from_secs(3600));
+    // Not HTTP at all.
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.write_all(b"ceci n'est pas http\r\n\r\n").unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    assert_eq!(status_of(&response), 400);
+    // Unknown route.
+    let raw = raw_request(server.addr, "GET", "/teapot", "");
+    assert_eq!(status_of(&raw), 404);
+    // Malformed JSON body.
+    let raw = raw_request(server.addr, "POST", "/api/sessions", "{nope");
+    assert_eq!(status_of(&raw), 400);
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_explore_independent_sessions() {
+    let server = start(2, Duration::from_secs(3600));
+    let addr = server.addr;
+    let workers: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let created = raw_request(
+                    addr,
+                    "POST",
+                    "/api/sessions",
+                    &format!(r#"{{"dataset":"fig2","seed":{i}}}"#),
+                );
+                assert_eq!(status_of(&created), 201);
+                let body = body_of(&created);
+                let id = body
+                    .split("\"id\":\"")
+                    .nth(1)
+                    .and_then(|rest| rest.split('"').next())
+                    .expect("id in create response")
+                    .to_string();
+                let resp = raw_request(
+                    addr,
+                    "POST",
+                    &format!("/api/sessions/{id}/knowledge"),
+                    r#"{"kind":"margin"}"#,
+                );
+                assert_eq!(status_of(&resp), 200);
+                let resp = raw_request(addr, "POST", &format!("/api/sessions/{id}/update"), "{}");
+                assert_eq!(status_of(&resp), 200, "{}", body_of(&resp));
+                assert!(body_of(&resp).contains("\"converged\":true"));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let listing = raw_request(addr, "GET", "/api/sessions", "");
+    assert_eq!(body_of(&listing).matches("\"id\":").count(), 6);
+    server.stop();
+}
+
+#[test]
+fn idle_sessions_evicted_over_http() {
+    let server = start(1, Duration::from_millis(50));
+    let created = raw_request(
+        server.addr,
+        "POST",
+        "/api/sessions",
+        r#"{"dataset":"fig2"}"#,
+    );
+    assert_eq!(status_of(&created), 201);
+    std::thread::sleep(Duration::from_millis(150));
+    let listing = raw_request(server.addr, "GET", "/api/sessions", "");
+    assert_eq!(body_of(&listing).matches("\"id\":").count(), 0);
+    let gone = raw_request(server.addr, "GET", "/api/sessions/s1", "");
+    assert_eq!(status_of(&gone), 404);
+    server.stop();
+}

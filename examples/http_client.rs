@@ -1,0 +1,136 @@
+//! A scripted HTTP client driving the full SIDER loop against a running
+//! server — the paper's Fig. 1 dialogue, but over TCP.
+//!
+//! The example is self-contained: it starts `sider_server` in-process on
+//! an ephemeral port, then talks to it exactly the way `curl` would
+//! (`sider serve` + the printed commands reproduce the same transcript
+//! against a standalone server). Two full loop iterations are performed:
+//! create session → most informative view → mark a cluster → warm
+//! background update → next view.
+//!
+//! ```text
+//! cargo run --release --example http_client
+//! ```
+
+use sider::json::Json;
+use sider::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One HTTP/1.1 request over a fresh connection; returns the body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sider\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    let cut = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response");
+    String::from_utf8(raw[cut + 4..].to_vec()).expect("utf-8 body")
+}
+
+fn show(method: &str, path: &str, body: &str) {
+    if body.is_empty() {
+        println!("$ curl -s -X {method} http://$SIDER_ADDR{path}");
+    } else {
+        println!("$ curl -s -X {method} http://$SIDER_ADDR{path} -d '{body}'");
+    }
+}
+
+fn main() {
+    // A server like `sider serve --addr 127.0.0.1:0 --threads 2` would start.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+    println!("server listening on http://{addr}\n");
+
+    // --- Create a session over the paper's Fig. 2 dataset. -------------
+    let create = (r#"{"dataset":"fig2","seed":7}"#, "POST", "/api/sessions");
+    show(create.1, create.2, create.0);
+    let created = http(addr, create.1, create.2, create.0);
+    print!("{created}");
+    let id = Json::parse(&created)
+        .expect("json")
+        .require_str("id")
+        .expect("session id")
+        .to_string();
+
+    for iteration in 1..=2 {
+        println!("\n=== loop iteration {iteration} ===");
+
+        // 1. The computer shows the most informative view.
+        let path = format!("/api/sessions/{id}/view");
+        show("POST", &path, r#"{"method":"pca"}"#);
+        let view = http(addr, "POST", &path, r#"{"method":"pca"}"#);
+        let parsed = Json::parse(&view).expect("view json");
+        let scores = parsed.require_num_arr("view.scores").expect("scores");
+        let labels = parsed.require_arr("view.axis_labels").expect("labels");
+        println!(
+            "view: score {:.4} on axis {}",
+            scores[0],
+            labels[0].as_str().unwrap_or("?")
+        );
+
+        // 2. The analyst marks the pattern she sees (here: a scripted
+        //    40-point cluster; a UI would send the lasso selection).
+        let lo = (iteration - 1) * 50;
+        let rows: Vec<String> = (lo..lo + 40).map(|i| i.to_string()).collect();
+        let body = format!(r#"{{"kind":"cluster","rows":[{}]}}"#, rows.join(","));
+        let path = format!("/api/sessions/{id}/knowledge");
+        show("POST", &path, "{\"kind\":\"cluster\",\"rows\":[…]}");
+        let added = http(addr, "POST", &path, &body);
+        println!(
+            "knowledge: {} constraints accumulated",
+            Json::parse(&added)
+                .expect("json")
+                .require_num("n_constraints")
+                .expect("count")
+        );
+
+        // 3. The background distribution absorbs it (warm after round 1).
+        let path = format!("/api/sessions/{id}/update");
+        show("POST", &path, "{}");
+        let updated = http(addr, "POST", &path, "{}");
+        let parsed = Json::parse(&updated).expect("json");
+        println!(
+            "update: converged={} warm={} eigen_recomputed={}/{} information={:.2} nats",
+            parsed
+                .path("report.converged")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            parsed
+                .get("was_warm")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            parsed
+                .require_num("refresh.eigen_recomputed")
+                .unwrap_or(-1.0),
+            parsed.require_num("refresh.classes_total").unwrap_or(-1.0),
+            parsed.require_num("information_nats").unwrap_or(f64::NAN),
+        );
+    }
+
+    // --- Export the replayable snapshot and say goodbye. ----------------
+    let path = format!("/api/sessions/{id}/snapshot");
+    show("GET", &path, "");
+    let snapshot = http(addr, "GET", &path, "");
+    println!("snapshot: {}", snapshot.trim_end());
+    show("DELETE", &format!("/api/sessions/{id}"), "");
+    http(addr, "DELETE", &format!("/api/sessions/{id}"), "");
+
+    shutdown.shutdown();
+    joiner.join().expect("join").expect("server run");
+    println!("\ndone: two full loop iterations over HTTP.");
+}

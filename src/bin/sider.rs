@@ -16,6 +16,13 @@
 //!
 //! sider demo <fig2|xhat5|bnc|segmentation>
 //!     The same, on the paper's built-in datasets.
+//!
+//! sider serve [--addr HOST:PORT] [--max-sessions N] [--threads K]
+//!     Run the HTTP/1.1 + JSON exploration service: many concurrent
+//!     sessions over one shared execution pool, each driving the full
+//!     loop (views, knowledge, warm background updates, snapshots, SVG
+//!     rendering). Defaults honor SIDER_ADDR / SIDER_MAX_SESSIONS /
+//!     SIDER_THREADS; see docs/ARCHITECTURE.md for the wire protocol.
 //! ```
 //!
 //! The CSV format is the one written by `sider::data::csv`: a header row
@@ -86,7 +93,8 @@ const USAGE: &str = "usage:
   sider explore  --data FILE.csv [--method pca|ica] [--iterations N]
                  [--threshold T] [--seed S] [--margins] [--one-cluster]
                  [--out DIR]
-  sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]";
+  sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]
+  sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -238,6 +246,30 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let mut config = sider::server::ServerConfig::from_env();
+    if let Some(addr) = cli.get("addr") {
+        config.addr = addr.to_string();
+    }
+    config.max_sessions = cli.get_or("max-sessions", config.max_sessions)?;
+    if let Some(threads) = cli.get("threads") {
+        config.threads = Some(
+            threads
+                .parse()
+                .map_err(|_| format!("invalid value for --threads: {threads}"))?,
+        );
+    }
+    let server = sider::server::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!(
+        "sider serve: listening on http://{} ({} pool threads, {} session slots)",
+        server.local_addr(),
+        server.manager().pool().threads(),
+        server.manager().max_sessions()
+    );
+    println!("try: curl -s http://{}/health", server.local_addr());
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
 fn run() -> Result<(), String> {
     let cli = Cli::parse(std::env::args().skip(1)).map_err(|e| format!("{e}\n{USAGE}"))?;
     match cli.command.as_str() {
@@ -254,6 +286,7 @@ fn run() -> Result<(), String> {
             let ds = builtin(name)?;
             cmd_explore(&cli, ds)
         }
+        "serve" => cmd_serve(&cli),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

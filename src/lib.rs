@@ -19,6 +19,10 @@
 //! * [`plot`] — headless SVG rendering of the SIDER views.
 //! * [`core`] — the interactive session: views, selections, constraints,
 //!   and a simulated user driving the full loop.
+//! * [`json`] — the shared std-only JSON wire format (parser +
+//!   deterministic serializer).
+//! * [`server`] — the HTTP/1.1 + JSON service exposing the loop over
+//!   persistent sessions (`sider serve`).
 //!
 //! # Quick start
 //!
@@ -57,11 +61,13 @@
 
 pub use sider_core as core;
 pub use sider_data as data;
+pub use sider_json as json;
 pub use sider_linalg as linalg;
 pub use sider_maxent as maxent;
 pub use sider_par as par;
 pub use sider_plot as plot;
 pub use sider_projection as projection;
+pub use sider_server as server;
 pub use sider_stats as stats;
 
 pub mod prelude {
