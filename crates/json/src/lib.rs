@@ -20,11 +20,36 @@
 //! representation and serialize as `null`. Typed accessors ([`Json::get`],
 //! [`Json::path`], [`Json::require_num`], …) keep call sites short and
 //! produce error messages that name the offending dotted path.
+//!
+//! The parser is hardened for untrusted network input: nesting is capped
+//! at [`MAX_DEPTH`] levels (the recursive descent would otherwise overflow
+//! the stack on a few hundred kilobytes of `[`), documents are capped at
+//! [`MAX_NODES`] values (each node costs ~30–60× its wire bytes in heap,
+//! so tiny-element arrays would otherwise amplify a large body into
+//! gigabytes), numbers follow the RFC 8259 grammar exactly and must fit a
+//! finite `f64` (so a parse→dump cycle can never turn a client value into
+//! `null`), `\u` escapes decode UTF-16 surrogate pairs (lone surrogates
+//! are errors), and unescaped control characters in strings are rejected.
 
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Maximal container nesting depth the parser accepts. Parsing is
+/// recursive descent (one stack frame per level), so this bound is what
+/// keeps a hostile document like `[[[[…` from overflowing the thread's
+/// stack; 128 is far beyond any legitimate wire payload in this workspace.
+pub const MAX_DEPTH: usize = 128;
+
+/// Maximal number of values a parsed document may contain. Each parsed
+/// node costs ~30–60× its wire bytes in heap (a two-byte `0,` becomes a
+/// boxed [`Json::Num`]), so a large body of tiny array elements would
+/// otherwise amplify into gigabytes; the budget caps worst-case parse
+/// memory at a few hundred MB while staying far above any legitimate
+/// payload (the biggest — an inline CSV upload — is a single string
+/// node).
+pub const MAX_NODES: usize = 4_000_000;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,14 +72,7 @@ pub enum Json {
 impl Json {
     /// Parse a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
+        parse_document(text, MAX_NODES)
     }
 
     /// Serialize compactly (no whitespace). Object members are emitted in
@@ -99,6 +117,17 @@ impl Json {
             Json::Num(x) => Some(*x),
             _ => None,
         }
+    }
+
+    /// The value as a collection index: a number that is an exact
+    /// non-negative integer no larger than `u32::MAX` (the shared bound
+    /// for row/class/label-set indices across the wire formats — large
+    /// enough for any dataset, small enough that `as usize` can never
+    /// saturate or truncate).
+    pub fn as_index(&self) -> Option<usize> {
+        self.as_num()
+            .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u32::MAX as f64)
+            .map(|x| x as usize)
     }
 
     /// The string value, if this is a string.
@@ -345,17 +374,51 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Parse a complete document with an explicit node budget ([`Json::parse`]
+/// passes [`MAX_NODES`]; tests pass small budgets).
+fn parse_document(text: &str, max_nodes: usize) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let mut nodes_left = max_nodes;
+    let value = parse_value(bytes, &mut pos, 0, &mut nodes_left)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn parse_value(
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    nodes_left: &mut usize,
+) -> Result<Json, String> {
     skip_ws(bytes, pos);
+    if *nodes_left == 0 {
+        return Err("document exceeds the parser's value budget".into());
+    }
+    *nodes_left -= 1;
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'{') => parse_obj(bytes, pos, depth, nodes_left),
+        Some(b'[') => parse_arr(bytes, pos, depth, nodes_left),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
         Some(_) => parse_num(bytes, pos),
+    }
+}
+
+/// One stack frame of recursion budget for a container opening at `pos`.
+fn deeper(depth: usize, pos: usize) -> Result<usize, String> {
+    if depth >= MAX_DEPTH {
+        Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {pos}"
+        ))
+    } else {
+        Ok(depth + 1)
     }
 }
 
@@ -368,17 +431,58 @@ fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Js
     }
 }
 
+/// Scan a number following the RFC 8259 grammar exactly:
+/// `-? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?`. The strict
+/// grammar (no leading `+`, no bare or trailing `.`) plus the finiteness
+/// check below guarantee every accepted literal round-trips through the
+/// serializer instead of collapsing to `null`.
 fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    let err = |pos: usize| format!("invalid number at byte {pos}");
+    if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
+    // int: '0' or a nonzero digit followed by any digits (no leading zeros).
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err(start)),
+    }
+    // frac: '.' requires at least one digit after it.
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err(start));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    // exp: [eE] [+-]? digit+.
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err(start));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    let x: f64 = text.parse().map_err(|_| err(start))?;
+    if !x.is_finite() {
+        return Err(format!(
+            "number '{text}' at byte {start} does not fit a finite f64"
+        ));
+    }
+    Ok(Json::Num(x))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -404,20 +508,45 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'r' => out.push('\r'),
                     b't' => out.push('\t'),
                     b'u' => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        // *pos is at the 'u'; leave it on the escape's last
+                        // hex digit so the shared `*pos += 1` below steps
+                        // past it.
+                        let unit = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        let code = match unit {
+                            // High surrogate: RFC 8259 encodes non-BMP
+                            // characters as a \u pair; combine the halves.
+                            0xd800..=0xdbff => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err(format!("unpaired high surrogate \\u{unit:04x}"));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(format!(
+                                        "\\u{unit:04x} not followed by a low surrogate"
+                                    ));
+                                }
+                                *pos += 6;
+                                0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                            }
+                            0xdc00..=0xdfff => {
+                                return Err(format!("unpaired low surrogate \\u{unit:04x}"))
+                            }
+                            _ => unit,
+                        };
+                        // All non-surrogate code points ≤ 0x10ffff are chars.
+                        out.push(char::from_u32(code).expect("surrogates handled above"));
                     }
                     other => return Err(format!("bad escape '\\{}'", *other as char)),
                 }
                 *pos += 1;
+            }
+            // RFC 8259 §7: control characters must be escaped.
+            0x00..=0x1f => {
+                return Err(format!(
+                    "unescaped control character 0x{b:02x} in string at byte {}",
+                    *pos
+                ))
             }
             _ => {
                 // Multi-byte UTF-8 sequences pass through unmodified.
@@ -433,6 +562,19 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     Err("unterminated string".into())
 }
 
+/// The four hex digits of a `\u` escape starting at `at`, as a UTF-16
+/// code unit. Every byte must be an ASCII hex digit — `from_str_radix`
+/// alone would also accept a leading `+`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!("bad \\u escape '{}'", String::from_utf8_lossy(hex)));
+    }
+    // All-hex-digits is guaranteed valid UTF-8 and parses within u16 range.
+    let text = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(text, 16).map_err(|e| e.to_string())
+}
+
 fn utf8_len(first: u8) -> usize {
     match first {
         0x00..=0x7f => 1,
@@ -442,7 +584,13 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    nodes_left: &mut usize,
+) -> Result<Json, String> {
+    let depth = deeper(depth, *pos)?;
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -451,7 +599,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth, nodes_left)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -464,7 +612,13 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    nodes_left: &mut usize,
+) -> Result<Json, String> {
+    let depth = deeper(depth, *pos)?;
     *pos += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -483,7 +637,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {}", *pos));
         }
         *pos += 1;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth, nodes_left)?;
         map.insert(key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -523,11 +677,105 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
         assert!(Json::parse("{} trailing").is_err());
-        assert!(Json::parse(r#"{"a": 1e999999}"#).is_ok()); // inf parses…
-        assert!(Json::parse(r#"{"a": 1e999999}"#)
-            .unwrap()
-            .require_num("a")
-            .is_err()); // …but fails the finiteness check
+        // \u escapes need exactly four hex digits — from_str_radix alone
+        // would also accept a leading '+'.
+        assert!(Json::parse(r#""\u+041""#).is_err());
+        assert!(Json::parse(r#""\u00""#).is_err());
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn rejects_non_rfc_numbers() {
+        // Not in the RFC 8259 grammar.
+        for doc in ["+1", ".5", "1.", "1.e3", "01", "-", "1e", "1e+", "--1"] {
+            assert!(Json::parse(doc).is_err(), "{doc} must not parse");
+        }
+        // In the grammar but overflowing f64: rejected so that a
+        // parse→dump cycle can never turn a number into `null`.
+        assert!(Json::parse(r#"{"a": 1e999999}"#).is_err());
+        assert!(Json::parse("-1e309").is_err());
+        // Underflow to zero and large-but-finite literals are fine.
+        assert_eq!(Json::parse("1e-999999").unwrap().as_num(), Some(0.0));
+        assert_eq!(Json::parse("1e308").unwrap().as_num(), Some(1e308));
+        assert_eq!(Json::parse("-0.5e-2").unwrap().as_num(), Some(-0.005));
+    }
+
+    #[test]
+    fn depth_limit_blocks_deep_nesting() {
+        let deep = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(Json::parse(&deep(MAX_DEPTH)).is_ok());
+        let err = Json::parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // A hostile megabyte of '[' errors instead of blowing the stack.
+        assert!(Json::parse(&"[".repeat(1 << 20)).is_err());
+        // Mixed object/array nesting counts both container kinds.
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH) + "1" + &"]}".repeat(MAX_DEPTH);
+        assert!(Json::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn node_budget_blocks_amplification() {
+        // 12 values: three containers plus nine scalars.
+        let doc = "[1,2,3,[4,5],{\"a\":6},null,true,\"s\"]";
+        assert!(parse_document(doc, 12).is_ok());
+        let err = parse_document(doc, 11).unwrap_err();
+        assert!(err.contains("value budget"), "{err}");
+        // Json::parse uses MAX_NODES — generous for real payloads.
+        assert!(Json::parse(doc).is_ok());
+    }
+
+    #[test]
+    fn unescaped_controls_rejected() {
+        let err = Json::parse("\"a\u{1}b\"").unwrap_err();
+        assert!(err.contains("control character"), "{err}");
+        assert!(Json::parse("\"a\nb\"").is_err()); // raw newline in string
+        assert_eq!(Json::parse(r#""a\nb""#).unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn as_index_bounds() {
+        assert_eq!(Json::from(0.0).as_index(), Some(0));
+        assert_eq!(Json::from(42.0).as_index(), Some(42));
+        assert_eq!(
+            Json::Num(u32::MAX as f64).as_index(),
+            Some(u32::MAX as usize)
+        );
+        for bad in [-1.0, 0.5, 1e300, f64::NAN, f64::INFINITY] {
+            assert_eq!(Json::Num(bad).as_index(), None, "{bad}");
+        }
+        assert_eq!(Json::from("3").as_index(), None);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // U+1F600 and U+1F980 as escaped UTF-16 pairs (RFC 8259 section 7).
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+        assert_eq!(
+            Json::parse(r#""a\uD83E\uDD80b""#).unwrap().as_str(),
+            Some("a\u{1f980}b")
+        );
+        // BMP escapes still decode as a single unit.
+        assert_eq!(
+            Json::parse(r#""\u03bb""#).unwrap().as_str(),
+            Some("\u{3bb}")
+        );
+        // Lone or malformed surrogates are parse errors, not U+FFFD.
+        for doc in [
+            r#""\ud83d""#,
+            r#""\ud83dx""#,
+            r#""\ud83d\n""#,
+            r#""\ud83d\u0041""#,
+            r#""\ude00""#,
+        ] {
+            let err = Json::parse(doc).unwrap_err();
+            assert!(err.contains("surrogate"), "{doc}: {err}");
+        }
+        // Non-BMP characters round-trip through dump (raw UTF-8).
+        let v = Json::from("\u{1f600}\u{1f980}");
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
     }
 
     #[test]

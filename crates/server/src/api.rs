@@ -30,6 +30,11 @@ use sider_json::Json;
 use sider_projection::{IcaOpts, Method};
 use std::io::BufReader;
 
+/// Most ICA restarts one `view` request may ask for — each restart is a
+/// full FastICA run, so the cap bounds how long a single request can hold
+/// a pool thread (the paper's experiments use single-digit counts).
+const MAX_ICA_RESTARTS: usize = 64;
+
 /// An API-level failure: status code + message for the JSON error body.
 struct ApiError(u16, String);
 
@@ -53,6 +58,23 @@ impl From<String> for ApiError {
 
 fn bad_request(msg: impl Into<String>) -> ApiError {
     ApiError(400, msg.into())
+}
+
+/// Validate a collection index ([`Json::as_index`]: exact non-negative
+/// integer ≤ `u32::MAX`) — the one bound shared by every row/class field,
+/// so no hand-rolled copy can silently saturate with `as usize`.
+fn index_of(v: &Json, what: &str) -> Result<usize, ApiError> {
+    v.as_index()
+        .ok_or_else(|| bad_request(format!("'{what}' must be a non-negative integer")))
+}
+
+/// Validate an array of collection indices.
+fn index_arr(v: &Json, what: &str) -> Result<Vec<usize>, ApiError> {
+    v.as_arr()
+        .ok_or_else(|| bad_request(format!("'{what}' must be an array")))?
+        .iter()
+        .map(|x| index_of(x, what))
+        .collect()
 }
 
 /// Dispatch one request against the registry.
@@ -151,8 +173,17 @@ fn list_sessions(manager: &SessionManager) -> ApiResult {
         .list()
         .into_iter()
         .map(|slot| {
-            let session = slot.lock()?;
-            Ok(session_summary(&session, &slot))
+            // Non-blocking: a session held by a long-running request (a
+            // cold refit can take minutes) is reported as a `busy` stub
+            // instead of stalling the whole listing — and the gate slot
+            // serving it — behind that session's mutex.
+            Ok(match slot.try_lock()? {
+                Some(session) => session_summary(&session, &slot),
+                None => Json::obj([
+                    ("id", Json::from(slot.id_str())),
+                    ("busy", Json::from(true)),
+                ]),
+            })
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok(Response::json(
@@ -203,7 +234,14 @@ fn create_session(manager: &SessionManager, req: &Request) -> ApiResult {
     let dataset = resolve_dataset(&body)?;
     let seed = match body.get("seed") {
         None => 7,
-        Some(_) => body.require_num("seed").map_err(bad_request)? as u64,
+        // Validated like the row indices: a plain `as u64` would saturate
+        // negative seeds to 0 and truncate fractions, silently collapsing
+        // distinct client inputs onto the same RNG stream.
+        Some(v) => v
+            .as_num()
+            .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x < u64::MAX as f64)
+            .map(|x| x as u64)
+            .ok_or_else(|| bad_request("'seed' must be a non-negative integer below 2^64"))?,
     };
     let slot = manager.create(dataset, seed).map_err(|e| match e {
         CreateError::BadDataset(msg) => bad_request(msg),
@@ -244,31 +282,16 @@ fn delete_session(manager: &SessionManager, id: &str) -> ApiResult {
 /// "class":2}` marks a predefined class as the selection.
 fn add_knowledge(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
     let kind = body.require_str("kind").map_err(bad_request)?;
-    let index_of = |v: &Json, what: &str| -> Result<usize, ApiError> {
-        v.as_num()
-            .filter(|x| x.fract() == 0.0 && *x >= 0.0)
-            .map(|x| x as usize)
-            .ok_or_else(|| bad_request(format!("'{what}' must be a non-negative integer")))
-    };
     let rows = |what: &str| -> Result<Vec<usize>, ApiError> {
         if let (Some(set), Some(class)) = (body.get("label_set"), body.get("class")) {
-            let (set, class) = (index_of(set, "label_set")?, index_of(class, "class")?);
+            let set = index_of(set, "label_set")?;
+            let class = index_of(class, "class")?;
             return Ok(session.select_class(set, class)?);
         }
         let raw = body
             .get("rows")
             .ok_or_else(|| bad_request(format!("'{what}' knowledge needs 'rows'")))?;
-        let nums = raw
-            .as_arr()
-            .ok_or_else(|| bad_request("'rows' must be an array"))?;
-        nums.iter()
-            .map(|v| {
-                v.as_num()
-                    .filter(|x| x.fract() == 0.0 && *x >= 0.0)
-                    .map(|x| x as usize)
-                    .ok_or_else(|| bad_request("'rows' must contain non-negative integers"))
-            })
-            .collect()
+        index_arr(raw, "rows")
     };
     match kind {
         "margin" => session.add_margin_constraints()?,
@@ -304,16 +327,28 @@ fn add_knowledge(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResul
 }
 
 fn parse_method(body: &Json) -> Result<Method, ApiError> {
-    match body.get("method").and_then(Json::as_str).unwrap_or("pca") {
+    let method = match body.get("method") {
+        None => "pca",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad_request("'method' must be a string"))?,
+    };
+    match method {
         "pca" => Ok(Method::Pca),
         "ica" => {
             let mut opts = IcaOpts::default();
             if let Some(r) = body.get("restarts") {
-                let r = r
-                    .as_num()
-                    .filter(|x| x.fract() == 0.0 && *x >= 1.0)
-                    .ok_or_else(|| bad_request("'restarts' must be a positive integer"))?;
-                opts.restarts = r as usize;
+                // Bounded: each restart is a full FastICA run holding the
+                // session mutex, so an unbounded count would let one
+                // request pin a pool thread indefinitely.
+                opts.restarts = r
+                    .as_index()
+                    .filter(|n| (1..=MAX_ICA_RESTARTS).contains(n))
+                    .ok_or_else(|| {
+                        bad_request(format!(
+                            "'restarts' must be an integer in 1..={MAX_ICA_RESTARTS}"
+                        ))
+                    })?;
             }
             Ok(Method::Ica(opts))
         }
@@ -344,18 +379,7 @@ fn next_view_svg(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResu
         .to_string();
     let selection: Option<Vec<usize>> = match body.get("selection") {
         None => None,
-        Some(v) => Some(
-            v.as_arr()
-                .ok_or_else(|| bad_request("'selection' must be an array"))?
-                .iter()
-                .map(|x| {
-                    x.as_num()
-                        .filter(|f| f.fract() == 0.0 && *f >= 0.0)
-                        .map(|f| f as usize)
-                        .ok_or_else(|| bad_request("'selection' must contain row indices"))
-                })
-                .collect::<Result<_, _>>()?,
-        ),
+        Some(v) => Some(index_arr(v, "selection")?),
     };
     let view = session.next_view(&method)?;
     let svg = view.to_scatter_plot(&title, selection.as_deref()).render();
@@ -366,7 +390,14 @@ fn next_view_svg(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResu
 /// first call. Body: fit options (all fields optional).
 fn update_background(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
     let opts = wire::fit_opts_from_json(body)?;
-    let cold = body.get("cold").and_then(Json::as_bool).unwrap_or(false);
+    // Strict like every other typed field: `{"cold": 1}` must not
+    // silently take the warm path.
+    let cold = match body.get("cold") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad_request("'cold' must be a boolean"))?,
+    };
     let warm_before = session.has_warm_solver();
     let report = if cold {
         session.refit_cold(&opts)?
@@ -536,6 +567,25 @@ mod tests {
             ("POST", "/api/sessions", "{]", 400),
             ("POST", "/api/sessions", r#"{"dataset":"mars"}"#, 400),
             ("POST", "/api/sessions", "{}", 400),
+            // Seeds must be exact non-negative integers, not saturated.
+            (
+                "POST",
+                "/api/sessions",
+                r#"{"dataset":"fig2","seed":-1}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/api/sessions",
+                r#"{"dataset":"fig2","seed":0.9}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/api/sessions",
+                r#"{"dataset":"fig2","seed":"x"}"#,
+                400,
+            ),
             ("GET", "/api/sessions/s9", "", 404),
             ("POST", "/api/sessions/s9/view", "", 404),
         ] {
@@ -575,10 +625,61 @@ mod tests {
             r#"{"kind":"cluster","label_set":-1,"class":0}"#,
             r#"{"kind":"cluster","label_set":0,"class":1.5}"#,
             r#"{"kind":"cluster","label_set":"a","class":0}"#,
+            // Beyond the u32::MAX index bound — rejected up front instead
+            // of saturating through `as usize`.
+            r#"{"kind":"cluster","rows":[1e300]}"#,
         ] {
             let resp = handle(&m, &request("POST", "/api/sessions/s1/knowledge", body));
             assert_eq!(resp.status, 400, "{body}");
         }
+        // Wrongly-typed option flags are 400s, not silent defaults.
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions/s1/update", r#"{"cold":1}"#),
+        );
+        assert_eq!(resp.status, 400);
+        let resp = handle(
+            &m,
+            &request("POST", "/api/sessions/s1/view", r#"{"method":1}"#),
+        );
+        assert_eq!(resp.status, 400);
+        // ICA restarts are bounded — 1e300 must not saturate into an
+        // effectively-infinite loop holding the session mutex.
+        for body in [
+            r#"{"method":"ica","restarts":1e300}"#,
+            r#"{"method":"ica","restarts":0}"#,
+            r#"{"method":"ica","restarts":65}"#,
+        ] {
+            let resp = handle(&m, &request("POST", "/api/sessions/s1/view", body));
+            assert_eq!(resp.status, 400, "{body}");
+        }
+    }
+
+    #[test]
+    fn list_reports_busy_sessions_without_blocking() {
+        let m = manager();
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        let slot = m.get("s1").unwrap();
+        let guard = slot.lock().unwrap(); // simulate an in-flight request
+        let resp = handle(&m, &request("GET", "/api/sessions", ""));
+        assert_eq!(resp.status, 200);
+        let body = json(&resp);
+        let list = body.require_arr("sessions").unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].require_str("id").unwrap(), "s1");
+        assert_eq!(list[0].get("busy").unwrap().as_bool(), Some(true));
+        drop(guard);
+        let resp = handle(&m, &request("GET", "/api/sessions", ""));
+        let body = json(&resp);
+        let list = body.require_arr("sessions").unwrap();
+        assert!(list[0].get("busy").is_none());
+        assert_eq!(
+            list[0].require_str("dataset").unwrap(),
+            "three-d-four-clusters"
+        );
     }
 
     #[test]

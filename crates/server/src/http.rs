@@ -15,6 +15,7 @@
 
 use sider_json::Json;
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Parsing limit: maximal total header block size.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -22,6 +23,18 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Parsing limit: maximal request body size (inline CSV datasets are the
 /// largest legitimate payload).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Total time budget for reading one request (request line + headers +
+/// body). Per-syscall socket timeouts only bound each individual `read`,
+/// so a slowloris client trickling one byte at a time would otherwise hold
+/// a handler thread — and its connection-gate slot — indefinitely.
+pub const REQUEST_READ_DEADLINE: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Total time budget for writing one response. The mirror image of
+/// [`REQUEST_READ_DEADLINE`]: a client that reads a large response a few
+/// bytes at a time resets the per-syscall write timeout on every sip and
+/// would otherwise pin the handler thread for hours.
+pub const RESPONSE_WRITE_DEADLINE: std::time::Duration = std::time::Duration::from_secs(60);
 
 /// Why a request could not be served at the HTTP layer.
 #[derive(Debug)]
@@ -66,9 +79,22 @@ pub struct Request {
 }
 
 impl Request {
-    /// Read one request from a buffered stream.
+    /// Read one request from a buffered stream with no overall deadline
+    /// (suitable for trusted or in-memory readers; the network server uses
+    /// [`Request::read_from_deadline`]).
     pub fn read_from(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-        let request_line = read_line(reader, MAX_HEADER_BYTES)?;
+        Request::read_from_deadline(reader, None)
+    }
+
+    /// Read one request, failing with a timeout [`HttpError::Io`] once
+    /// `deadline` passes — checked between reads, so together with a
+    /// per-syscall socket timeout it bounds the total time a slow client
+    /// can hold the handler thread.
+    pub fn read_from_deadline(
+        reader: &mut impl BufRead,
+        deadline: Option<Instant>,
+    ) -> Result<Request, HttpError> {
+        let request_line = read_line(reader, MAX_HEADER_BYTES, deadline)?;
         let mut parts = request_line.split_whitespace();
         let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
             (Some(m), Some(t), Some(v)) => (m, t, v),
@@ -89,7 +115,7 @@ impl Request {
         let mut headers = Vec::new();
         let mut header_bytes = 0usize;
         loop {
-            let line = read_line(reader, MAX_HEADER_BYTES)?;
+            let line = read_line(reader, MAX_HEADER_BYTES, deadline)?;
             if line.is_empty() {
                 break;
             }
@@ -119,8 +145,7 @@ impl Request {
                 "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
             )));
         }
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
+        let body = read_body(reader, content_length, deadline)?;
         Ok(Request {
             method: method.to_string(),
             path,
@@ -151,10 +176,78 @@ impl Request {
     }
 }
 
+/// `write_all` with a deadline check between syscalls. `Write::write_all`
+/// loops internally, so on its own a receiver draining a few bytes per
+/// per-syscall timeout window could stretch one call indefinitely.
+fn write_all_deadline(
+    writer: &mut impl Write,
+    mut buf: &[u8],
+    deadline: Option<Instant>,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response write deadline exceeded",
+            ));
+        }
+        match writer.write(buf)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "connection closed mid-response",
+                ))
+            }
+            n => buf = &buf[n..],
+        }
+    }
+    Ok(())
+}
+
+/// Timeout error once the request deadline has passed.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "request read deadline exceeded",
+        )));
+    }
+    Ok(())
+}
+
+/// Read exactly `len` body bytes, checking the deadline between reads (a
+/// plain `read_exact` would let a client trickle the body forever).
+fn read_body(
+    reader: &mut impl BufRead,
+    len: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        check_deadline(deadline)?;
+        match reader.read(&mut body[filled..])? {
+            0 => {
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(body)
+}
+
 /// Read one CRLF- (or LF-) terminated line, without the terminator.
-fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<String, HttpError> {
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+    deadline: Option<Instant>,
+) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     loop {
+        check_deadline(deadline)?;
         let mut byte = [0u8; 1];
         match reader.read(&mut byte)? {
             0 => {
@@ -242,15 +335,27 @@ impl Response {
     /// `Connection: close`) — deliberately free of dates and versions so
     /// that identical API state produces identical bytes.
     pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            writer,
+        self.write_to_deadline(writer, None)
+    }
+
+    /// Like [`Response::write_to`] but giving up with a timeout error once
+    /// `deadline` passes — checked between write syscalls, so together
+    /// with a per-syscall socket timeout it bounds the total time a
+    /// slow-reading client can hold the handler thread.
+    pub fn write_to_deadline(
+        &self,
+        writer: &mut impl Write,
+        deadline: Option<Instant>,
+    ) -> std::io::Result<()> {
+        let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
-        )?;
-        writer.write_all(&self.body)?;
+        );
+        write_all_deadline(writer, head.as_bytes(), deadline)?;
+        write_all_deadline(writer, &self.body, deadline)?;
         writer.flush()
     }
 }
@@ -328,6 +433,36 @@ mod tests {
             parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
             Err(HttpError::Io(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        // The data is all there, but the deadline already passed — the
+        // parser must give up instead of continuing to read.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let deadline = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let result =
+            Request::read_from_deadline(&mut BufReader::new(raw.as_bytes()), Some(deadline));
+        match result {
+            Err(HttpError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Without a deadline the same bytes parse fine.
+        assert_eq!(parse(raw).unwrap().body, b"ok");
+    }
+
+    #[test]
+    fn expired_write_deadline_times_out() {
+        let resp = Response::json(200, &Json::obj([("ok", Json::from(true))]));
+        let deadline = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let err = resp
+            .write_to_deadline(&mut Vec::new(), Some(deadline))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // Without a deadline the same response writes fine.
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        assert!(out.starts_with(b"HTTP/1.1 200 OK\r\n"));
     }
 
     #[test]

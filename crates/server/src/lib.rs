@@ -247,6 +247,13 @@ impl Server {
 }
 
 /// Read one request, dispatch it, write one response, close.
+///
+/// Two time bounds guard the handler thread (and its gate slot) against
+/// slow clients: a per-syscall socket timeout, and total deadlines for
+/// the whole request ([`http::REQUEST_READ_DEADLINE`]) and response
+/// ([`http::RESPONSE_WRITE_DEADLINE`]) — without the latter two, a
+/// slowloris client trickling (or sipping) one byte per syscall-timeout
+/// window would hold the slot indefinitely.
 fn handle_connection(manager: &SessionManager, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
@@ -254,14 +261,16 @@ fn handle_connection(manager: &SessionManager, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match http::Request::read_from(&mut reader) {
+    let deadline = std::time::Instant::now() + http::REQUEST_READ_DEADLINE;
+    let response = match http::Request::read_from_deadline(&mut reader, Some(deadline)) {
         Ok(request) => api::handle(manager, &request),
         Err(http::HttpError::Io(_)) => return, // client went away mid-request
         Err(http::HttpError::Malformed(msg)) => http::Response::error(400, &msg),
         Err(http::HttpError::TooLarge(msg)) => http::Response::error(413, &msg),
     };
     let mut stream = stream;
-    let _ = response.write_to(&mut stream);
+    let deadline = std::time::Instant::now() + http::RESPONSE_WRITE_DEADLINE;
+    let _ = response.write_to_deadline(&mut stream, Some(deadline));
 }
 
 #[cfg(test)]

@@ -59,6 +59,20 @@ impl Slot {
             .map_err(|_| format!("session {} is poisoned by an earlier panic", self.id_str()))
     }
 
+    /// Like [`Slot::lock`] but non-blocking: `Ok(None)` when another
+    /// request currently holds the session (a long refit, say) — used by
+    /// the listing endpoint so it never stalls behind a busy session.
+    pub fn try_lock(&self) -> Result<Option<MutexGuard<'_, EdaSession>>, String> {
+        match self.session.try_lock() {
+            Ok(guard) => Ok(Some(guard)),
+            Err(std::sync::TryLockError::WouldBlock) => Ok(None),
+            Err(std::sync::TryLockError::Poisoned(_)) => Err(format!(
+                "session {} is poisoned by an earlier panic",
+                self.id_str()
+            )),
+        }
+    }
+
     fn touch(&self) {
         if let Ok(mut t) = self.last_used.lock() {
             *t = Instant::now();
