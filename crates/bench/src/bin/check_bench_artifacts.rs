@@ -4,9 +4,14 @@
 //! this binary, which fails (exit code 1) when `BENCH_pipeline.json` or
 //! `BENCH_scaling.json` is missing, unparsable, or missing the fields the
 //! perf trajectory across PRs relies on. It deliberately does **not**
-//! gate on speedup values: CI machines (and 1-CPU containers) make timing
-//! thresholds meaningless — the guarded invariants are artifact shape and
-//! the recorded `bit_identical_across_threads` determinism flag.
+//! gate on cross-machine speedup values: CI machines (and 1-CPU
+//! containers) make absolute timing thresholds meaningless — the guarded
+//! invariants are artifact shape, the recorded
+//! `bit_identical_across_threads` determinism flag, and the one *same-run
+//! relative* ratio that is machine-independent by construction:
+//! `refresh_mode.incremental_speedup` (rank-1 spectral maintenance vs the
+//! full Jacobi solve it replaces, measured back-to-back on identical
+//! inputs) must be ≥ 1.0 wherever `d ≥ 16`.
 //!
 //! Every failure message names the offending file and the full JSON path
 //! (e.g. `BENCH_scaling.json: scenarios[2].runs[1].sample_ns`), so a
@@ -86,10 +91,35 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             "baseline_pr1.sample_ns",
             "baseline_pr1.refresh_ns",
             "baseline_pr1.hot_total_ns",
+            "refresh_mode.rank",
+            "refresh_mode.full_ns",
+            "refresh_mode.incremental_ns",
+            "refresh_mode.incremental_speedup",
+            "refresh_mode.eigen_rank_updated",
+            "refresh_mode.rank1_directions_applied",
             "serial_speedup_vs_pr1",
             "parallel_speedup_max_vs_1",
         ] {
             require_num_at(sc, &at, key)?;
+        }
+        // The incremental spectral-maintenance path must actually have
+        // carried the refresh, and at moderate dimension it must not lose
+        // to the full Jacobi solve it replaces. (d < 16 is exempt: there
+        // a full decomposition costs microseconds and the rank-1 path's
+        // fixed overhead can win or lose in the noise.)
+        if require_num_at(sc, &at, "refresh_mode.eigen_rank_updated")? < 1.0 {
+            return Err(format!(
+                "JSON path '{at}.refresh_mode.eigen_rank_updated': the scaling \
+                 scenario did not exercise the incremental refresh path"
+            ));
+        }
+        let d = require_num_at(sc, &at, "d")?;
+        let incr_speedup = require_num_at(sc, &at, "refresh_mode.incremental_speedup")?;
+        if d >= 16.0 && incr_speedup < 1.0 {
+            return Err(format!(
+                "JSON path '{at}.refresh_mode.incremental_speedup': {incr_speedup} < 1.0 \
+                 at d = {d} — the rank-1 refresh lost to the full Jacobi path"
+            ));
         }
         if sc
             .path("bit_identical_across_threads")
@@ -114,6 +144,7 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
                 "threads",
                 "sample_ns",
                 "refresh_ns",
+                "refresh_full_ns",
                 "whiten_ns",
                 "pca_ns",
                 "matmul_ns",

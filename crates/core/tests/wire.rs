@@ -8,7 +8,7 @@ use sider_core::EdaSession;
 use sider_data::synthetic::three_d_four_clusters;
 use sider_json::Json;
 use sider_linalg::Matrix;
-use sider_maxent::FitOpts;
+use sider_maxent::{FitOpts, RefreshStats};
 use sider_projection::Method;
 use std::time::Duration;
 
@@ -129,4 +129,67 @@ fn view_payload_roundtrips_bitwise() {
     );
     // Serializing the reconstruction reproduces the exact bytes.
     assert_eq!(wire::view_to_json(&back).dump(), text);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `refresh_stats_from_json ∘ refresh_stats_to_json = id` for every
+    /// counter combination, including the incremental-spectral fields.
+    #[test]
+    fn refresh_stats_payloads_roundtrip(
+        total in 0usize..10_000,
+        eig in 0usize..10_000,
+        mean in 0usize..10_000,
+        cloned in 0usize..10_000,
+        rank_upd in 0usize..10_000,
+        dirs in 0usize..100_000,
+    ) {
+        let stats = RefreshStats {
+            classes_total: total,
+            eigen_recomputed: eig,
+            mean_updated: mean,
+            cloned_from_parent: cloned,
+            eigen_rank_updated: rank_upd,
+            rank1_directions_applied: dirs,
+        };
+        let text = wire::refresh_stats_to_json(&stats).dump();
+        let back = wire::refresh_stats_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, stats);
+    }
+}
+
+#[test]
+fn refresh_stats_missing_fields_default_to_zero() {
+    // A payload from a server predating incremental spectral maintenance
+    // carries only the original four counters — the new ones must read 0.
+    let old = r#"{"classes_total":5,"cloned_from_parent":1,"eigen_recomputed":3,"mean_updated":2}"#;
+    let stats = wire::refresh_stats_from_json(&Json::parse(old).unwrap()).unwrap();
+    assert_eq!(stats.classes_total, 5);
+    assert_eq!(stats.eigen_recomputed, 3);
+    assert_eq!(stats.mean_updated, 2);
+    assert_eq!(stats.cloned_from_parent, 1);
+    assert_eq!(stats.eigen_rank_updated, 0);
+    assert_eq!(stats.rank1_directions_applied, 0);
+    // The empty object is the degenerate old payload: all-zero stats.
+    assert_eq!(
+        wire::refresh_stats_from_json(&Json::parse("{}").unwrap()).unwrap(),
+        RefreshStats::default()
+    );
+}
+
+#[test]
+fn refresh_stats_rejects_malformed_payloads() {
+    for bad in [
+        "[]",
+        "3",
+        r#"{"classes_total":-1}"#,
+        r#"{"eigen_rank_updated":1.5}"#,
+        r#"{"rank1_directions_applied":"many"}"#,
+    ] {
+        assert!(
+            wire::refresh_stats_from_json(&Json::parse(bad).unwrap()).is_err(),
+            "payload {bad} must be rejected"
+        );
+    }
 }

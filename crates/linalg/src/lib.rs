@@ -28,6 +28,7 @@
 
 pub mod cholesky;
 pub mod eigen;
+pub mod eigen_update;
 pub mod error;
 pub mod lu;
 pub mod matrix;

@@ -1,0 +1,241 @@
+//! Property tests for the rank-1 symmetric eigen update
+//! (`sider_linalg::eigen_update`): agreement with a fresh Jacobi
+//! decomposition on random SPD matrices, bounded drift under chained
+//! updates, and each deflation path exercised explicitly.
+
+use sider_linalg::{sym_eigen, Matrix, SymEigen};
+
+/// Deterministic pseudo-random stream (same LCG idiom as the in-crate
+/// eigen tests — the linalg crate must not depend on sider_stats).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next()).collect()
+    }
+
+    /// Well-conditioned random SPD matrix `R·Rᵀ·0.09 + I`.
+    fn spd(&mut self, n: usize) -> Matrix {
+        let r = Matrix::from_fn(n, n, |_, _| self.next());
+        let mut a = r.gram().scale(0.09);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+}
+
+/// Explicitly updated matrix `A + ρwwᵀ`.
+fn updated_matrix(a: &Matrix, w: &[f64], rho: f64) -> Matrix {
+    let mut out = a.clone();
+    out.add_outer(rho, w, w);
+    out.symmetrize();
+    out
+}
+
+/// Assert an eigendecomposition represents `target`: descending sorted
+/// values matching a fresh Jacobi solve, faithful reconstruction, and an
+/// orthonormal basis.
+fn assert_represents(eig: &SymEigen, target: &Matrix, tol: f64, ctx: &str) {
+    let fresh = sym_eigen(target).unwrap();
+    let scale = target.frobenius_norm().max(1.0);
+    for (k, (a, b)) in eig.values.iter().zip(&fresh.values).enumerate() {
+        assert!(
+            (a - b).abs() <= tol * scale,
+            "{ctx}: eigenvalue {k}: {a} vs fresh {b}"
+        );
+    }
+    assert!(
+        eig.reconstruct().max_abs_diff(target) <= tol * scale,
+        "{ctx}: U·D·Uᵀ drifted from the updated matrix by {}",
+        eig.reconstruct().max_abs_diff(target)
+    );
+    assert!(
+        eig.orthogonality_drift() <= tol,
+        "{ctx}: basis drift {}",
+        eig.orthogonality_drift()
+    );
+    let mut sorted = eig.values.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert_eq!(sorted, eig.values, "{ctx}: values not descending");
+}
+
+#[test]
+fn random_spd_updates_match_fresh_decomposition() {
+    let mut rng = Lcg(0xfeed);
+    for n in [2usize, 3, 5, 8, 16, 24] {
+        for rep in 0..6 {
+            let a = rng.spd(n);
+            let w = rng.vec(n);
+            // Alternate growth and (PD-safe, small) shrink updates.
+            let rho = if rep % 2 == 0 { 0.8 } else { -0.2 };
+            let mut eig = sym_eigen(&a).unwrap();
+            eig.rank1_update(&w, rho).unwrap();
+            let target = updated_matrix(&a, &w, rho);
+            assert_represents(&eig, &target, 1e-9, &format!("n={n} rep={rep}"));
+        }
+    }
+}
+
+#[test]
+fn wide_eigenvalue_spread_keeps_small_directions_accurate() {
+    // A collapsed-direction-style spectrum (1e10 vs O(1), as produced by
+    // clamped zero-variance constraints) must not smear the small
+    // eigenvalues through scale-absolute tolerances.
+    let mut rng = Lcg(77);
+    let n = 6;
+    let mut a = rng.spd(n);
+    a[(0, 0)] += 1e10;
+    let w = rng.vec(n);
+    let mut eig = sym_eigen(&a).unwrap();
+    eig.rank1_update(&w, 0.5).unwrap();
+    let fresh = sym_eigen(&updated_matrix(&a, &w, 0.5)).unwrap();
+    for (k, (got, want)) in eig.values.iter().zip(&fresh.values).enumerate() {
+        // Per-eigenvalue *relative* agreement.
+        assert!(
+            (got - want).abs() <= 1e-8 * want.abs().max(1.0),
+            "eigenvalue {k}: {got} vs {want}"
+        );
+    }
+    assert!(eig.orthogonality_drift() < 1e-10);
+}
+
+#[test]
+fn chained_updates_drift_stays_bounded() {
+    let mut rng = Lcg(0xc0de);
+    let n = 12;
+    let mut a = rng.spd(n);
+    let mut eig = sym_eigen(&a).unwrap();
+    for step in 0..40 {
+        let w = rng.vec(n);
+        let rho = 0.3 + 0.05 * (step % 5) as f64;
+        eig.rank1_update(&w, rho).unwrap();
+        a = updated_matrix(&a, &w, rho);
+    }
+    let scale = a.frobenius_norm();
+    assert!(
+        eig.reconstruct().max_abs_diff(&a) <= 1e-9 * scale,
+        "chained reconstruction drifted by {}",
+        eig.reconstruct().max_abs_diff(&a)
+    );
+    assert!(
+        eig.orthogonality_drift() <= 1e-10,
+        "chained basis drift {}",
+        eig.orthogonality_drift()
+    );
+}
+
+#[test]
+fn repeated_eigenvalues_deflate_by_rotation() {
+    // The identity has a fully degenerate spectrum: a rank-1 update moves
+    // exactly one eigenvalue (to 1 + ρ‖w‖²) and leaves the rest at 1.
+    let n = 7;
+    let mut eig = sym_eigen(&Matrix::identity(n)).unwrap();
+    let w: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * i as f64).collect();
+    let norm2: f64 = w.iter().map(|x| x * x).sum();
+    eig.rank1_update(&w, 2.0).unwrap();
+    assert!((eig.values[0] - (1.0 + 2.0 * norm2)).abs() < 1e-12 * (1.0 + 2.0 * norm2));
+    for &v in &eig.values[1..] {
+        assert!((v - 1.0).abs() < 1e-12, "degenerate eigenvalue moved: {v}");
+    }
+    let target = updated_matrix(&Matrix::identity(n), &w, 2.0);
+    assert_represents(&eig, &target, 1e-10, "identity update");
+
+    // Partially repeated spectrum: diag(2, 2, 2, 5, 5, 9).
+    let a = Matrix::from_diag(&[2.0, 2.0, 2.0, 5.0, 5.0, 9.0]);
+    let mut eig = sym_eigen(&a).unwrap();
+    let w = vec![0.5, -0.25, 0.125, 1.0, -0.5, 0.75];
+    eig.rank1_update(&w, 1.5).unwrap();
+    assert_represents(&eig, &updated_matrix(&a, &w, 1.5), 1e-10, "partial repeats");
+}
+
+#[test]
+fn update_orthogonal_to_eigenvector_leaves_pair_untouched() {
+    // w ⊥ e2 for a diagonal matrix: z₂ = 0 deflates, so eigenpair
+    // (3, e2) must survive *bit for bit*.
+    let a = Matrix::from_diag(&[1.0, 3.0, 7.0]);
+    let mut eig = sym_eigen(&a).unwrap();
+    let before_val = eig.values[1]; // 3.0 (descending: 7, 3, 1)
+    let before_vec = eig.vectors.col(1);
+    let w = vec![2.0, 0.0, -1.0];
+    eig.rank1_update(&w, 0.9).unwrap();
+    let target = updated_matrix(&a, &w, 0.9);
+    assert_represents(&eig, &target, 1e-10, "orthogonal w");
+    // 3.0 still an eigenvalue with the identical basis column.
+    let pos = eig
+        .values
+        .iter()
+        .position(|&v| v == before_val)
+        .expect("deflated eigenvalue must survive exactly");
+    assert_eq!(eig.vectors.col(pos), before_vec);
+}
+
+#[test]
+fn near_zero_rho_deflates_to_noop_and_zero_is_exact_noop() {
+    let mut rng = Lcg(9);
+    let a = rng.spd(5);
+    let w = rng.vec(5);
+    let base = sym_eigen(&a).unwrap();
+
+    let mut eig = base.clone();
+    eig.rank1_update(&w, 0.0).unwrap();
+    assert_eq!(eig.values, base.values);
+    assert_eq!(eig.vectors.as_slice(), base.vectors.as_slice());
+
+    // λ near zero: the update is a tiny perturbation — values move by at
+    // most |ρ|·‖w‖² and the basis stays orthonormal.
+    let mut eig = base.clone();
+    eig.rank1_update(&w, 1e-13).unwrap();
+    let target = updated_matrix(&a, &w, 1e-13);
+    assert_represents(&eig, &target, 1e-10, "tiny rho");
+
+    // Zero direction deflates everything: exact no-op.
+    let mut eig = base.clone();
+    eig.rank1_update(&[0.0; 5], 3.0).unwrap();
+    assert_eq!(eig.values, base.values);
+    assert_eq!(eig.vectors.as_slice(), base.vectors.as_slice());
+}
+
+#[test]
+fn shrink_updates_within_pd_bound_agree() {
+    // Negative ρ exercises the negated secular path end to end.
+    let mut rng = Lcg(31);
+    for n in [3usize, 6, 10] {
+        let a = rng.spd(n);
+        let mut w = rng.vec(n);
+        // Keep the update safely inside positive definiteness:
+        // ρ > −1/(wᵀA⁻¹w) is guaranteed by a small ‖w‖ and ρ = −0.3.
+        for x in &mut w {
+            *x *= 0.5;
+        }
+        let mut eig = sym_eigen(&a).unwrap();
+        eig.rank1_update(&w, -0.3).unwrap();
+        assert_represents(&eig, &updated_matrix(&a, &w, -0.3), 1e-9, &format!("n={n}"));
+    }
+}
+
+#[test]
+fn rejects_bad_inputs() {
+    let mut eig = sym_eigen(&Matrix::identity(3)).unwrap();
+    assert!(eig.rank1_update(&[1.0, 2.0], 1.0).is_err());
+    assert!(eig.rank1_update(&[f64::NAN, 0.0, 0.0], 1.0).is_err());
+    assert!(eig.rank1_update(&[1.0, 0.0, 0.0], f64::INFINITY).is_err());
+    // Untouched after every rejected call.
+    assert_eq!(eig.values, vec![1.0; 3]);
+}
+
+#[test]
+fn empty_decomposition_is_a_noop() {
+    let mut eig = sym_eigen(&Matrix::zeros(0, 0)).unwrap();
+    eig.rank1_update(&[], 2.0).unwrap();
+    assert!(eig.values.is_empty());
+    assert_eq!(eig.orthogonality_drift(), 0.0);
+}

@@ -14,7 +14,7 @@
 
 use crate::params::ClassParams;
 use crate::Result;
-use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_linalg::{sym_eigen, vector, Matrix, SymEigen};
 use sider_par::ThreadPool;
 use sider_stats::Rng;
 
@@ -38,6 +38,11 @@ struct ClassModel {
     sample_scale: Vec<f64>,
     /// Eigenvalues of the precision (descending), for entropy accounting.
     prec_evals: Vec<f64>,
+    /// Rank-1 eigen updates applied since the basis orthogonality was
+    /// last verified (either by a fresh Jacobi decomposition or by an
+    /// explicit drift check). Drives the periodic `‖UᵀU − I‖_max` probe
+    /// of the incremental refresh path.
+    rank1_since_check: usize,
 }
 
 /// The background distribution over `n × d` datasets (rows independent).
@@ -55,7 +60,9 @@ pub struct BackgroundDistribution {
 pub struct RefreshStats {
     /// Classes in the refreshed distribution.
     pub classes_total: usize,
-    /// Classes whose precision was re-eigendecomposed (`sym_eigen` calls).
+    /// Classes whose precision was re-eigendecomposed from scratch
+    /// (`sym_eigen` calls) — cov-dirty classes whose pending rank-1 log
+    /// was empty, over the rank budget, or rejected by the drift check.
     pub eigen_recomputed: usize,
     /// Classes that only had their mean vector swapped (linear updates
     /// never touch `Σ`, so the cached spectral transforms stay valid).
@@ -63,6 +70,13 @@ pub struct RefreshStats {
     /// New classes that inherited their parent's cached decomposition
     /// after a partition split.
     pub cloned_from_parent: usize,
+    /// Classes whose cached eigendecomposition was brought current by
+    /// rank-1 updates (`O(d²·k)`) instead of a fresh Jacobi solve — the
+    /// incremental spectral-maintenance fast path.
+    pub eigen_rank_updated: usize,
+    /// Total rank-1 directions applied across all incrementally updated
+    /// classes in this refresh.
+    pub rank1_directions_applied: usize,
 }
 
 /// Precision eigenvalues below this are treated as "fully relaxed"
@@ -75,6 +89,14 @@ impl ClassModel {
     /// precision) from one class's fitted parameters.
     fn compute(d: usize, p: &ClassParams) -> ClassModel {
         let eig = sym_eigen(&p.prec).expect("precision eigen failed");
+        Self::from_eigen(d, p, eig)
+    }
+
+    /// Package parameters plus an already-known eigendecomposition of the
+    /// precision (fresh from Jacobi, or a cached one brought current by
+    /// rank-1 updates), rebuilding the derived `whiten`/`sample_scale`
+    /// transforms from the spectrum.
+    fn from_eigen(d: usize, p: &ClassParams, eig: SymEigen) -> ClassModel {
         let n_ev = eig.values.len();
         let mut whiten = Matrix::zeros(d, d);
         let mut sample_scale = Vec::with_capacity(n_ev);
@@ -102,7 +124,41 @@ impl ClassModel {
             u: eig.vectors,
             sample_scale,
             prec_evals: eig.values,
+            rank1_since_check: 0,
         }
+    }
+
+    /// Bring this cached model current for parameters `p` by applying the
+    /// pending rank-1 precision moves to the cached spectrum. Returns
+    /// `None` — "recompute from scratch" — when a secular solve fails or
+    /// the periodic orthogonality probe finds the basis drifted beyond
+    /// [`DRIFT_TOL`]. The caller has already enforced the rank budget.
+    fn rank1_refreshed(
+        &self,
+        d: usize,
+        p: &ClassParams,
+        pending: &[(&[f64], f64)],
+    ) -> Option<ClassModel> {
+        let mut eig = SymEigen {
+            values: self.prec_evals.clone(),
+            vectors: self.u.clone(),
+        };
+        let mut since_check = self.rank1_since_check;
+        for &(w, dl) in pending {
+            if eig.rank1_update(w, dl).is_err() {
+                return None;
+            }
+            since_check += 1;
+            if since_check >= DRIFT_CHECK_EVERY {
+                if eig.orthogonality_drift() > DRIFT_TOL {
+                    return None;
+                }
+                since_check = 0;
+            }
+        }
+        let mut model = ClassModel::from_eigen(d, p, eig);
+        model.rank1_since_check = since_check;
+        Some(model)
     }
 }
 
@@ -116,6 +172,31 @@ impl ClassModel {
 /// collapsed directions to zero instead of amplifying the artifact by
 /// `√λ_max ≈ 10⁶`, and sampling pins them at the mean.
 const EVAL_COLLAPSED: f64 = 1e10;
+
+/// Incremental spectral maintenance: a cov-dirty class is refreshed by
+/// rank-1 eigen updates only while its pending rank `k` stays within
+/// `max(1, d / RANK_BUDGET_DIV)`. Beyond that the `O(d²·k)` update work
+/// approaches a fresh `O(d³)` Jacobi solve (which also resets accumulated
+/// round-off), so the full decomposition wins on both counts.
+const RANK_BUDGET_DIV: usize = 4;
+
+/// Verify eigenbasis orthonormality (`‖UᵀU − I‖_max`) after this many
+/// accumulated rank-1 updates. The probe costs about as much as one
+/// update (`O(d³)` Gram vs `O(d·m²)`), so amortized over the interval it
+/// adds ~12% while bounding undetected drift to a few updates' worth.
+const DRIFT_CHECK_EVERY: usize = 8;
+
+/// Orthogonality drift above which the incremental path falls back to a
+/// full Jacobi decomposition. Fresh decompositions sit near 1e−15 and
+/// each rank-1 update adds round-off of similar order, so 1e−8 leaves
+/// orders of magnitude of headroom before whiten/sample outputs (checked
+/// to ~1e−6 by the warm-vs-cold property tests) could be affected.
+const DRIFT_TOL: f64 = 1e-8;
+
+/// Maximum pending rank updated incrementally for dimension `d`.
+fn rank_budget(d: usize) -> usize {
+    (d / RANK_BUDGET_DIV).max(1)
+}
 
 impl BackgroundDistribution {
     /// The unconstrained prior: every row is `N(0, I_d)` (paper Eq. 1).
@@ -149,10 +230,16 @@ impl BackgroundDistribution {
     }
 
     /// Update the distribution in place after an (incremental) solver fit,
-    /// recomputing the `O(d³)` spectral decomposition only where required:
+    /// recomputing spectral decompositions only where — and only as far
+    /// as — required:
     ///
     /// * classes with `cov_dirty` set — their precision changed, so the
-    ///   eigendecomposition must be redone;
+    ///   cached eigendecomposition is stale. When the caller supplies the
+    ///   pending rank-1 moves (see
+    ///   [`BackgroundDistribution::refresh_from_class_params_with`]) and
+    ///   their rank fits the budget, the cached spectrum is *updated* in
+    ///   `O(d²·k)`; otherwise it is recomputed by a full `O(d³)` Jacobi
+    ///   solve;
     /// * classes with only `mean_dirty` set — linear updates never touch
     ///   `Σ`, so just the mean vector is swapped;
     /// * new classes (ids past the cached range) — split off from
@@ -162,8 +249,10 @@ impl BackgroundDistribution {
     ///   recomputed, so it reflects the parameters at split time, which
     ///   are exactly the sub-class's parameters if it stayed clean.)
     ///
-    /// Returns counts of each path taken, which tests and benches use to
-    /// assert the cache really short-circuits.
+    /// This serial convenience wrapper passes an empty rank-1 log, i.e.
+    /// every cov-dirty class takes the full-Jacobi path. Returns counts
+    /// of each path taken, which tests and benches use to assert the
+    /// cache really short-circuits.
     pub fn refresh_from_class_params(
         &mut self,
         class_of_row: Vec<u32>,
@@ -178,15 +267,23 @@ impl BackgroundDistribution {
             parent_of_class,
             mean_dirty,
             cov_dirty,
+            &[],
             &ThreadPool::serial(),
         )
     }
 
-    /// [`BackgroundDistribution::refresh_from_class_params`] with the
-    /// dirty-class eigendecompositions distributed over `pool` — one
-    /// independent Jacobi solve per cov-dirty class, so a refresh touching
-    /// `k` classes scales down to `⌈k / threads⌉` decompositions of wall
-    /// time. Identical results and [`RefreshStats`] at any pool size.
+    /// [`BackgroundDistribution::refresh_from_class_params`] with (a) the
+    /// per-class pending rank-1 precision moves since the last refresh
+    /// (`rank1_log[c]` is a list of `(direction, Δλ)` pairs, typically
+    /// from `Solver::spectral_log`; an empty or missing entry forces the
+    /// full-Jacobi path for that class) and (b) the dirty-class work
+    /// distributed over `pool`. A cov-dirty class whose pending rank `k`
+    /// is within `max(1, d/4)` has its cached eigendecomposition brought
+    /// current by `k` rank-1 secular updates — `O(d²·k)` instead of
+    /// `O(d³·sweeps)` — with a periodic `‖UᵀU − I‖_max` orthogonality
+    /// probe; budget overflow, a failed secular solve, or drift beyond
+    /// tolerance all fall back to the full decomposition. Identical
+    /// results and [`RefreshStats`] at any pool size.
     #[allow(clippy::too_many_arguments)]
     pub fn refresh_from_class_params_with(
         &mut self,
@@ -195,6 +292,7 @@ impl BackgroundDistribution {
         parent_of_class: &[u32],
         mean_dirty: &[bool],
         cov_dirty: &[bool],
+        rank1_log: &[Vec<(&[f64], f64)>],
         pool: &ThreadPool,
     ) -> RefreshStats {
         assert_eq!(params.len(), parent_of_class.len());
@@ -221,18 +319,45 @@ impl BackgroundDistribution {
             }
         }
         // Pass 2: recompute what the fit actually moved. Each class lands
-        // in exactly one bucket: eigen-recomputed, mean-only-updated, or
-        // (for new classes handled above) cloned-from-parent. The
-        // cov-dirty decompositions are independent, so they fan out over
-        // the pool; placement is by class id, keeping the result
-        // scheduling-independent.
+        // in exactly one bucket: eigen-rank-updated, eigen-recomputed,
+        // mean-only-updated, or (for new classes handled above)
+        // cloned-from-parent. The per-class refreshes are independent, so
+        // they fan out over the pool; placement is by class id, keeping
+        // the result scheduling-independent.
         let dirty: Vec<usize> = (0..params.len()).filter(|&c| cov_dirty[c]).collect();
         let d = self.d;
-        let pool = pool.gated(dirty.len().saturating_mul(d * d * d));
-        let recomputed = pool.par_map(&dirty, |&c| ClassModel::compute(d, &params[c]));
-        for (&c, model) in dirty.iter().zip(recomputed) {
+        let budget = rank_budget(d);
+        // Gate on the work the refresh will actually do: O(d²·k) for
+        // classes the rank-1 path will carry, O(d³) for full solves —
+        // a handful of rank-1 updates must not pay thread dispatch.
+        let work = dirty.iter().fold(0usize, |acc, &c| {
+            let pending = rank1_log.get(c).map(Vec::len).unwrap_or(0);
+            let per_class = if pending > 0 && pending <= budget {
+                d * d * pending
+            } else {
+                d * d * d
+            };
+            acc.saturating_add(per_class)
+        });
+        let pool = pool.gated(work);
+        let classes = &self.classes;
+        let refreshed = pool.par_map(&dirty, |&c| {
+            let pending = rank1_log.get(c).map(Vec::as_slice).unwrap_or(&[]);
+            if !pending.is_empty() && pending.len() <= budget {
+                if let Some(model) = classes[c].rank1_refreshed(d, &params[c], pending) {
+                    return (model, pending.len());
+                }
+            }
+            (ClassModel::compute(d, &params[c]), 0)
+        });
+        for (&c, (model, rank_applied)) in dirty.iter().zip(refreshed) {
             self.classes[c] = model;
-            stats.eigen_recomputed += 1;
+            if rank_applied > 0 {
+                stats.eigen_rank_updated += 1;
+                stats.rank1_directions_applied += rank_applied;
+            } else {
+                stats.eigen_recomputed += 1;
+            }
         }
         for (c, p) in params.iter().enumerate() {
             if !cov_dirty[c] && mean_dirty[c] && c < n_cached {
@@ -384,6 +509,16 @@ impl BackgroundDistribution {
     /// bit-identical at any pool size; chunk-local `z` scratch buffers and
     /// [`Matrix::matvec_into`] straight into the output row slice keep the
     /// whole loop allocation-free per row.
+    ///
+    /// Box–Muller produces normals in pairs, so an odd `d` would waste
+    /// the second output of each row's final pair. The chunk scratch
+    /// carries that spare into the next row's first coordinate instead —
+    /// deterministically, because chunk boundaries are fixed
+    /// (`ROW_CHUNK`, never derived from the thread count): row `i`'s
+    /// normals depend only on `(master, i)` and on whether `i` is
+    /// chunk-first/odd/even, never on scheduling. This restores the
+    /// transform count of a single shared stream (the PR-1 baseline) for
+    /// small odd `d`, where the wasted pair was a measurable regression.
     pub fn sample_with(&self, rng: &mut Rng, pool: &ThreadPool) -> Matrix {
         let master = rng.next_u64();
         let n = self.n();
@@ -396,13 +531,21 @@ impl BackgroundDistribution {
             ROW_CHUNK * d.max(1),
             |chunk_idx, rows| {
                 let mut z = vec![0.0; d];
+                let mut carried: Option<f64> = None;
                 for (off, out_row) in rows.chunks_mut(d).enumerate() {
                     let i = chunk_idx * ROW_CHUNK + off;
                     let class = &self.classes[self.class_of_row(i)];
                     let mut row_rng = Rng::substream(master, i as u64);
-                    for (zk, &s) in z.iter_mut().zip(&class.sample_scale) {
+                    let mut zs = z.iter_mut().zip(&class.sample_scale);
+                    if let Some(spare) = carried.take() {
+                        if let Some((zk, &s)) = zs.next() {
+                            *zk = spare * s;
+                        }
+                    }
+                    for (zk, &s) in zs {
                         *zk = row_rng.standard_normal() * s;
                     }
+                    carried = row_rng.take_spare_normal();
                     class.u.matvec_into(&z, out_row);
                     vector::axpy(1.0, &class.m, out_row);
                 }
@@ -617,19 +760,33 @@ mod tests {
         }
     }
 
-    /// Allocation-per-row reference sampler: same per-row substreams, but
-    /// the straightforward `standard_normal_vec` + `matvec` + `set_row`
-    /// formulation. The scratch-buffer kernel must reproduce it bit for
+    /// Allocation-per-row reference sampler: same per-row substreams and
+    /// the same chunk-local Box–Muller spare carry, but the
+    /// straightforward `matvec` + `set_row` formulation with per-row
+    /// allocations. The scratch-buffer kernel must reproduce it bit for
     /// bit — reusing buffers is a pure optimization.
     fn sample_reference(bg: &BackgroundDistribution, rng: &mut Rng) -> Matrix {
         let master = rng.next_u64();
         let n = bg.n();
         let d = bg.d();
         let mut out = Matrix::zeros(n, d);
+        // The spare of a row's last Box–Muller pair seeds the next row's
+        // first normal, resetting at the fixed chunk boundaries.
+        let mut carried: Option<f64> = None;
         for i in 0..n {
+            if i % ROW_CHUNK == 0 {
+                carried = None;
+            }
             let class_mean = bg.mean(i).to_vec();
             let mut row_rng = Rng::substream(master, i as u64);
-            let z = row_rng.standard_normal_vec(d);
+            let mut z = vec![0.0; d];
+            for (k, zk) in z.iter_mut().enumerate() {
+                *zk = match (k, carried.take()) {
+                    (0, Some(spare)) => spare,
+                    _ => row_rng.standard_normal(),
+                };
+            }
+            carried = row_rng.take_spare_normal();
             // Rebuild the scaled spectral draw through public accessors:
             // x = m + U·(z ⊙ scale). The test helper recomputes U and the
             // scales from the precision like ClassModel does.
@@ -655,8 +812,11 @@ mod tests {
 
     #[test]
     fn scratch_buffer_sampling_output_unchanged_vs_reference() {
+        // n = 600 spans three ROW_CHUNK chunks, so the spare carry resets
+        // at two interior chunk boundaries; odd d = 3 exercises the carry
+        // on every row.
         let mut rng = Rng::seed_from_u64(71);
-        let data = Matrix::from_fn(120, 3, |_, j| rng.normal(j as f64, 1.0 + j as f64));
+        let data = Matrix::from_fn(600, 3, |_, j| rng.normal(j as f64, 1.0 + j as f64));
         let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
         solver.fit(&FitOpts::default());
         let bg = solver.distribution();
@@ -675,13 +835,17 @@ mod tests {
 
     #[test]
     fn sample_bit_identical_across_pool_sizes() {
-        // n·d² above the dispatch gate so multi-thread pools really fan out.
-        let bg = BackgroundDistribution::prior(12_000, 4);
-        let serial = bg.sample(&mut Rng::seed_from_u64(3));
-        for threads in [2usize, 4] {
-            let pool = sider_par::ThreadPool::new(threads);
-            let par = bg.sample_with(&mut Rng::seed_from_u64(3), &pool);
-            assert_eq!(serial.as_slice(), par.as_slice(), "{threads} threads");
+        // n·d² above the dispatch gate so multi-thread pools really fan
+        // out; d = 5 (odd) additionally pins the Box–Muller spare carry
+        // to the fixed chunk layout, d = 4 the carry-free path.
+        for d in [4usize, 5] {
+            let bg = BackgroundDistribution::prior(12_000, d);
+            let serial = bg.sample(&mut Rng::seed_from_u64(3));
+            for threads in [2usize, 4] {
+                let pool = sider_par::ThreadPool::new(threads);
+                let par = bg.sample_with(&mut Rng::seed_from_u64(3), &pool);
+                assert_eq!(serial.as_slice(), par.as_slice(), "d={d} {threads} threads");
+            }
         }
     }
 
@@ -754,6 +918,7 @@ mod tests {
             &parents,
             &no_mean,
             &all_dirty,
+            &[],
             &pool,
         );
         assert_eq!(stats_a, stats_b);

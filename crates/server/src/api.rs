@@ -489,6 +489,14 @@ mod tests {
         assert_eq!(body.get("converged"), None); // nested under "report"
         assert_eq!(body.path("report.converged").unwrap().as_bool(), Some(true));
         assert!(body.require_num("refresh.classes_total").unwrap() >= 1.0);
+        // The incremental-spectral-maintenance counters are part of the
+        // update response (a cold first fit reports 0 on the fast path).
+        assert!(body.require_num("refresh.eigen_rank_updated").unwrap() >= 0.0);
+        assert!(
+            body.require_num("refresh.rank1_directions_applied")
+                .unwrap()
+                >= 0.0
+        );
         assert_eq!(body.get("dirty").unwrap().as_bool(), Some(false));
 
         let resp = handle(&m, &request("POST", "/api/sessions/s1/view", "{}"));

@@ -102,6 +102,19 @@ impl Rng {
         r * theta.cos()
     }
 
+    /// Take the cached second Box–Muller output, if one is pending.
+    ///
+    /// [`Rng::standard_normal`] generates normals in pairs and caches the
+    /// second; a consumer that draws an odd count and then drops the
+    /// generator (e.g. a per-row substream) would silently waste it. This
+    /// hands the spare to the caller — `sider_maxent` carries it into the
+    /// next row's draw, deterministically, so odd-`d` sampling performs
+    /// the same number of Box–Muller transforms as a single shared stream.
+    #[inline]
+    pub fn take_spare_normal(&mut self) -> Option<f64> {
+        self.spare_normal.take()
+    }
+
     /// Normal with the given mean and standard deviation.
     #[inline]
     pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
@@ -350,6 +363,24 @@ mod tests {
         let var = sum_sq / n - mean * mean;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn take_spare_normal_returns_the_second_of_each_pair() {
+        let mut a = Rng::seed_from_u64(321);
+        let mut b = Rng::seed_from_u64(321);
+        let first_a = a.standard_normal();
+        let spare = a.take_spare_normal().expect("pair leaves a spare");
+        assert_eq!(a.take_spare_normal(), None, "spare is consumed once");
+        // The spare is exactly what the paired generator returns next.
+        let first_b = b.standard_normal();
+        assert_eq!(first_a, first_b);
+        assert_eq!(spare, b.standard_normal());
+        // After an even number of draws there is nothing pending.
+        let mut c = Rng::seed_from_u64(321);
+        c.standard_normal();
+        c.standard_normal();
+        assert_eq!(c.take_spare_normal(), None);
     }
 
     #[test]
