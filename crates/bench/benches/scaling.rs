@@ -41,15 +41,28 @@
 //! outputs at every thread count (`bit_identical_across_threads`), which
 //! is the determinism contract of `sider_par`.
 //!
+//! Each scenario also times **crash recovery** (`store.recover_ns`): a
+//! real `sider_store` op-log over an `n × d` session — create, two
+//! cluster-knowledge rounds with warm updates, a view — is written
+//! through the production append path, then the session is rebuilt from
+//! disk with `Store::recover_session_with` (WAL scan + CRC validation +
+//! replay through the single `ops::apply` path on a 1-thread pool). The
+//! resulting state is fingerprint-checked against a live twin before the
+//! timing is trusted.
+//!
 //! Set `SIDER_BENCH_SMOKE=1` for the reduced CI grid (same JSON schema).
 
 use sider_bench::{median_duration, smoke_mode, time};
+use sider_json::Json;
 use sider_linalg::{sym_eigen, vector, woodbury, Matrix};
 use sider_maxent::params::ClassParams;
 use sider_maxent::{BackgroundDistribution, RefreshStats};
 use sider_par::ThreadPool;
 use sider_projection::pca_directions_with;
 use sider_stats::Rng;
+use sider_store::ops::OpKind;
+use sider_store::{FsyncPolicy, Store, StoreConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Distinct per-row Gaussians in every scenario (8 eigendecompositions per
@@ -351,6 +364,9 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
         });
     }
 
+    // ---- Crash recovery: rebuild an n×d session from its op-log. ----
+    let (recover, recover_ops, wal_bytes) = bench_recovery(n, d, reps);
+
     let t1 = runs
         .iter()
         .find(|r| r.threads == 1)
@@ -368,11 +384,12 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
     let incremental_speedup = ratio(t1.refresh_full, t1.refresh);
 
     println!(
-        "scaling/{n}x{d}: pr1 {:.1}ms -> serial {:.1}ms ({serial_speedup:.2}x, refresh rank-{k} incr {incremental_speedup:.2}x vs full) -> {} threads {:.1}ms ({parallel_speedup:.2}x), bit_identical={bit_identical}",
+        "scaling/{n}x{d}: pr1 {:.1}ms -> serial {:.1}ms ({serial_speedup:.2}x, refresh rank-{k} incr {incremental_speedup:.2}x vs full) -> {} threads {:.1}ms ({parallel_speedup:.2}x), recover {:.1}ms/{recover_ops} ops, bit_identical={bit_identical}",
         baseline_total.as_secs_f64() * 1e3,
         t1.hot_total().as_secs_f64() * 1e3,
         tmax.threads,
         tmax.hot_total().as_secs_f64() * 1e3,
+        recover.as_secs_f64() * 1e3,
     );
 
     let runs_json: Vec<String> = runs
@@ -398,14 +415,98 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
         refresh_stats.eigen_rank_updated,
         refresh_stats.rank1_directions_applied,
     );
+    let store_json = format!(
+        "{{ \"recover_ns\": {}, \"recover_ops\": {recover_ops}, \"wal_bytes\": {wal_bytes} }}",
+        recover.as_nanos(),
+    );
     format!
         (
-        "    {{\n      \"n\": {n},\n      \"d\": {d},\n      \"baseline_pr1\": {{ \"sample_ns\": {}, \"refresh_ns\": {}, \"hot_total_ns\": {} }},\n      \"refresh_mode\": {refresh_mode},\n      \"runs\": [\n{}\n      ],\n      \"bit_identical_across_threads\": {bit_identical},\n      \"serial_speedup_vs_pr1\": {serial_speedup:.3},\n      \"parallel_speedup_max_vs_1\": {parallel_speedup:.3}\n    }}",
+        "    {{\n      \"n\": {n},\n      \"d\": {d},\n      \"baseline_pr1\": {{ \"sample_ns\": {}, \"refresh_ns\": {}, \"hot_total_ns\": {} }},\n      \"refresh_mode\": {refresh_mode},\n      \"store\": {store_json},\n      \"runs\": [\n{}\n      ],\n      \"bit_identical_across_threads\": {bit_identical},\n      \"serial_speedup_vs_pr1\": {serial_speedup:.3},\n      \"parallel_speedup_max_vs_1\": {parallel_speedup:.3}\n    }}",
         baseline_sample.as_nanos(),
         baseline_refresh.as_nanos(),
         baseline_total.as_nanos(),
         runs_json.join(",\n"),
     )
+}
+
+/// Time rebuilding an `n × d` session from a real on-disk op-log: the
+/// history (create + 2 knowledge/update rounds + a view) is written
+/// through the production `Store` append path, then recovered with the
+/// production replay path on a 1-thread pool. Returns the median
+/// recovery wall time, the op count and the WAL size. The recovered
+/// state is fingerprinted against a live twin once before timing — a
+/// recovery that reproduced the wrong bytes must not produce a metric.
+fn bench_recovery(n: usize, d: usize, reps: usize) -> (Duration, u64, u64) {
+    let dir = std::env::temp_dir().join(format!(
+        "sider_bench_recover_{}_{n}x{d}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = StoreConfig::new(&dir);
+    config.fsync = FsyncPolicy::Never; // timing replay, not disk flushes
+    let store = Store::open(config).expect("open bench store");
+
+    // The dataset arrives via the resolver (the builtin-name twin of the
+    // server path, minus CSV parsing), regenerated identically per call.
+    let seed = 0xbe2c ^ (n as u64) ^ ((d as u64) << 32);
+    let resolver = move |_body: &Json| -> Result<sider_data::Dataset, String> {
+        let mut rng = Rng::seed_from_u64(seed);
+        Ok(sider_data::Dataset::unlabeled(
+            "bench",
+            rng.standard_normal_matrix(n, d),
+        ))
+    };
+
+    let k = 64usize; // n >= 1000 in every scenario
+    let rows = |r: std::ops::Range<usize>| Json::Arr(r.map(|i| Json::from(i as f64)).collect());
+    let knowledge =
+        |r: std::ops::Range<usize>| Json::obj([("kind", Json::from("cluster")), ("rows", rows(r))]);
+    let history: Vec<(OpKind, Json)> = vec![
+        (OpKind::Knowledge, knowledge(0..k)),
+        (OpKind::Update, Json::obj([])),
+        (OpKind::View, Json::obj([("method", Json::from("pca"))])),
+        (OpKind::Knowledge, knowledge(k..2 * k)),
+        (OpKind::Update, Json::obj([])),
+    ];
+    let create = Json::obj([("dataset", Json::from("bench")), ("seed", Json::from(7.0))]);
+    store.create_session(1, &create).expect("log create");
+    for (kind, body) in &history {
+        store.append(1, *kind, body).expect("log op");
+    }
+    let wal_bytes = store.status_of(1).expect("status").wal_bytes;
+    let recover_ops = 1 + history.len() as u64;
+
+    // Correctness gate: recovered state must match a live twin bitwise.
+    let pool = Arc::new(ThreadPool::new(1));
+    {
+        let mut live = sider_store::ops::create_session(&create, Arc::clone(&pool), &resolver)
+            .expect("live create");
+        for (kind, body) in &history {
+            sider_store::ops::apply(&mut live, *kind, body).expect("live op");
+        }
+        let recovered = store
+            .recover_session_with(1, Arc::clone(&pool), &resolver)
+            .expect("recover");
+        let live_w = live.whitened().expect("live whiten");
+        let rec_w = recovered.whitened().expect("recovered whiten");
+        if live_w.as_slice() != rec_w.as_slice()
+            || live.information_nats().to_bits() != recovered.information_nats().to_bits()
+        {
+            eprintln!("scaling/{n}x{d}: recovery is not bit-identical to the live session");
+            std::process::exit(1);
+        }
+    }
+
+    let recover = median_of(reps, || {
+        time(|| {
+            store
+                .recover_session_with(1, Arc::clone(&pool), &resolver)
+                .expect("recover")
+        })
+        .1
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    (recover, recover_ops, wal_bytes)
 }
 
 fn median_of(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {

@@ -97,10 +97,23 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             "refresh_mode.incremental_speedup",
             "refresh_mode.eigen_rank_updated",
             "refresh_mode.rank1_directions_applied",
+            "store.recover_ns",
+            "store.recover_ops",
+            "store.wal_bytes",
             "serial_speedup_vs_pr1",
             "parallel_speedup_max_vs_1",
         ] {
             require_num_at(sc, &at, key)?;
+        }
+        // The crash-recovery metric must come from a real replay: zero
+        // recovered ops or a zero-duration recovery means the bench did
+        // not actually rebuild the session from its op-log.
+        for key in ["store.recover_ns", "store.recover_ops", "store.wal_bytes"] {
+            if require_num_at(sc, &at, key)? < 1.0 {
+                return Err(format!(
+                    "JSON path '{at}.{key}' must be >= 1 (recovery was not exercised)"
+                ));
+            }
         }
         // The incremental spectral-maintenance path must actually have
         // carried the refresh, and at moderate dimension it must not lose

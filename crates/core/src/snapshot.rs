@@ -101,6 +101,12 @@ fn parse_floats(s: &str) -> Result<Vec<f64>> {
 /// Replay a snapshot's knowledge statements into a session over the same
 /// dataset (checked by shape). The background is *not* refitted — call
 /// [`EdaSession::update_background`] afterwards.
+///
+/// Application is **atomic**: statements replay into a scratch copy of
+/// the session first, so a snapshot that fails mid-way (unknown
+/// statement kind, truncated line, bad row) leaves the live session
+/// untouched — all-or-nothing, mirroring the JSON twin
+/// [`crate::wire::snapshot_from_json`].
 pub fn apply(session: &mut EdaSession, snapshot: &str) -> Result<usize> {
     let mut lines = snapshot.lines().map(str::trim).filter(|l| !l.is_empty());
     match lines.next() {
@@ -133,15 +139,18 @@ pub fn apply(session: &mut EdaSession, snapshot: &str) -> Result<usize> {
             session.dataset().d()
         )));
     }
+    // Replay into a scratch copy first so a malformed statement in the
+    // middle of the file cannot leave the live session half-mutated.
+    let mut staged = session.clone();
     let mut applied = 0;
     for line in lines {
         let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
         match kind {
-            "margin" => session.add_margin_constraints()?,
-            "one-cluster" => session.add_one_cluster_constraint()?,
+            "margin" => staged.add_margin_constraints()?,
+            "one-cluster" => staged.add_one_cluster_constraint()?,
             "cluster" => {
                 let rows = parse_indices(rest)?;
-                session.add_cluster_constraint(&rows)?;
+                staged.add_cluster_constraint(&rows)?;
             }
             "twod" => {
                 let (rows_part, axes_part) = rest
@@ -153,8 +162,13 @@ pub fn apply(session: &mut EdaSession, snapshot: &str) -> Result<usize> {
                     .ok_or_else(|| CoreError::BadSelection("twod needs two axes".into()))?;
                 let axis1 = parse_floats(a1)?;
                 let axis2 = parse_floats(a2)?;
+                if axis1.is_empty() || axis1.len() != axis2.len() {
+                    return Err(CoreError::BadSelection(
+                        "twod axes are empty or unequal length".into(),
+                    ));
+                }
                 let axes = Matrix::from_rows(&[axis1, axis2]);
-                session.add_twod_constraint(&rows, &axes)?;
+                staged.add_twod_constraint(&rows, &axes)?;
             }
             other => {
                 return Err(CoreError::BadSelection(format!(
@@ -164,6 +178,7 @@ pub fn apply(session: &mut EdaSession, snapshot: &str) -> Result<usize> {
         }
         applied += 1;
     }
+    *session = staged;
     Ok(applied)
 }
 
@@ -308,6 +323,77 @@ mod tests {
             "sider-session v1\ndataset x 150 3\ncluster 1,banana\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn apply_is_atomic_when_a_late_statement_fails() {
+        // Regression: a snapshot whose *last* line is malformed used to
+        // leave every earlier statement applied — replay must be
+        // all-or-nothing.
+        let mut s = session();
+        for text in [
+            // unknown statement kind after two valid lines
+            "sider-session v1\ndataset x 150 3\nmargin\ncluster 0,1,2\nfrobnicate\n",
+            // truncated twod line: no axes separator
+            "sider-session v1\ndataset x 150 3\nmargin\ntwod 1,2,3\n",
+            // truncated twod line: only one axis
+            "sider-session v1\ndataset x 150 3\nmargin\ntwod 1,2 | 1,0,0\n",
+            // truncated twod line: second axis cut mid-way (ragged)
+            "sider-session v1\ndataset x 150 3\nmargin\ntwod 1,2 | 1,0,0 ; 0,1\n",
+            // out-of-bounds row after a valid line
+            "sider-session v1\ndataset x 150 3\nmargin\ncluster 0,999\n",
+        ] {
+            assert!(apply(&mut s, text).is_err(), "{text:?}");
+            assert_eq!(s.n_constraints(), 0, "partial apply leaked: {text:?}");
+            assert_eq!(s.knowledge().len(), 0, "partial apply leaked: {text:?}");
+            assert!(!s.is_dirty(), "partial apply leaked: {text:?}");
+        }
+        // …and a session with existing fitted state keeps it intact.
+        let mut warm = session();
+        warm.add_margin_constraints().unwrap();
+        warm.update_background(&FitOpts::default()).unwrap();
+        let kl = warm.information_nats();
+        assert!(apply(
+            &mut warm,
+            "sider-session v1\ndataset x 150 3\ncluster 0,1,2\nbogus\n"
+        )
+        .is_err());
+        assert_eq!(warm.n_constraints(), 6);
+        assert!(!warm.is_dirty());
+        assert!(warm.has_warm_solver());
+        assert_eq!(warm.information_nats().to_bits(), kl.to_bits());
+    }
+
+    #[test]
+    fn apply_error_paths_name_the_problem() {
+        // Dimension mismatch, unknown statement and truncated lines each
+        // surface as a typed CoreError, not a panic.
+        let mut s = session();
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x 150 4\nmargin\n"),
+            Err(CoreError::BadDataset(_))
+        ));
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x nope 3\n"),
+            Err(CoreError::BadDataset(_))
+        ));
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x 150\n"),
+            Err(CoreError::BadDataset(_))
+        ));
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x 150 3\nshrug\n"),
+            Err(CoreError::BadSelection(_))
+        ));
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x 150 3\ntwod 1,2\n"),
+            Err(CoreError::BadSelection(_))
+        ));
+        assert!(matches!(
+            apply(&mut s, "sider-session v1\ndataset x 150 3\ncluster 1,2.5\n"),
+            Err(CoreError::BadSelection(_))
+        ));
+        assert_eq!(s.n_constraints(), 0);
     }
 
     #[test]

@@ -602,6 +602,38 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_rejects_unknown_versions_and_formats() {
+        // A future snapshot version must be rejected up front, not
+        // half-parsed with this version's schema.
+        let mut donor = session();
+        donor.add_margin_constraints().unwrap();
+        let good = snapshot_to_json(&donor);
+        let mut s = session();
+        assert_eq!(snapshot_from_json(&mut s, &good).unwrap(), 1);
+
+        for (key, value) in [
+            ("version", Json::from(2.0)),
+            ("version", Json::from("1")),
+            ("version", Json::Null),
+            ("format", Json::from("sider-checkpoint")),
+        ] {
+            let mut doc = good.clone();
+            if let Json::Obj(map) = &mut doc {
+                map.insert(key.into(), value);
+            }
+            let mut target = session();
+            assert!(
+                matches!(
+                    snapshot_from_json(&mut target, &doc),
+                    Err(CoreError::BadWire(_))
+                ),
+                "{key} tamper must be rejected"
+            );
+            assert_eq!(target.knowledge().len(), 0);
+        }
+    }
+
+    #[test]
     fn snapshot_apply_is_atomic() {
         // A snapshot whose *last* statement is malformed must leave the
         // target session untouched — not half-applied.

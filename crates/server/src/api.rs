@@ -9,6 +9,7 @@
 //! | Method & path | Action |
 //! |---|---|
 //! | `GET /health` | liveness + session count |
+//! | `GET /api/store` | durable-store status (per-session log/checkpoint) |
 //! | `GET /api/sessions` | list sessions |
 //! | `POST /api/sessions` | create (builtin dataset or inline CSV) |
 //! | `GET /api/sessions/{id}` | session detail incl. knowledge list |
@@ -20,20 +21,22 @@
 //! | `POST /api/sessions/{id}/undo` | drop the last knowledge statement |
 //! | `GET /api/sessions/{id}/snapshot` | export knowledge as JSON |
 //! | `POST /api/sessions/{id}/snapshot` | replay a snapshot |
+//! | `POST /api/sessions/{id}/checkpoint` | compact the session's op-log |
+//!
+//! Mutating endpoints all funnel through `sider_store::ops::apply` — the
+//! **same code** recovery replays after a restart, which is what makes
+//! recovered sessions byte-identical to never-restarted ones. When a
+//! store is attached, each successful mutation is written through to the
+//! session's op-log before the response is sent (the response is the
+//! commit point), and the log is compacted automatically once enough ops
+//! accumulate.
 
 use crate::http::{Request, Response};
 use crate::manager::{CreateError, SessionManager, Slot};
 use sider_core::wire;
 use sider_core::{CoreError, EdaSession};
-use sider_data::Dataset;
 use sider_json::Json;
-use sider_projection::{IcaOpts, Method};
-use std::io::BufReader;
-
-/// Most ICA restarts one `view` request may ask for — each restart is a
-/// full FastICA run, so the cap bounds how long a single request can hold
-/// a pool thread (the paper's experiments use single-digit counts).
-const MAX_ICA_RESTARTS: usize = 64;
+use sider_store::ops::{self, Applied, OpError, OpKind};
 
 /// An API-level failure: status code + message for the JSON error body.
 struct ApiError(u16, String);
@@ -50,6 +53,16 @@ impl From<CoreError> for ApiError {
     }
 }
 
+impl From<OpError> for ApiError {
+    fn from(e: OpError) -> Self {
+        match e {
+            OpError::Bad(msg) => ApiError(400, msg),
+            OpError::Conflict(msg) => ApiError(409, msg),
+            OpError::Core(e) => e.into(),
+        }
+    }
+}
+
 impl From<String> for ApiError {
     fn from(msg: String) -> Self {
         ApiError(500, msg)
@@ -60,56 +73,40 @@ fn bad_request(msg: impl Into<String>) -> ApiError {
     ApiError(400, msg.into())
 }
 
-/// Validate a collection index ([`Json::as_index`]: exact non-negative
-/// integer ≤ `u32::MAX`) — the one bound shared by every row/class field,
-/// so no hand-rolled copy can silently saturate with `as usize`.
-fn index_of(v: &Json, what: &str) -> Result<usize, ApiError> {
-    v.as_index()
-        .ok_or_else(|| bad_request(format!("'{what}' must be a non-negative integer")))
-}
-
-/// Validate an array of collection indices.
-fn index_arr(v: &Json, what: &str) -> Result<Vec<usize>, ApiError> {
-    v.as_arr()
-        .ok_or_else(|| bad_request(format!("'{what}' must be an array")))?
-        .iter()
-        .map(|x| index_of(x, what))
-        .collect()
-}
-
 /// Dispatch one request against the registry.
 pub fn handle(manager: &SessionManager, req: &Request) -> Response {
     let path = req.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let outcome = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => health(manager),
+        ("GET", ["api", "store"]) => store_status(manager),
         ("GET", ["api", "sessions"]) => list_sessions(manager),
         ("POST", ["api", "sessions"]) => create_session(manager, req),
         ("GET", ["api", "sessions", id]) => with_slot(manager, id, session_detail),
         ("DELETE", ["api", "sessions", id]) => delete_session(manager, id),
         ("POST", ["api", "sessions", id, "knowledge"]) => {
-            with_slot_req(manager, id, req, add_knowledge)
+            apply_and_log(manager, id, req, OpKind::Knowledge)
         }
-        ("POST", ["api", "sessions", id, "view"]) => with_slot_req(manager, id, req, next_view),
-        ("POST", ["api", "sessions", id, "view.svg"]) => {
-            with_slot_req(manager, id, req, next_view_svg)
-        }
+        ("POST", ["api", "sessions", id, "view"]) => apply_and_log(manager, id, req, OpKind::View),
+        ("POST", ["api", "sessions", id, "view.svg"]) => next_view_svg(manager, id, req),
         ("POST", ["api", "sessions", id, "update"]) => {
-            with_slot_req(manager, id, req, update_background)
+            apply_and_log(manager, id, req, OpKind::Update)
         }
-        ("POST", ["api", "sessions", id, "undo"]) => with_slot(manager, id, undo),
+        ("POST", ["api", "sessions", id, "undo"]) => apply_and_log(manager, id, req, OpKind::Undo),
         ("GET", ["api", "sessions", id, "snapshot"]) => with_slot(manager, id, export_snapshot),
         ("POST", ["api", "sessions", id, "snapshot"]) => {
-            with_slot_req(manager, id, req, apply_snapshot)
+            apply_and_log(manager, id, req, OpKind::Snapshot)
         }
+        ("POST", ["api", "sessions", id, "checkpoint"]) => checkpoint_session(manager, id),
         // Known paths hit with the wrong method get 405; everything else
         // (including unknown paths under /api) is 404.
         (_, ["health"])
+        | (_, ["api", "store"])
         | (_, ["api", "sessions"])
         | (_, ["api", "sessions", _])
         | (
             _,
-            ["api", "sessions", _, "knowledge" | "view" | "view.svg" | "update" | "undo" | "snapshot"],
+            ["api", "sessions", _, "knowledge" | "view" | "view.svg" | "update" | "undo" | "snapshot" | "checkpoint"],
         ) => Err(ApiError(405, format!("{} not allowed here", req.method))),
         _ => Err(ApiError(404, format!("no route for {}", req.path))),
     };
@@ -128,14 +125,95 @@ fn with_slot(
     f(&mut session, &slot)
 }
 
-fn with_slot_req(
+/// Write-through durability: append the just-applied op to the session's
+/// log (the request fails if the log does — the client must not see an
+/// acknowledged op a restart would forget), then compact automatically
+/// once the WAL holds `checkpoint_every` ops. *Checkpoint* failure only
+/// warns: durability is intact, the WAL still has everything.
+///
+/// An append failure leaves memory one op ahead of the log, so the slot
+/// is **unloaded**: letting it live would silently log later ops on top
+/// of the hole and make recovery rebuild a different session. The next
+/// restart recovers it at its last durable op.
+fn persist_op(
     manager: &SessionManager,
-    id: &str,
-    req: &Request,
-    f: impl FnOnce(&mut EdaSession, &Slot, &Json) -> ApiResult,
-) -> ApiResult {
+    slot: &Slot,
+    session: &EdaSession,
+    kind: OpKind,
+    body: &Json,
+) -> Result<(), ApiError> {
+    let Some(store) = manager.store() else {
+        return Ok(());
+    };
+    store.append(slot.id, kind, body).map_err(|e| {
+        manager.unload(slot.id);
+        ApiError(
+            500,
+            format!(
+                "durable log append failed ({e}); session {} unloaded to its last durable state",
+                slot.id_str()
+            ),
+        )
+    })?;
+    if store.wal_records(slot.id) >= store.config().checkpoint_every {
+        let ds = session.dataset();
+        if let Err(e) = store.checkpoint(slot.id, &ds.name, ds.n(), ds.d()) {
+            eprintln!(
+                "sider_server: automatic checkpoint of s{} failed: {e}",
+                slot.id
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The one path every mutating endpoint takes: parse the body, apply the
+/// op through the shared `sider_store::ops` code (the same code recovery
+/// replays), write it through to the op-log, and shape the response.
+fn apply_and_log(manager: &SessionManager, id: &str, req: &Request, kind: OpKind) -> ApiResult {
     let body = req.json_body().map_err(bad_request)?;
-    with_slot(manager, id, |session, slot| f(session, slot, &body))
+    with_slot(manager, id, |session, slot| {
+        let applied = ops::apply(session, kind, &body)?;
+        persist_op(manager, slot, session, kind, &body)?;
+        let mut resp = match &applied {
+            Applied::View { view } => {
+                return Ok(Response::json(
+                    200,
+                    &Json::obj([
+                        ("view", wire::view_to_json(view)),
+                        ("information_nats", Json::from(session.information_nats())),
+                    ]),
+                ))
+            }
+            _ => session_summary(session, slot),
+        };
+        if let Json::Obj(map) = &mut resp {
+            match applied {
+                Applied::Knowledge { added } => {
+                    map.insert("added".into(), added);
+                }
+                Applied::Update {
+                    report,
+                    was_warm,
+                    refresh,
+                } => {
+                    map.insert("report".into(), report);
+                    map.insert("was_warm".into(), Json::from(was_warm));
+                    if let Some(refresh) = refresh {
+                        map.insert("refresh".into(), refresh);
+                    }
+                }
+                Applied::Undo { removed } => {
+                    map.insert("removed".into(), removed);
+                }
+                Applied::Snapshot { applied } => {
+                    map.insert("applied".into(), Json::from(applied));
+                }
+                Applied::View { .. } => unreachable!("view returned above"),
+            }
+        }
+        Ok(Response::json(200, &resp))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -150,8 +228,49 @@ fn health(manager: &SessionManager) -> ApiResult {
             ("sessions", Json::from(manager.len())),
             ("max_sessions", Json::from(manager.max_sessions())),
             ("pool_threads", Json::from(manager.pool().threads())),
+            ("durable", Json::from(manager.store().is_some())),
         ]),
     ))
+}
+
+/// `GET /api/store`: per-session durability status (log/checkpoint sizes,
+/// last LSN) plus the store configuration; `{"enabled":false}` when the
+/// server runs without a data dir.
+fn store_status(manager: &SessionManager) -> ApiResult {
+    let Some(store) = manager.store() else {
+        return Ok(Response::json(
+            200,
+            &Json::obj([("enabled", Json::from(false))]),
+        ));
+    };
+    let sessions = store.status().into_iter().map(|s| s.to_json());
+    Ok(Response::json(
+        200,
+        &Json::obj([
+            ("enabled", Json::from(true)),
+            ("fsync", Json::from(store.config().fsync.as_string())),
+            (
+                "checkpoint_every",
+                Json::from(store.config().checkpoint_every),
+            ),
+            ("sessions", Json::arr(sessions)),
+        ]),
+    ))
+}
+
+/// `POST /api/sessions/{id}/checkpoint`: compact the session's op-log
+/// now. `409` when the server runs without a store.
+fn checkpoint_session(manager: &SessionManager, id: &str) -> ApiResult {
+    with_slot(manager, id, |session, slot| {
+        let store = manager
+            .store()
+            .ok_or_else(|| ApiError(409, "no durable store configured (--data-dir)".into()))?;
+        let ds = session.dataset();
+        let status = store
+            .checkpoint(slot.id, &ds.name, ds.n(), ds.d())
+            .map_err(|e| ApiError(500, format!("checkpoint failed: {e}")))?;
+        Ok(Response::json(200, &status.to_json()))
+    })
 }
 
 fn session_summary(session: &EdaSession, slot: &Slot) -> Json {
@@ -192,61 +311,19 @@ fn list_sessions(manager: &SessionManager) -> ApiResult {
     ))
 }
 
-/// Resolve the dataset of a create request: `{"dataset": "fig2"}` for the
-/// paper's builtins, or `{"name": …, "csv": "a,b\n1,2\n…"}` for inline
-/// data.
-fn resolve_dataset(body: &Json) -> Result<Dataset, ApiError> {
-    if let Some(csv) = body.get("csv") {
-        let text = csv
-            .as_str()
-            .ok_or_else(|| bad_request("'csv' must be a string"))?;
-        let (header, matrix) = sider_data::csv::read_matrix(BufReader::new(text.as_bytes()))
-            .map_err(|e| bad_request(format!("bad csv: {e}")))?;
-        let name = body
-            .get("name")
-            .and_then(Json::as_str)
-            .unwrap_or("uploaded")
-            .to_string();
-        let mut ds = Dataset::unlabeled(name, matrix);
-        ds.column_names = header;
-        return Ok(ds);
-    }
-    match body.get("dataset").and_then(Json::as_str) {
-        Some("fig2") => Ok(sider_data::synthetic::three_d_four_clusters(2018)),
-        Some("xhat5") => Ok(sider_data::synthetic::xhat5(1000, 42)),
-        Some("bnc") => Ok(sider_data::bnc::bnc_like_corpus(
-            &sider_data::bnc::BncOpts::default(),
-            2018,
-        )),
-        Some("segmentation") => Ok(sider_data::segmentation::segmentation_like(
-            &sider_data::segmentation::SegmentationOpts::default(),
-            2018,
-        )),
-        Some(other) => Err(bad_request(format!(
-            "unknown dataset '{other}' (fig2|xhat5|bnc|segmentation, or inline 'csv')"
-        ))),
-        None => Err(bad_request("need 'dataset' (builtin name) or 'csv'")),
-    }
-}
-
 fn create_session(manager: &SessionManager, req: &Request) -> ApiResult {
     let body = req.json_body().map_err(bad_request)?;
-    let dataset = resolve_dataset(&body)?;
-    let seed = match body.get("seed") {
-        None => 7,
-        // Validated like the row indices: a plain `as u64` would saturate
-        // negative seeds to 0 and truncate fractions, silently collapsing
-        // distinct client inputs onto the same RNG stream.
-        Some(v) => v
-            .as_num()
-            .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x < u64::MAX as f64)
-            .map(|x| x as u64)
-            .ok_or_else(|| bad_request("'seed' must be a non-negative integer below 2^64"))?,
-    };
-    let slot = manager.create(dataset, seed).map_err(|e| match e {
-        CreateError::BadDataset(msg) => bad_request(msg),
-        CreateError::AtCapacity(cap) => ApiError(429, format!("at capacity ({cap} sessions)")),
-    })?;
+    // Parsed through the same `sider_store::ops` code replay uses, so a
+    // recovered create is bit-for-bit the create that was served.
+    let dataset = ops::resolve_dataset(&body).map_err(bad_request)?;
+    let seed = ops::parse_seed(&body).map_err(bad_request)?;
+    let slot = manager
+        .create_logged(dataset, seed, &body)
+        .map_err(|e| match e {
+            CreateError::BadDataset(msg) => bad_request(msg),
+            CreateError::AtCapacity(cap) => ApiError(429, format!("at capacity ({cap} sessions)")),
+            CreateError::Store(msg) => ApiError(500, format!("durable log create failed: {msg}")),
+        })?;
     let session = slot.lock()?;
     Ok(Response::json(201, &session_summary(&session, &slot)))
 }
@@ -276,102 +353,12 @@ fn delete_session(manager: &SessionManager, id: &str) -> ApiResult {
     }
 }
 
-/// `{"kind": "margin" | "one-cluster" | "cluster" | "twod",
-///   "rows": [...], "axes": [[...],[...]]}` — rows for cluster/twod,
-/// axes for twod only. Alternatively `{"kind":"cluster","label_set":0,
-/// "class":2}` marks a predefined class as the selection.
-fn add_knowledge(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
-    let kind = body.require_str("kind").map_err(bad_request)?;
-    let rows = |what: &str| -> Result<Vec<usize>, ApiError> {
-        if let (Some(set), Some(class)) = (body.get("label_set"), body.get("class")) {
-            let set = index_of(set, "label_set")?;
-            let class = index_of(class, "class")?;
-            return Ok(session.select_class(set, class)?);
-        }
-        let raw = body
-            .get("rows")
-            .ok_or_else(|| bad_request(format!("'{what}' knowledge needs 'rows'")))?;
-        index_arr(raw, "rows")
-    };
-    match kind {
-        "margin" => session.add_margin_constraints()?,
-        "one-cluster" => session.add_one_cluster_constraint()?,
-        "cluster" => {
-            let rows = rows("cluster")?;
-            session.add_cluster_constraint(&rows)?;
-        }
-        "twod" => {
-            let axes = wire::matrix_from_json(
-                body.get("axes")
-                    .ok_or_else(|| bad_request("'twod' knowledge needs 'axes'"))?,
-            )?;
-            let rows = rows("twod")?;
-            session.add_twod_constraint(&rows, &axes)?;
-        }
-        other => {
-            return Err(bad_request(format!(
-                "unknown knowledge kind '{other}' (margin|one-cluster|cluster|twod)"
-            )))
-        }
-    }
-    let added = session
-        .knowledge()
-        .last()
-        .map(wire::knowledge_to_json)
-        .unwrap_or(Json::Null);
-    let mut resp = session_summary(session, slot);
-    if let Json::Obj(map) = &mut resp {
-        map.insert("added".into(), added);
-    }
-    Ok(Response::json(200, &resp))
-}
-
-fn parse_method(body: &Json) -> Result<Method, ApiError> {
-    let method = match body.get("method") {
-        None => "pca",
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| bad_request("'method' must be a string"))?,
-    };
-    match method {
-        "pca" => Ok(Method::Pca),
-        "ica" => {
-            let mut opts = IcaOpts::default();
-            if let Some(r) = body.get("restarts") {
-                // Bounded: each restart is a full FastICA run holding the
-                // session mutex, so an unbounded count would let one
-                // request pin a pool thread indefinitely.
-                opts.restarts = r
-                    .as_index()
-                    .filter(|n| (1..=MAX_ICA_RESTARTS).contains(n))
-                    .ok_or_else(|| {
-                        bad_request(format!(
-                            "'restarts' must be an integer in 1..={MAX_ICA_RESTARTS}"
-                        ))
-                    })?;
-            }
-            Ok(Method::Ica(opts))
-        }
-        other => Err(bad_request(format!("unknown method '{other}' (pca|ica)"))),
-    }
-}
-
-fn next_view(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResult {
-    let method = parse_method(body)?;
-    let view = session.next_view(&method)?;
-    Ok(Response::json(
-        200,
-        &Json::obj([
-            ("view", wire::view_to_json(&view)),
-            ("information_nats", Json::from(session.information_nats())),
-        ]),
-    ))
-}
-
-/// Like [`next_view`] but rendered server-side with `sider_plot`:
+/// Like the `view` op but rendered server-side with `sider_plot`:
 /// `{"method": …, "title": …, "selection": [rows…]}` → `image/svg+xml`.
-fn next_view_svg(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResult {
-    let method = parse_method(body)?;
+/// Logged as a `view` op (the render is a pure function of the view; the
+/// view advanced the session RNG).
+fn next_view_svg(manager: &SessionManager, id: &str, req: &Request) -> ApiResult {
+    let body = req.json_body().map_err(bad_request)?;
     let title = body
         .get("title")
         .and_then(Json::as_str)
@@ -379,65 +366,20 @@ fn next_view_svg(session: &mut EdaSession, _slot: &Slot, body: &Json) -> ApiResu
         .to_string();
     let selection: Option<Vec<usize>> = match body.get("selection") {
         None => None,
-        Some(v) => Some(index_arr(v, "selection")?),
+        Some(v) => Some(ops::index_arr(v, "selection")?),
     };
-    let view = session.next_view(&method)?;
-    let svg = view.to_scatter_plot(&title, selection.as_deref()).render();
-    Ok(Response::svg(svg))
-}
-
-/// Refit the background with all accumulated constraints — warm after the
-/// first call. Body: fit options (all fields optional).
-fn update_background(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
-    let opts = wire::fit_opts_from_json(body)?;
-    // Strict like every other typed field: `{"cold": 1}` must not
-    // silently take the warm path.
-    let cold = match body.get("cold") {
-        None => false,
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| bad_request("'cold' must be a boolean"))?,
-    };
-    let warm_before = session.has_warm_solver();
-    let report = if cold {
-        session.refit_cold(&opts)?
-    } else {
-        session.update_background(&opts)?
-    };
-    let mut resp = session_summary(session, slot);
-    if let Json::Obj(map) = &mut resp {
-        map.insert("report".into(), wire::report_to_json(&report));
-        map.insert("was_warm".into(), Json::from(warm_before && !cold));
-        if let Some(stats) = session.last_refresh_stats() {
-            map.insert("refresh".into(), wire::refresh_stats_to_json(&stats));
-        }
-    }
-    Ok(Response::json(200, &resp))
-}
-
-fn undo(session: &mut EdaSession, slot: &Slot) -> ApiResult {
-    let removed = session
-        .undo_last_knowledge()
-        .map(|r| wire::knowledge_to_json(&r))
-        .ok_or_else(|| ApiError(409, "nothing to undo".into()))?;
-    let mut resp = session_summary(session, slot);
-    if let Json::Obj(map) = &mut resp {
-        map.insert("removed".into(), removed);
-    }
-    Ok(Response::json(200, &resp))
+    with_slot(manager, id, |session, slot| {
+        let Applied::View { view } = ops::apply(session, OpKind::View, &body)? else {
+            return Err(ApiError(500, "view op did not produce a view".into()));
+        };
+        persist_op(manager, slot, session, OpKind::View, &body)?;
+        let svg = view.to_scatter_plot(&title, selection.as_deref()).render();
+        Ok(Response::svg(svg))
+    })
 }
 
 fn export_snapshot(session: &mut EdaSession, _slot: &Slot) -> ApiResult {
     Ok(Response::json(200, &wire::snapshot_to_json(session)))
-}
-
-fn apply_snapshot(session: &mut EdaSession, slot: &Slot, body: &Json) -> ApiResult {
-    let applied = wire::snapshot_from_json(session, body)?;
-    let mut resp = session_summary(session, slot);
-    if let Json::Obj(map) = &mut resp {
-        map.insert("applied".into(), Json::from(applied));
-    }
-    Ok(Response::json(200, &resp))
 }
 
 #[cfg(test)]
@@ -445,6 +387,7 @@ mod tests {
     use super::*;
     use crate::manager::DEFAULT_IDLE_TIMEOUT;
     use sider_par::ThreadPool;
+    use sider_store::{FsyncPolicy, Store, StoreConfig};
     use std::sync::Arc;
 
     fn manager() -> SessionManager {
@@ -572,6 +515,8 @@ mod tests {
             ("POST", "/api/sessions/s9/teapot", "", 404),
             ("PATCH", "/api/sessions", "", 405),
             ("DELETE", "/api/sessions/s1/view", "", 405),
+            ("POST", "/api/store", "", 405),
+            ("GET", "/api/sessions/s1/checkpoint", "", 405),
             ("POST", "/api/sessions", "{]", 400),
             ("POST", "/api/sessions", r#"{"dataset":"mars"}"#, 400),
             ("POST", "/api/sessions", "{}", 400),
@@ -596,6 +541,7 @@ mod tests {
             ),
             ("GET", "/api/sessions/s9", "", 404),
             ("POST", "/api/sessions/s9/view", "", 404),
+            ("POST", "/api/sessions/s9/checkpoint", "", 404),
         ] {
             let resp = handle(&m, &request(method, path, body));
             assert_eq!(resp.status, status, "{method} {path}");
@@ -661,6 +607,9 @@ mod tests {
             let resp = handle(&m, &request("POST", "/api/sessions/s1/view", body));
             assert_eq!(resp.status, 400, "{body}");
         }
+        // Checkpointing needs a store.
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/checkpoint", ""));
+        assert_eq!(resp.status, 409);
     }
 
     #[test]
@@ -723,5 +672,108 @@ mod tests {
         assert_eq!(resp.status, 200, "{:?}", json(&resp));
         assert_eq!(json(&resp).require_num("applied").unwrap(), 2.0);
         assert_eq!(json(&resp).require_num("n_constraints").unwrap(), 12.0);
+    }
+
+    #[test]
+    fn store_endpoints_report_and_compact() {
+        // Without a store: /api/store says disabled, /health durable:false.
+        let m = manager();
+        let resp = handle(&m, &request("GET", "/api/store", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(json(&resp).get("enabled").unwrap().as_bool(), Some(false));
+        let resp = handle(&m, &request("GET", "/health", ""));
+        assert_eq!(json(&resp).get("durable").unwrap().as_bool(), Some(false));
+
+        // With a store: live status, explicit checkpoint truncates the WAL.
+        let dir = std::env::temp_dir().join(format!("sider_api_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = StoreConfig::new(&dir);
+        config.fsync = FsyncPolicy::Never;
+        let store = Arc::new(Store::open(config).unwrap());
+        let m = SessionManager::with_store(
+            Arc::new(ThreadPool::new(1)),
+            4,
+            DEFAULT_IDLE_TIMEOUT,
+            store,
+        )
+        .unwrap();
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        handle(
+            &m,
+            &request("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        );
+        handle(&m, &request("POST", "/api/sessions/s1/update", "{}"));
+
+        let resp = handle(&m, &request("GET", "/api/store", ""));
+        let body = json(&resp);
+        assert_eq!(body.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(body.require_str("fsync").unwrap(), "never");
+        let sessions = body.require_arr("sessions").unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].require_str("id").unwrap(), "s1");
+        assert_eq!(sessions[0].require_num("last_lsn").unwrap(), 3.0);
+        assert_eq!(sessions[0].require_num("wal_records").unwrap(), 3.0);
+        assert!(sessions[0].require_num("wal_bytes").unwrap() > 0.0);
+        assert_eq!(sessions[0].require_num("checkpoint_bytes").unwrap(), 0.0);
+
+        let resp = handle(&m, &request("POST", "/api/sessions/s1/checkpoint", ""));
+        assert_eq!(resp.status, 200, "{:?}", json(&resp));
+        let body = json(&resp);
+        assert_eq!(body.require_num("last_lsn").unwrap(), 3.0);
+        assert_eq!(body.require_num("wal_records").unwrap(), 0.0);
+        assert_eq!(body.require_num("wal_bytes").unwrap(), 0.0);
+        assert!(body.require_num("checkpoint_bytes").unwrap() > 0.0);
+        assert_eq!(body.require_num("checkpoint_lsn").unwrap(), 3.0);
+
+        // Deleting the session removes its on-disk history.
+        handle(&m, &request("DELETE", "/api/sessions/s1", ""));
+        assert!(!dir.join("sessions/s1").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_checkpoint_compacts_after_threshold() {
+        let dir =
+            std::env::temp_dir().join(format!("sider_api_autocp_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = StoreConfig::new(&dir);
+        config.fsync = FsyncPolicy::Never;
+        config.checkpoint_every = 3;
+        let store = Arc::new(Store::open(config).unwrap());
+        let m = SessionManager::with_store(
+            Arc::new(ThreadPool::new(1)),
+            4,
+            DEFAULT_IDLE_TIMEOUT,
+            store,
+        )
+        .unwrap();
+        handle(
+            &m,
+            &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+        );
+        // create (1) + knowledge (2) + knowledge (3) → threshold reached,
+        // WAL folded away.
+        handle(
+            &m,
+            &request("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        );
+        handle(
+            &m,
+            &request(
+                "POST",
+                "/api/sessions/s1/knowledge",
+                r#"{"kind":"cluster","rows":[0,1,2,3]}"#,
+            ),
+        );
+        let resp = handle(&m, &request("GET", "/api/store", ""));
+        let body = json(&resp);
+        let sessions = body.require_arr("sessions").unwrap();
+        assert_eq!(sessions[0].require_num("wal_records").unwrap(), 0.0);
+        assert_eq!(sessions[0].require_num("checkpoint_lsn").unwrap(), 3.0);
+        assert_eq!(sessions[0].require_num("last_lsn").unwrap(), 3.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,10 +30,16 @@
 //! responses at any `SIDER_THREADS`, which the end-to-end test pins over a
 //! real TCP socket.
 //!
+//! With a `--data-dir` the server is **durable**: every mutating request
+//! is written through to a per-session op-log (`sider_store`), and a
+//! restarted server rebuilds all sessions by replay — byte-identically,
+//! so clients cannot tell a recovered server from one that never died
+//! (`crates/server/tests/recovery.rs` pins exactly that over TCP).
+//!
 //! ```no_run
 //! use sider_server::{Server, ServerConfig};
 //!
-//! let server = Server::bind(ServerConfig::from_env()).unwrap();
+//! let server = Server::bind(ServerConfig::from_env().unwrap()).unwrap();
 //! eprintln!("listening on http://{}", server.local_addr());
 //! server.run().unwrap(); // blocks; Ctrl-C to stop
 //! ```
@@ -48,6 +54,7 @@ pub mod manager;
 
 use manager::{SessionManager, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_SESSIONS};
 use sider_par::ThreadPool;
+use sider_store::{Store, StoreConfig};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -75,6 +82,8 @@ pub struct ServerConfig {
     /// Execution pool size (`None` = `SIDER_THREADS` / available
     /// parallelism, via [`ThreadPool::from_env`]).
     pub threads: Option<usize>,
+    /// Durable store configuration (`None` = in-memory sessions only).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServerConfig {
@@ -84,13 +93,17 @@ impl Default for ServerConfig {
             max_sessions: DEFAULT_MAX_SESSIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             threads: None,
+            store: None,
         }
     }
 }
 
 impl ServerConfig {
-    /// Defaults with `SIDER_ADDR` / `SIDER_MAX_SESSIONS` applied.
-    pub fn from_env() -> Self {
+    /// Defaults with `SIDER_ADDR` / `SIDER_MAX_SESSIONS` /
+    /// `SIDER_DATA_DIR` (+ `SIDER_FSYNC`, `SIDER_CHECKPOINT_EVERY`)
+    /// applied. A malformed store variable is an error, not a silently
+    /// weakened durability setting.
+    pub fn from_env() -> Result<Self, String> {
         let mut config = ServerConfig::default();
         if let Ok(addr) = std::env::var(ADDR_ENV_VAR) {
             if !addr.is_empty() {
@@ -103,7 +116,12 @@ impl ServerConfig {
         {
             config.max_sessions = max;
         }
-        config
+        if let Ok(dir) = std::env::var(sider_store::DATA_DIR_ENV_VAR) {
+            if !dir.is_empty() {
+                config.store = Some(StoreConfig::new(dir).with_env_overrides()?);
+            }
+        }
+        Ok(config)
     }
 }
 
@@ -179,6 +197,11 @@ impl Server {
     /// connection gate is sized at `2 × pool threads` (at least 4): enough
     /// to keep every core busy while excess clients queue in the OS
     /// accept backlog.
+    ///
+    /// With a store configured this **recovers first**: every session in
+    /// the data dir is rebuilt by replay before the first connection is
+    /// accepted, and recovery failure fails the bind (a server that
+    /// silently dropped persisted knowledge would defeat the store).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let pool = Arc::new(match config.threads {
@@ -186,14 +209,20 @@ impl Server {
             None => ThreadPool::from_env(),
         });
         let gate = Arc::new(Gate::new((pool.threads() * 2).max(4)));
-        let manager = Arc::new(SessionManager::new(
-            pool,
-            config.max_sessions,
-            config.idle_timeout,
-        ));
+        let manager = match config.store {
+            None => SessionManager::new(pool, config.max_sessions, config.idle_timeout),
+            Some(store_config) => {
+                let broken = |e: sider_store::StoreError| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                };
+                let store = Arc::new(Store::open(store_config).map_err(broken)?);
+                SessionManager::with_store(pool, config.max_sessions, config.idle_timeout, store)
+                    .map_err(broken)?
+            }
+        };
         Ok(Server {
             listener,
-            manager,
+            manager: Arc::new(manager),
             gate,
             stop: Arc::new(AtomicBool::new(false)),
         })
@@ -225,7 +254,28 @@ impl Server {
     /// pursuit), which costs milliseconds to seconds — connection and
     /// thread overhead is noise, and the blocking model keeps the whole
     /// stack std-only and trivially debuggable.
+    ///
+    /// A low-frequency **housekeeping thread** runs alongside the accept
+    /// loop, sweeping idle sessions every quarter idle-timeout (bounded
+    /// to 250 ms … 60 s). Without it, eviction only happened lazily on
+    /// create/list, so a server under pure read-only traffic (views,
+    /// updates, session detail) never expired anything.
     pub fn run(self) -> std::io::Result<()> {
+        let sweeper = {
+            let manager = Arc::clone(&self.manager);
+            let stop = Arc::clone(&self.stop);
+            let interval = (self.manager.idle_timeout() / 4)
+                .clamp(Duration::from_millis(250), Duration::from_secs(60));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::park_timeout(interval);
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    manager.evict_idle();
+                }
+            })
+        };
         for conn in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -242,6 +292,10 @@ impl Server {
                 handle_connection(&manager, stream);
             });
         }
+        // `stop` is set; wake the sweeper out of its park so shutdown
+        // does not wait out the sweep interval.
+        sweeper.thread().unpark();
+        let _ = sweeper.join();
         Ok(())
     }
 }

@@ -16,14 +16,25 @@
 //! Capacity is bounded twice: a hard session cap (`max_sessions`,
 //! default [`DEFAULT_MAX_SESSIONS`], env `SIDER_MAX_SESSIONS`) rejects
 //! creation with `429`, and **idle eviction** reclaims sessions not
-//! touched for longer than the idle timeout. Eviction is lazy — swept on
-//! every create/list — so an idle server holds no background threads.
+//! touched for longer than the idle timeout. Eviction is swept on every
+//! create/list *and* by the server's low-frequency housekeeping thread,
+//! so idle sessions expire even under pure read-only traffic; a slot
+//! whose mutex is held by an in-flight request is busy, never idle.
+//!
+//! When a [`Store`] is attached the manager is **durable**: every session
+//! created through [`SessionManager::create_logged`] starts an on-disk
+//! op-log, [`SessionManager::with_store`] rebuilds all sessions from disk
+//! at startup (byte-identically, by replay), and the persisted ID counter
+//! guarantees recovered `s{n}` IDs never collide with new ones. Deleting
+//! or evicting a session removes its on-disk history too — eviction *is*
+//! expiry, not a cache miss.
 
 use sider_core::EdaSession;
 use sider_par::ThreadPool;
+use sider_store::{Store, StoreError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
 
 /// Default cap on concurrently live sessions.
@@ -44,6 +55,37 @@ pub struct Slot {
     last_used: Mutex<Instant>,
 }
 
+/// A locked session that refreshes its slot's idle clock when released.
+///
+/// Without the release-time touch, a request running *longer than the
+/// idle timeout* would leave `last_used` at its arrival time: the moment
+/// it released the mutex, the housekeeping sweep could evict the session
+/// — and delete its durable history — right after serving a 200.
+#[derive(Debug)]
+pub struct SessionGuard<'a> {
+    slot: &'a Slot,
+    guard: MutexGuard<'a, EdaSession>,
+}
+
+impl std::ops::Deref for SessionGuard<'_> {
+    type Target = EdaSession;
+    fn deref(&self) -> &EdaSession {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for SessionGuard<'_> {
+    fn deref_mut(&mut self) -> &mut EdaSession {
+        &mut self.guard
+    }
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.touch();
+    }
+}
+
 impl Slot {
     /// The wire-format session ID (`s3`).
     pub fn id_str(&self) -> String {
@@ -52,11 +94,15 @@ impl Slot {
 
     /// Lock the session for a request. Mutex poisoning (a handler panic
     /// mid-mutation) is surfaced as an error so the client sees a `500`
-    /// instead of possibly-inconsistent state.
-    pub fn lock(&self) -> Result<MutexGuard<'_, EdaSession>, String> {
-        self.session
+    /// instead of possibly-inconsistent state. The returned guard
+    /// touches the idle clock again on release, so a request is never
+    /// "idle" for its own duration.
+    pub fn lock(&self) -> Result<SessionGuard<'_>, String> {
+        let guard = self
+            .session
             .lock()
-            .map_err(|_| format!("session {} is poisoned by an earlier panic", self.id_str()))
+            .map_err(|_| format!("session {} is poisoned by an earlier panic", self.id_str()))?;
+        Ok(SessionGuard { slot: self, guard })
     }
 
     /// Like [`Slot::lock`] but non-blocking: `Ok(None)` when another
@@ -95,11 +141,13 @@ pub struct SessionManager {
     idle_timeout: Duration,
     slots: Mutex<BTreeMap<u64, Arc<Slot>>>,
     next_id: AtomicU64,
+    store: Option<Arc<Store>>,
 }
 
 impl SessionManager {
     /// A manager enforcing the given capacity bounds; all sessions will
-    /// share `pool`.
+    /// share `pool`. Sessions live in memory only — see
+    /// [`SessionManager::with_store`] for the durable variant.
     pub fn new(pool: Arc<ThreadPool>, max_sessions: usize, idle_timeout: Duration) -> Self {
         SessionManager {
             pool,
@@ -107,12 +155,60 @@ impl SessionManager {
             idle_timeout,
             slots: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
+            store: None,
         }
+    }
+
+    /// A durable manager: rebuild every session the store holds (replay
+    /// recovery — byte-identical to the pre-crash sessions), then resume
+    /// the ID sequence past both the persisted counter and every
+    /// recovered ID. Recovery failure is a hard error: silently dropping
+    /// a session would lose exactly the knowledge the store exists to
+    /// keep.
+    pub fn with_store(
+        pool: Arc<ThreadPool>,
+        max_sessions: usize,
+        idle_timeout: Duration,
+        store: Arc<Store>,
+    ) -> Result<Self, StoreError> {
+        let recovered = store.recover_all(&pool)?;
+        let mut slots = BTreeMap::new();
+        let mut max_id = 0;
+        for (id, session) in recovered {
+            max_id = max_id.max(id);
+            slots.insert(
+                id,
+                Arc::new(Slot {
+                    id,
+                    session: Mutex::new(session),
+                    last_used: Mutex::new(Instant::now()),
+                }),
+            );
+        }
+        let next_id = store.next_session_id()?.max(max_id + 1);
+        Ok(SessionManager {
+            pool,
+            max_sessions: max_sessions.max(1),
+            idle_timeout,
+            slots: Mutex::new(slots),
+            next_id: AtomicU64::new(next_id),
+            store: Some(store),
+        })
     }
 
     /// The shared execution pool.
     pub fn pool(&self) -> &Arc<ThreadPool> {
         &self.pool
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// The idle lifetime before a session is evicted.
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
     }
 
     /// The session cap.
@@ -161,6 +257,28 @@ impl SessionManager {
         Ok(slot)
     }
 
+    /// [`SessionManager::create`] plus durability: start the session's
+    /// on-disk op-log with `body` as its create op. If the log cannot be
+    /// started the in-memory session is rolled back — a session must
+    /// never exist in memory without a history the next restart can
+    /// replay.
+    pub fn create_logged(
+        &self,
+        dataset: sider_data::Dataset,
+        seed: u64,
+        body: &sider_json::Json,
+    ) -> Result<Arc<Slot>, CreateError> {
+        let slot = self.create(dataset, seed)?;
+        if let Some(store) = &self.store {
+            if let Err(e) = store.create_session(slot.id, body) {
+                self.slots.lock().expect("slots lock").remove(&slot.id);
+                let _ = store.remove_session(slot.id);
+                return Err(CreateError::Store(e.to_string()));
+            }
+        }
+        Ok(slot)
+    }
+
     /// Look up a session by wire ID (`"s3"`), refreshing its idle clock.
     pub fn get(&self, id_str: &str) -> Option<Arc<Slot>> {
         let id = parse_id(id_str)?;
@@ -169,11 +287,38 @@ impl SessionManager {
         Some(slot)
     }
 
-    /// Delete a session; `true` when it existed.
+    /// Delete a session; `true` when it existed. With a store attached
+    /// the on-disk history goes with it.
     pub fn remove(&self, id_str: &str) -> bool {
-        match parse_id(id_str) {
-            Some(id) => self.slots.lock().expect("slots lock").remove(&id).is_some(),
-            None => false,
+        let Some(id) = parse_id(id_str) else {
+            return false;
+        };
+        let existed = self.slots.lock().expect("slots lock").remove(&id).is_some();
+        if existed {
+            self.drop_persisted(id);
+        }
+        existed
+    }
+
+    /// Drop a session from memory **without** touching its on-disk
+    /// history. Used when the in-memory state and the op-log have
+    /// diverged (a failed WAL append after a successful apply): keeping
+    /// the slot would let further ops be logged on top of a hole, and a
+    /// later recovery would silently rebuild a *different* session. The
+    /// next restart recovers the session at its last durable op.
+    pub fn unload(&self, id: u64) -> bool {
+        self.slots.lock().expect("slots lock").remove(&id).is_some()
+    }
+
+    /// Remove a session's on-disk history (delete and eviction share it).
+    /// A failure leaves a directory that would resurrect on restart —
+    /// worth a log line, but not worth failing the request that already
+    /// removed the in-memory session.
+    fn drop_persisted(&self, id: u64) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.remove_session(id) {
+                eprintln!("sider_server: cannot remove stored session s{id}: {e}");
+            }
         }
     }
 
@@ -188,13 +333,30 @@ impl SessionManager {
             .collect()
     }
 
-    /// Drop every session idle for longer than the timeout; returns how
-    /// many were evicted.
+    /// Drop every session idle for longer than the timeout (including
+    /// its on-disk history — eviction is expiry); returns how many were
+    /// evicted. A slot whose session mutex is currently held belongs to
+    /// an in-flight request (e.g. a refit running longer than the idle
+    /// timeout) and is never evicted, however stale its idle clock looks.
     pub fn evict_idle(&self) -> usize {
-        let mut slots = self.slots.lock().expect("slots lock");
-        let before = slots.len();
-        slots.retain(|_, slot| slot.idle_for() <= self.idle_timeout);
-        before - slots.len()
+        let mut evicted = Vec::new();
+        {
+            let mut slots = self.slots.lock().expect("slots lock");
+            slots.retain(|_, slot| {
+                if slot.idle_for() <= self.idle_timeout {
+                    return true;
+                }
+                if matches!(slot.session.try_lock(), Err(TryLockError::WouldBlock)) {
+                    return true; // busy, not idle
+                }
+                evicted.push(slot.id);
+                false
+            });
+        }
+        for &id in &evicted {
+            self.drop_persisted(id);
+        }
+        evicted.len()
     }
 }
 
@@ -205,6 +367,8 @@ pub enum CreateError {
     BadDataset(String),
     /// The manager is at its session cap.
     AtCapacity(usize),
+    /// The durable store could not start the session's op-log.
+    Store(String),
 }
 
 /// Parse a wire session ID (`"s3"` → `3`).
@@ -283,6 +447,99 @@ mod tests {
             m.create(empty, 1),
             Err(CreateError::BadDataset(_))
         ));
+    }
+
+    #[test]
+    fn busy_slots_are_never_evicted() {
+        let m = manager(8, Duration::ZERO);
+        m.create(three_d_four_clusters(2018), 1).unwrap();
+        let slot = m.get("s1").unwrap();
+        let guard = slot.lock().unwrap(); // simulate an in-flight request
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.evict_idle(), 0, "a locked slot is busy, not idle");
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.evict_idle(), 1);
+    }
+
+    #[test]
+    fn long_request_refreshes_idle_clock_on_release() {
+        // A request that outlives the idle timeout must not leave its
+        // session evictable the instant it finishes: the guard touches
+        // the clock on release.
+        let m = manager(8, Duration::from_millis(100));
+        m.create(three_d_four_clusters(2018), 1).unwrap();
+        let slot = m.get("s1").unwrap();
+        let guard = slot.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(200)); // "slow request"
+        drop(guard);
+        assert_eq!(m.evict_idle(), 0, "just-released slot is not idle");
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(m.evict_idle(), 1, "but genuinely idle slots still expire");
+    }
+
+    #[test]
+    fn store_backed_manager_recovers_and_continues_ids() {
+        let dir =
+            std::env::temp_dir().join(format!("sider_manager_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = sider_store::StoreConfig::new(&dir);
+        config.fsync = sider_store::FsyncPolicy::Never;
+        let pool = Arc::new(ThreadPool::new(1));
+        let body = sider_json::Json::parse(r#"{"dataset":"fig2","seed":7}"#).unwrap();
+        {
+            let store = Arc::new(Store::open(config.clone()).unwrap());
+            let m =
+                SessionManager::with_store(Arc::clone(&pool), 8, Duration::from_secs(60), store)
+                    .unwrap();
+            let a = m
+                .create_logged(three_d_four_clusters(2018), 7, &body)
+                .unwrap();
+            assert_eq!(a.id_str(), "s1");
+            let b = m
+                .create_logged(three_d_four_clusters(2018), 7, &body)
+                .unwrap();
+            assert!(m.remove(&b.id_str()), "delete removes history too");
+        }
+        let store = Arc::new(Store::open(config).unwrap());
+        let m = SessionManager::with_store(Arc::clone(&pool), 8, Duration::from_secs(60), store)
+            .unwrap();
+        assert_eq!(m.len(), 1, "s1 recovered, deleted s2 stays gone");
+        assert!(m.get("s1").is_some());
+        // Recovered IDs never collide with new ones: s2 was burned.
+        let c = m
+            .create_logged(three_d_four_clusters(2018), 7, &body)
+            .unwrap();
+        assert_eq!(c.id_str(), "s3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unload_drops_memory_but_keeps_history() {
+        let dir =
+            std::env::temp_dir().join(format!("sider_manager_unload_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = sider_store::StoreConfig::new(&dir);
+        config.fsync = sider_store::FsyncPolicy::Never;
+        let pool = Arc::new(ThreadPool::new(1));
+        let body = sider_json::Json::parse(r#"{"dataset":"fig2","seed":7}"#).unwrap();
+        {
+            let store = Arc::new(Store::open(config.clone()).unwrap());
+            let m =
+                SessionManager::with_store(Arc::clone(&pool), 8, Duration::from_secs(60), store)
+                    .unwrap();
+            m.create_logged(three_d_four_clusters(2018), 7, &body)
+                .unwrap();
+            assert!(m.unload(1));
+            assert!(!m.unload(1));
+            assert!(m.get("s1").is_none(), "unloaded from memory");
+            assert!(dir.join("sessions/s1").exists(), "history preserved");
+        }
+        // A restart recovers the session at its last durable op.
+        let store = Arc::new(Store::open(config).unwrap());
+        let m = SessionManager::with_store(pool, 8, Duration::from_secs(60), store).unwrap();
+        assert!(m.get("s1").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn start(threads: usize, idle_timeout: Duration) -> RunningServer {
         max_sessions: 16,
         idle_timeout,
         threads: Some(threads),
+        store: None,
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -250,6 +251,27 @@ fn concurrent_clients_explore_independent_sessions() {
     }
     let listing = raw_request(addr, "GET", "/api/sessions", "");
     assert_eq!(body_of(&listing).matches("\"id\":").count(), 6);
+    server.stop();
+}
+
+#[test]
+fn housekeeping_thread_evicts_without_create_or_list_traffic() {
+    // No create/list request ever touches the manager after setup, so the
+    // old lazy sweep would never run — only the accept loop's
+    // housekeeping thread (sweeping every max(idle/4, 250ms)) can expire
+    // the session.
+    let server = start(1, Duration::from_millis(100));
+    let created = raw_request(
+        server.addr,
+        "POST",
+        "/api/sessions",
+        r#"{"dataset":"fig2"}"#,
+    );
+    assert_eq!(status_of(&created), 201);
+    std::thread::sleep(Duration::from_millis(700));
+    // Direct lookup (which does not sweep) finds the slot already gone.
+    let gone = raw_request(server.addr, "GET", "/api/sessions/s1", "");
+    assert_eq!(status_of(&gone), 404);
     server.stop();
 }
 

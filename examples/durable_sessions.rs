@@ -1,0 +1,155 @@
+//! Durable sessions: kill a server mid-exploration, restart it from its
+//! data dir, and continue the same session — byte-identically.
+//!
+//! The accumulated background knowledge is the one thing the SIDER loop
+//! cannot regenerate (it came out of the analyst's head), so
+//! `sider serve --data-dir` writes every mutating request through to a
+//! per-session write-ahead op-log before responding. This example stages
+//! the whole life cycle in-process:
+//!
+//! 1. start a durable server, run one loop iteration (view → mark a
+//!    cluster → warm update),
+//! 2. stop it cold — no flushing, exactly what `kill -9` after the last
+//!    response would leave behind,
+//! 3. restart from the same data dir and continue the session,
+//! 4. prove the detour through disk was invisible: a never-restarted
+//!    twin server serves byte-identical responses for the same script.
+//!
+//! ```text
+//! cargo run --release --example durable_sessions
+//! ```
+
+use sider::json::Json;
+use sider::server::{Server, ServerConfig};
+use sider::store::StoreConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+
+/// One HTTP/1.1 request over a fresh connection; returns the body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sider\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    let cut = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response");
+    String::from_utf8(raw[cut + 4..].to_vec()).expect("utf-8 body")
+}
+
+struct Running {
+    addr: SocketAddr,
+    shutdown: sider::server::ShutdownHandle,
+    joiner: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(data_dir: Option<&Path>) -> Running {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: Some(2),
+        store: data_dir.map(StoreConfig::new),
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+    Running {
+        addr,
+        shutdown,
+        joiner,
+    }
+}
+
+impl Running {
+    fn kill(self) {
+        self.shutdown.shutdown();
+        self.joiner.join().unwrap().unwrap();
+    }
+}
+
+fn first_iteration(addr: SocketAddr) -> Vec<String> {
+    vec![
+        http(
+            addr,
+            "POST",
+            "/api/sessions",
+            r#"{"dataset":"fig2","seed":7}"#,
+        ),
+        http(addr, "POST", "/api/sessions/s1/view", r#"{"method":"pca"}"#),
+        http(
+            addr,
+            "POST",
+            "/api/sessions/s1/knowledge",
+            r#"{"kind":"cluster","rows":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]}"#,
+        ),
+        http(addr, "POST", "/api/sessions/s1/update", "{}"),
+    ]
+}
+
+fn second_iteration(addr: SocketAddr) -> Vec<String> {
+    vec![
+        http(addr, "POST", "/api/sessions/s1/view", r#"{"method":"pca"}"#),
+        http(
+            addr,
+            "POST",
+            "/api/sessions/s1/knowledge",
+            r#"{"kind":"cluster","rows":[50,51,52,53,54,55,56,57,58,59]}"#,
+        ),
+        http(addr, "POST", "/api/sessions/s1/update", "{}"),
+        http(addr, "GET", "/api/sessions/s1/snapshot", ""),
+    ]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("sider_durable_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Generation 1: explore, then die mid-loop. ----------------------
+    let server = start(Some(&dir));
+    println!(
+        "durable server on http://{} (data dir {})",
+        server.addr,
+        dir.display()
+    );
+    let mut transcript = first_iteration(server.addr);
+    let store = http(server.addr, "GET", "/api/store", "");
+    println!("\nGET /api/store\n{store}");
+    println!("… killing the server mid-exploration (no flush, no goodbye) …");
+    server.kill();
+
+    // --- Generation 2: recover and keep exploring. ----------------------
+    let server = start(Some(&dir));
+    let health = http(server.addr, "GET", "/health", "");
+    println!(
+        "\nrestarted on http://{}\nGET /health\n{health}",
+        server.addr
+    );
+    transcript.extend(second_iteration(server.addr));
+    let warm = Json::parse(transcript.last().unwrap()).expect("snapshot json");
+    println!(
+        "recovered session s1 carries {} knowledge statements across the restart",
+        warm.require_arr("knowledge").expect("knowledge").len()
+    );
+    server.kill();
+
+    // --- The proof: a never-restarted twin produces the same bytes. -----
+    let twin = start(None);
+    let mut expected = first_iteration(twin.addr);
+    expected.extend(second_iteration(twin.addr));
+    twin.kill();
+    assert_eq!(transcript, expected, "recovery must be byte-identical");
+    println!(
+        "\n{} responses byte-identical to a never-restarted twin — recovery is invisible",
+        transcript.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

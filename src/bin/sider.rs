@@ -18,11 +18,22 @@
 //!     The same, on the paper's built-in datasets.
 //!
 //! sider serve [--addr HOST:PORT] [--max-sessions N] [--threads K]
+//!             [--data-dir DIR] [--fsync always|never|N]
+//!             [--checkpoint-every N]
 //!     Run the HTTP/1.1 + JSON exploration service: many concurrent
 //!     sessions over one shared execution pool, each driving the full
 //!     loop (views, knowledge, warm background updates, snapshots, SVG
-//!     rendering). Defaults honor SIDER_ADDR / SIDER_MAX_SESSIONS /
-//!     SIDER_THREADS; see docs/ARCHITECTURE.md for the wire protocol.
+//!     rendering). With --data-dir the server is durable: every mutating
+//!     request is written through to a per-session op-log and a restart
+//!     recovers all sessions byte-identically. Defaults honor SIDER_ADDR
+//!     / SIDER_MAX_SESSIONS / SIDER_THREADS / SIDER_DATA_DIR /
+//!     SIDER_FSYNC / SIDER_CHECKPOINT_EVERY; see docs/ARCHITECTURE.md
+//!     for the wire protocol and the on-disk format.
+//!
+//! sider store inspect <DIR>
+//!     Print a JSON report over a data dir: the persisted session-ID
+//!     counter and, per session, last LSN, WAL record/byte counts,
+//!     checkpoint size/LSN and whether the WAL tail is torn.
 //! ```
 //!
 //! The CSV format is the one written by `sider::data::csv`: a header row
@@ -42,6 +53,9 @@ use std::process::ExitCode;
 struct Cli {
     command: String,
     pairs: Vec<(String, String)>,
+    /// Bare (non `--`) arguments, for subcommand-style commands (`store
+    /// inspect <dir>`).
+    positionals: Vec<String>,
 }
 
 impl Cli {
@@ -49,6 +63,7 @@ impl Cli {
         let mut iter = args.into_iter().peekable();
         let command = iter.next().ok_or("missing command")?;
         let mut pairs = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 let value = if iter.peek().is_some_and(|v| !v.starts_with("--")) {
@@ -57,13 +72,19 @@ impl Cli {
                     "true".to_string()
                 };
                 pairs.push((key.to_string(), value));
-            } else if command == "demo" && pairs.is_empty() {
+            } else if command == "demo" && pairs.is_empty() && positionals.is_empty() {
                 pairs.push(("dataset".to_string(), arg));
+            } else if command == "store" {
+                positionals.push(arg);
             } else {
                 return Err(format!("unexpected argument: {arg}"));
             }
         }
-        Ok(Cli { command, pairs })
+        Ok(Cli {
+            command,
+            pairs,
+            positionals,
+        })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -94,7 +115,10 @@ const USAGE: &str = "usage:
                  [--threshold T] [--seed S] [--margins] [--one-cluster]
                  [--out DIR]
   sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]
-  sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]";
+  sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]
+                 [--data-dir DIR] [--fsync always|never|N]
+                 [--checkpoint-every N]
+  sider store    inspect <DIR>";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -247,7 +271,7 @@ fn cmd_explore(cli: &Cli, ds: Dataset) -> Result<(), String> {
 }
 
 fn cmd_serve(cli: &Cli) -> Result<(), String> {
-    let mut config = sider::server::ServerConfig::from_env();
+    let mut config = sider::server::ServerConfig::from_env()?;
     if let Some(addr) = cli.get("addr") {
         config.addr = addr.to_string();
     }
@@ -259,15 +283,67 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
                 .map_err(|_| format!("invalid value for --threads: {threads}"))?,
         );
     }
+    if let Some(dir) = cli.get("data-dir") {
+        // --data-dir overrides SIDER_DATA_DIR but keeps the env-level
+        // fsync/checkpoint tuning unless flags override those too.
+        config.store = Some(sider::store::StoreConfig::new(dir).with_env_overrides()?);
+    }
+    if let Some(policy) = cli.get("fsync") {
+        let store = config
+            .store
+            .as_mut()
+            .ok_or("--fsync requires --data-dir (or SIDER_DATA_DIR)")?;
+        store.fsync = sider::store::FsyncPolicy::parse(policy)?;
+    }
+    if let Some(every) = cli.get("checkpoint-every") {
+        let store = config
+            .store
+            .as_mut()
+            .ok_or("--checkpoint-every requires --data-dir (or SIDER_DATA_DIR)")?;
+        store.checkpoint_every = every
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("invalid value for --checkpoint-every: {every}"))?;
+    }
+    let durability = config.store.as_ref().map(|s| {
+        format!(
+            "durable in {} (fsync {}, checkpoint every {} ops)",
+            s.dir.display(),
+            s.fsync.as_string(),
+            s.checkpoint_every
+        )
+    });
     let server = sider::server::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     println!(
-        "sider serve: listening on http://{} ({} pool threads, {} session slots)",
+        "sider serve: listening on http://{} ({} pool threads, {} session slots, {} recovered)",
         server.local_addr(),
         server.manager().pool().threads(),
-        server.manager().max_sessions()
+        server.manager().max_sessions(),
+        server.manager().len(),
     );
+    match durability {
+        Some(line) => println!("sider serve: {line}"),
+        None => println!("sider serve: in-memory sessions only (pass --data-dir to persist)"),
+    }
     println!("try: curl -s http://{}/health", server.local_addr());
     server.run().map_err(|e| format!("server error: {e}"))
+}
+
+fn cmd_store(cli: &Cli) -> Result<(), String> {
+    match cli.positionals.first().map(String::as_str) {
+        Some("inspect") => {
+            let dir = cli
+                .positionals
+                .get(1)
+                .ok_or(format!("store inspect needs a data dir\n{USAGE}"))?;
+            let report = sider::store::inspect(std::path::Path::new(dir))?;
+            println!("{}", report.dump_pretty());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown store subcommand: {other}\n{USAGE}")),
+        None => Err(format!("store needs a subcommand\n{USAGE}")),
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -287,6 +363,7 @@ fn run() -> Result<(), String> {
             cmd_explore(&cli, ds)
         }
         "serve" => cmd_serve(&cli),
+        "store" => cmd_store(&cli),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -348,6 +425,37 @@ mod tests {
         assert!(cli(&["explore", "stray"]).is_err());
         let c = cli(&["explore", "--iterations", "abc"]).unwrap();
         assert!(c.get_or::<usize>("iterations", 1).is_err());
+    }
+
+    #[test]
+    fn store_subcommand_collects_positionals() {
+        let c = cli(&["store", "inspect", "/tmp/sider-data"]).unwrap();
+        assert_eq!(c.command, "store");
+        assert_eq!(c.positionals, vec!["inspect", "/tmp/sider-data"]);
+        // Other commands still reject stray positionals.
+        assert!(cli(&["serve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn store_inspect_prints_a_report() {
+        let dir = std::env::temp_dir().join(format!("sider_cli_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = sider::store::StoreConfig::new(&dir);
+        config.fsync = sider::store::FsyncPolicy::Never;
+        let store = sider::store::Store::open(config).unwrap();
+        store
+            .create_session(
+                1,
+                &sider::json::Json::parse(r#"{"dataset":"fig2"}"#).unwrap(),
+            )
+            .unwrap();
+        let c = cli(&["store", "inspect", dir.to_str().unwrap()]).unwrap();
+        assert!(cmd_store(&c).is_ok());
+        // Unknown/missing subcommands and dirs fail loudly.
+        assert!(cmd_store(&cli(&["store"]).unwrap()).is_err());
+        assert!(cmd_store(&cli(&["store", "vacuum"]).unwrap()).is_err());
+        assert!(cmd_store(&cli(&["store", "inspect", "/nonexistent/x"]).unwrap()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

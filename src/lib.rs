@@ -23,6 +23,9 @@
 //!   deterministic serializer).
 //! * [`server`] — the HTTP/1.1 + JSON service exposing the loop over
 //!   persistent sessions (`sider serve`).
+//! * [`store`] — the durable session store: per-session write-ahead
+//!   op-logs with checkpoint compaction and byte-exact crash recovery
+//!   (`sider serve --data-dir`).
 //!
 //! # Quick start
 //!
@@ -69,6 +72,7 @@ pub use sider_plot as plot;
 pub use sider_projection as projection;
 pub use sider_server as server;
 pub use sider_stats as stats;
+pub use sider_store as store;
 
 pub mod prelude {
     //! Commonly used items in one import.
