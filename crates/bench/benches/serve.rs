@@ -1,0 +1,127 @@
+//! Striped-serving load benchmark: the open-loop generator from
+//! `sider_loadgen` replays the identical fixed-seed mixed workload
+//! against an in-process server at `stripes = 1` and `stripes = 4`, and
+//! the per-endpoint latency digests of both runs are persisted to
+//! `BENCH_serve.json`.
+//!
+//! Why both stripe counts in one artifact: the striping tentpole claims
+//! that sharding the `SessionManager` removes the cross-session lock and
+//! pool contention without changing a single response byte. The byte
+//! half is pinned by the e2e transcript tests; this bench records the
+//! latency half under a workload that actually queues — open-loop
+//! arrivals at a fixed offered rate, where server backlog counts against
+//! the latency of every request it delays (no coordinated omission).
+//!
+//! The two runs replay the *same schedule* (same seed, same session
+//! count, same arrival offsets), so any difference between the
+//! `stripes:1` and `stripes:4` rows is the server's, not the
+//! generator's. Each stripe gets one pool thread, so the 4-stripe server
+//! has 4× the execution width — on a multi-core host that is the
+//! headline; on a 1-CPU CI container both rows still validate the
+//! harness end to end (schema, error-free serving, monotone
+//! percentiles), which is what `check_bench_artifacts` gates on.
+//!
+//! Set `SIDER_BENCH_SMOKE=1` for the reduced CI workload (same JSON
+//! schema).
+
+use sider_json::Json;
+use sider_loadgen::{run, smoke_mode, LoadConfig};
+use sider_server::{Server, ServerConfig};
+use std::time::Duration;
+
+/// Stripe counts compared in the artifact (1 = the unstriped baseline).
+const STRIPE_COUNTS: [usize; 2] = [1, 4];
+
+fn main() {
+    let smoke = smoke_mode();
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut runs = Vec::new();
+    let mut workload: Option<LoadConfig> = None;
+    for stripes in STRIPE_COUNTS {
+        let (report, config) = run_against(stripes, smoke);
+        if report.total_errors > 0 {
+            eprintln!(
+                "serve: stripes={stripes}: {} of {} requests failed",
+                report.total_errors, report.total_requests
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "serve: stripes={stripes}: {} requests in {:.2}s mixed phase, {:.0} req/s, p99 view {:.2}ms",
+            report.total_requests,
+            report.mixed_wall_s,
+            report.throughput_rps,
+            report
+                .endpoints
+                .iter()
+                .find(|(e, _)| e.as_str() == "view")
+                .map(|(_, s)| s.p99_ns as f64 / 1e6)
+                .unwrap_or(0.0),
+        );
+        runs.push(Json::obj([
+            ("stripes", Json::from(stripes)),
+            ("threads_per_stripe", Json::from(1usize)),
+            ("report", report.to_json()),
+        ]));
+        workload = Some(config);
+    }
+    let workload = workload.expect("at least one run");
+
+    let doc = Json::obj([
+        ("bench", Json::from("serve")),
+        ("smoke", Json::from(smoke)),
+        ("available_parallelism", Json::from(available)),
+        (
+            "workload",
+            Json::obj([
+                ("sessions", Json::from(workload.sessions)),
+                ("requests", Json::from(workload.requests)),
+                ("rps", Json::from(workload.rps)),
+                ("workers", Json::from(workload.workers)),
+                ("seed", Json::from(workload.seed)),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    // A swallowed write failure would let the CI schema check pass green
+    // on a stale committed artifact — fail the bench run instead.
+    if let Err(e) = std::fs::write(path, format!("{}\n", doc.dump_pretty())) {
+        eprintln!("serve: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("serve: wrote {path}");
+}
+
+/// Boot an in-process server with `stripes` stripes (one pool thread
+/// each), replay the workload, and return the report plus the workload
+/// config used (identical across calls — the schedule is seed-fixed).
+fn run_against(stripes: usize, smoke: bool) -> (sider_loadgen::LoadReport, LoadConfig) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: if smoke { 64 } else { 512 },
+        idle_timeout: Duration::from_secs(600),
+        threads: Some(1),
+        stripes,
+        store: None,
+    })
+    .expect("bind serve-bench server");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+
+    let config = LoadConfig::from_env(addr.to_string());
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve: stripes={stripes}: load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    handle.shutdown();
+    joiner.join().expect("server thread").expect("server run");
+    (report, config)
+}

@@ -1,9 +1,10 @@
 //! Schema sanity check for the persisted benchmark artifacts.
 //!
-//! CI runs the `pipeline` and `scaling` benches in smoke mode and then
-//! this binary, which fails (exit code 1) when `BENCH_pipeline.json` or
-//! `BENCH_scaling.json` is missing, unparsable, or missing the fields the
-//! perf trajectory across PRs relies on. It deliberately does **not**
+//! CI runs the `pipeline`, `scaling` and `serve` benches in smoke mode
+//! and then this binary, which fails (exit code 1) when
+//! `BENCH_pipeline.json`, `BENCH_scaling.json` or `BENCH_serve.json` is
+//! missing, unparsable, or missing the fields the perf trajectory across
+//! PRs relies on. It deliberately does **not**
 //! gate on cross-machine speedup values: CI machines (and 1-CPU
 //! containers) make absolute timing thresholds meaningless — the guarded
 //! invariants are artifact shape, the recorded
@@ -12,6 +13,12 @@
 //! `refresh_mode.incremental_speedup` (rank-1 spectral maintenance vs the
 //! full Jacobi solve it replaces, measured back-to-back on identical
 //! inputs) must be ≥ 1.0 wherever `d ≥ 16`.
+//!
+//! For `BENCH_serve.json` the SLO-style gates are likewise
+//! machine-independent: both a `stripes == 1` baseline run and a striped
+//! run must be present, every run must have served its whole workload
+//! with zero errors, and each exercised endpoint's percentiles must be
+//! monotone (`p50 ≤ p99 ≤ p999`) with positive throughput.
 //!
 //! Every failure message names the offending file and the full JSON path
 //! (e.g. `BENCH_scaling.json: scenarios[2].runs[1].sample_ns`), so a
@@ -170,6 +177,104 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_serve(doc: &Json) -> Result<(), String> {
+    if doc.get("bench").and_then(Json::as_str) != Some("serve") {
+        return Err("JSON path 'bench' is not the string 'serve'".into());
+    }
+    for key in [
+        "workload.sessions",
+        "workload.requests",
+        "workload.rps",
+        "workload.workers",
+    ] {
+        if require_num_at(doc, "", key)? < 1.0 {
+            return Err(format!("JSON path '{key}' must be >= 1"));
+        }
+    }
+    require_num_at(doc, "", "workload.seed")?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'runs' array")?;
+    if runs.is_empty() {
+        return Err("JSON path 'runs' is an empty array".into());
+    }
+    // The artifact's whole point is the striped-vs-unstriped comparison:
+    // both the stripes=1 baseline and a striped run must be present.
+    let mut saw_unstriped = false;
+    let mut saw_striped = false;
+    for (i, run) in runs.iter().enumerate() {
+        let at = format!("runs[{i}]");
+        let stripes = require_num_at(run, &at, "stripes")?;
+        if stripes < 1.0 {
+            return Err(format!("JSON path '{at}.stripes' must be >= 1"));
+        }
+        saw_unstriped |= stripes == 1.0;
+        saw_striped |= stripes > 1.0;
+        if require_num_at(run, &at, "threads_per_stripe")? < 1.0 {
+            return Err(format!("JSON path '{at}.threads_per_stripe' must be >= 1"));
+        }
+        let at = format!("{at}.report");
+        let report = run.get("report").ok_or_else(|| format!("missing '{at}'"))?;
+        for key in ["create_wall_s", "mixed_wall_s"] {
+            require_num_at(report, &at, key)?;
+        }
+        if require_num_at(report, &at, "total_requests")? < 1.0 {
+            return Err(format!("JSON path '{at}.total_requests' must be >= 1"));
+        }
+        // An SLO-style gate that is machine-independent: the workload
+        // must have been served clean. Latency *values* are not gated
+        // (CI hardware varies), but their ordering must be sane.
+        if require_num_at(report, &at, "total_errors")? != 0.0 {
+            return Err(format!(
+                "JSON path '{at}.total_errors' is nonzero — the server dropped requests under load"
+            ));
+        }
+        if require_num_at(report, &at, "throughput_rps")? <= 0.0 {
+            return Err(format!("JSON path '{at}.throughput_rps' must be > 0"));
+        }
+        let endpoints = report
+            .get("endpoints")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("missing '{at}.endpoints' object"))?;
+        if endpoints.is_empty() {
+            return Err(format!("JSON path '{at}.endpoints' is empty"));
+        }
+        for (name, stats) in endpoints {
+            let at = format!("{at}.endpoints.{name}");
+            let requests = require_num_at(stats, &at, "requests")?;
+            require_num_at(stats, &at, "errors")?;
+            let p50 = require_num_at(stats, &at, "p50_ns")?;
+            let p99 = require_num_at(stats, &at, "p99_ns")?;
+            let p999 = require_num_at(stats, &at, "p999_ns")?;
+            let throughput = require_num_at(stats, &at, "throughput_rps")?;
+            if requests < 1.0 {
+                continue; // endpoint unused by this workload mix
+            }
+            if !(p50 <= p99 && p99 <= p999) {
+                return Err(format!(
+                    "JSON path '{at}': percentiles not monotone (p50 {p50} / p99 {p99} / p999 {p999})"
+                ));
+            }
+            if p50 < 1.0 {
+                return Err(format!(
+                    "JSON path '{at}.p50_ns' is zero — latencies were not measured"
+                ));
+            }
+            if throughput <= 0.0 {
+                return Err(format!("JSON path '{at}.throughput_rps' must be > 0"));
+            }
+        }
+    }
+    if !saw_unstriped {
+        return Err("no 'runs' entry with stripes == 1 (the unstriped baseline)".into());
+    }
+    if !saw_striped {
+        return Err("no 'runs' entry with stripes > 1 (the striped configuration)".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut failed = false;
     for (name, check) in [
@@ -180,6 +285,10 @@ fn main() -> ExitCode {
         (
             "BENCH_scaling.json",
             check_scaling as fn(&Json) -> Result<(), String>,
+        ),
+        (
+            "BENCH_serve.json",
+            check_serve as fn(&Json) -> Result<(), String>,
         ),
     ] {
         match load(name).and_then(|doc| check(&doc)) {

@@ -1,0 +1,55 @@
+//! Live smoke test: the generator drives a real striped server over TCP
+//! and the report must be clean — every request answered, percentiles
+//! monotone, throughput positive.
+
+use sider_loadgen::{run, Endpoint, LoadConfig};
+use sider_server::{Server, ServerConfig};
+
+#[test]
+fn open_loop_run_against_a_live_striped_server() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 32,
+        threads: Some(1),
+        stripes: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+
+    let config = LoadConfig {
+        addr: addr.to_string(),
+        sessions: 4,
+        requests: 24,
+        rps: 300.0,
+        workers: 4,
+        seed: 7,
+        dataset_rows: 150,
+    };
+    let report = run(&config).expect("load run");
+    handle.shutdown();
+    joiner.join().unwrap().unwrap();
+
+    assert_eq!(report.total_requests, 4 + 24);
+    assert_eq!(report.total_errors, 0, "every request must succeed");
+    assert!(report.throughput_rps > 0.0);
+    let mut mixed_requests = 0;
+    for (endpoint, stats) in &report.endpoints {
+        assert_eq!(stats.errors, 0);
+        if *endpoint == Endpoint::Create {
+            assert_eq!(stats.requests, 4);
+        } else {
+            mixed_requests += stats.requests;
+        }
+        if stats.requests > 0 {
+            assert!(
+                stats.p50_ns <= stats.p99_ns && stats.p99_ns <= stats.p999_ns,
+                "{endpoint:?}: percentiles must be monotone"
+            );
+            assert!(stats.throughput_rps > 0.0);
+        }
+    }
+    assert_eq!(mixed_requests, 24, "every scheduled request was sent");
+}

@@ -142,7 +142,7 @@ fn persist_op(
     kind: OpKind,
     body: &Json,
 ) -> Result<(), ApiError> {
-    let Some(store) = manager.store() else {
+    let Some(store) = manager.store_of(slot.id) else {
         return Ok(());
     };
     store.append(slot.id, kind, body).map_err(|e| {
@@ -227,7 +227,12 @@ fn health(manager: &SessionManager) -> ApiResult {
             ("status", Json::from("ok")),
             ("sessions", Json::from(manager.len())),
             ("max_sessions", Json::from(manager.max_sessions())),
-            ("pool_threads", Json::from(manager.pool().threads())),
+            ("stripes", Json::from(manager.stripes())),
+            (
+                "stripe_threads",
+                Json::arr(manager.stripe_threads().into_iter().map(Json::from)),
+            ),
+            ("pool_threads", Json::from(manager.total_threads())),
             ("durable", Json::from(manager.store().is_some())),
         ]),
     ))
@@ -235,7 +240,10 @@ fn health(manager: &SessionManager) -> ApiResult {
 
 /// `GET /api/store`: per-session durability status (log/checkpoint sizes,
 /// last LSN) plus the store configuration; `{"enabled":false}` when the
-/// server runs without a data dir.
+/// server runs without a data dir. With a striped manager, rows from
+/// every stripe's store are merged in **global ID order** — the
+/// deterministic aggregation order that keeps the report byte-identical
+/// at any stripe count.
 fn store_status(manager: &SessionManager) -> ApiResult {
     let Some(store) = manager.store() else {
         return Ok(Response::json(
@@ -243,7 +251,12 @@ fn store_status(manager: &SessionManager) -> ApiResult {
             &Json::obj([("enabled", Json::from(false))]),
         ));
     };
-    let sessions = store.status().into_iter().map(|s| s.to_json());
+    let mut rows: Vec<_> = manager
+        .stores()
+        .into_iter()
+        .flat_map(|s| s.status())
+        .collect();
+    rows.sort_by_key(|s| s.id);
     Ok(Response::json(
         200,
         &Json::obj([
@@ -253,7 +266,8 @@ fn store_status(manager: &SessionManager) -> ApiResult {
                 "checkpoint_every",
                 Json::from(store.config().checkpoint_every),
             ),
-            ("sessions", Json::arr(sessions)),
+            ("stripes", Json::from(manager.stripes())),
+            ("sessions", Json::arr(rows.into_iter().map(|s| s.to_json()))),
         ]),
     ))
 }
@@ -263,7 +277,7 @@ fn store_status(manager: &SessionManager) -> ApiResult {
 fn checkpoint_session(manager: &SessionManager, id: &str) -> ApiResult {
     with_slot(manager, id, |session, slot| {
         let store = manager
-            .store()
+            .store_of(slot.id)
             .ok_or_else(|| ApiError(409, "no durable store configured (--data-dir)".into()))?;
         let ds = session.dataset();
         let status = store
@@ -774,6 +788,58 @@ mod tests {
         assert_eq!(sessions[0].require_num("wal_records").unwrap(), 0.0);
         assert_eq!(sessions[0].require_num("checkpoint_lsn").unwrap(), 3.0);
         assert_eq!(sessions[0].require_num("last_lsn").unwrap(), 3.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_reports_stripes_and_per_stripe_threads() {
+        let pools = (0..3).map(|_| Arc::new(ThreadPool::new(2))).collect();
+        let m = SessionManager::striped(pools, 8, DEFAULT_IDLE_TIMEOUT);
+        let resp = handle(&m, &request("GET", "/health", ""));
+        let body = json(&resp);
+        assert_eq!(body.require_num("stripes").unwrap(), 3.0);
+        assert_eq!(body.require_num("pool_threads").unwrap(), 6.0);
+        let threads = body.require_arr("stripe_threads").unwrap();
+        assert_eq!(threads.len(), 3);
+        for t in threads {
+            assert_eq!(t.as_num(), Some(2.0));
+        }
+    }
+
+    #[test]
+    fn striped_store_report_merges_stripes_in_id_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "sider_api_striped_store_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = StoreConfig::new(&dir);
+        config.fsync = FsyncPolicy::Never;
+        let pools = (0..4).map(|_| Arc::new(ThreadPool::new(1))).collect();
+        let m = SessionManager::with_striped_store(pools, 8, DEFAULT_IDLE_TIMEOUT, config).unwrap();
+        for _ in 0..4 {
+            let resp = handle(
+                &m,
+                &request("POST", "/api/sessions", r#"{"dataset":"fig2"}"#),
+            );
+            assert_eq!(resp.status, 201);
+        }
+        let resp = handle(&m, &request("GET", "/api/store", ""));
+        let body = json(&resp);
+        assert_eq!(body.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(body.require_num("stripes").unwrap(), 4.0);
+        // The merged rows come back in global ID order even though they
+        // live in different stripe directories.
+        let ids: Vec<String> = body
+            .require_arr("sessions")
+            .unwrap()
+            .iter()
+            .map(|s| s.require_str("id").unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["s1", "s2", "s3", "s4"]);
+        // Checkpoint routes to the session's own stripe store.
+        let resp = handle(&m, &request("POST", "/api/sessions/s2/checkpoint", ""));
+        assert_eq!(resp.status, 200, "{:?}", json(&resp));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

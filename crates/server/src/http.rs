@@ -347,15 +347,33 @@ impl Response {
         writer: &mut impl Write,
         deadline: Option<Instant>,
     ) -> std::io::Result<()> {
-        let head = format!(
+        self.write_to_deadline_buffered(writer, deadline, &mut Vec::new())
+    }
+
+    /// The serialize path proper: head and body are assembled into
+    /// `scratch` (cleared, not reallocated when its capacity suffices)
+    /// and flushed with **one** gather-free `write_all` — so a small
+    /// response leaves in a single syscall/TCP segment instead of a
+    /// head write plus a body write, and the connection handler can
+    /// reuse one buffer for every response it serves instead of
+    /// allocating a fresh head `String` per request.
+    pub fn write_to_deadline_buffered(
+        &self,
+        writer: &mut impl Write,
+        deadline: Option<Instant>,
+        scratch: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        scratch.clear();
+        write!(
+            scratch,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
-        );
-        write_all_deadline(writer, head.as_bytes(), deadline)?;
-        write_all_deadline(writer, &self.body, deadline)?;
+        )?;
+        scratch.extend_from_slice(&self.body);
+        write_all_deadline(writer, scratch, deadline)?;
         writer.flush()
     }
 }
@@ -463,6 +481,24 @@ mod tests {
         let mut out = Vec::new();
         resp.write_to(&mut out).unwrap();
         assert!(out.starts_with(b"HTTP/1.1 200 OK\r\n"));
+    }
+
+    #[test]
+    fn buffered_write_matches_unbuffered_and_reuses_scratch() {
+        let resp = Response::json(200, &Json::obj([("ok", Json::from(true))]));
+        let mut plain = Vec::new();
+        resp.write_to(&mut plain).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        resp.write_to_deadline_buffered(&mut out, None, &mut scratch)
+            .unwrap();
+        assert_eq!(out, plain, "buffered bytes must be identical");
+        let cap = scratch.capacity();
+        let mut again = Vec::new();
+        resp.write_to_deadline_buffered(&mut again, None, &mut scratch)
+            .unwrap();
+        assert_eq!(again, plain);
+        assert_eq!(scratch.capacity(), cap, "reuse must not reallocate");
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! so many analysts (or scripted agents) can hold concurrent dialogues
 //! with one server process:
 //!
-//! * [`manager::SessionManager`] — the registry of live sessions
-//!   (`Mutex<EdaSession>` slots sharing one `Arc<ThreadPool>`, dense IDs,
-//!   capacity cap, idle eviction);
+//! * [`manager::SessionManager`] — the **striped** registry of live
+//!   sessions (`SIDER_STRIPES` independent shards, each with its own
+//!   slot map + lock, `Arc<ThreadPool>`, and store subdirectory; dense
+//!   global IDs, capacity cap, idle eviction);
 //! * [`http`] — minimal blocking HTTP/1.1 parsing/serialization
 //!   (one request per connection, fixed header set, no dates — responses
 //!   are byte-deterministic);
@@ -67,6 +68,10 @@ pub const ADDR_ENV_VAR: &str = "SIDER_ADDR";
 /// Environment variable with the default session cap.
 pub const MAX_SESSIONS_ENV_VAR: &str = "SIDER_MAX_SESSIONS";
 
+/// Environment variable with the default stripe count (re-exported from
+/// `sider_store`, which owns the on-disk striped layout).
+pub const STRIPES_ENV_VAR: &str = sider_store::stripes::STRIPES_ENV_VAR;
+
 /// The address used when neither `--addr` nor `SIDER_ADDR` is given.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:8080";
 
@@ -75,13 +80,17 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:8080";
 pub struct ServerConfig {
     /// Listen address (`host:port`; port `0` picks an ephemeral port).
     pub addr: String,
-    /// Maximal number of live sessions.
+    /// Maximal number of live sessions (global across stripes).
     pub max_sessions: usize,
     /// Idle lifetime before a session is evicted.
     pub idle_timeout: Duration,
-    /// Execution pool size (`None` = `SIDER_THREADS` / available
-    /// parallelism, via [`ThreadPool::from_env`]).
+    /// Execution pool size **per stripe** (`None` = `SIDER_THREADS` /
+    /// available parallelism, via [`ThreadPool::from_env`]).
     pub threads: Option<usize>,
+    /// Session-manager stripe count (`SIDER_STRIPES`, default 1). Each
+    /// stripe owns its own slot map + lock, its own pool, and — when a
+    /// store is configured — its own `stripe-{k}/` subdirectory.
+    pub stripes: usize,
     /// Durable store configuration (`None` = in-memory sessions only).
     pub store: Option<StoreConfig>,
 }
@@ -93,6 +102,7 @@ impl Default for ServerConfig {
             max_sessions: DEFAULT_MAX_SESSIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             threads: None,
+            stripes: 1,
             store: None,
         }
     }
@@ -100,9 +110,10 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// Defaults with `SIDER_ADDR` / `SIDER_MAX_SESSIONS` /
-    /// `SIDER_DATA_DIR` (+ `SIDER_FSYNC`, `SIDER_CHECKPOINT_EVERY`)
-    /// applied. A malformed store variable is an error, not a silently
-    /// weakened durability setting.
+    /// `SIDER_STRIPES` / `SIDER_DATA_DIR` (+ `SIDER_FSYNC`,
+    /// `SIDER_CHECKPOINT_EVERY`) applied. A malformed stripe count or
+    /// store variable is an error, not a silently weakened setting —
+    /// the stripe count participates in the on-disk layout.
     pub fn from_env() -> Result<Self, String> {
         let mut config = ServerConfig::default();
         if let Ok(addr) = std::env::var(ADDR_ENV_VAR) {
@@ -115,6 +126,20 @@ impl ServerConfig {
             .and_then(|v| v.parse().ok())
         {
             config.max_sessions = max;
+        }
+        if let Ok(raw) = std::env::var(STRIPES_ENV_VAR) {
+            if !raw.is_empty() {
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("{STRIPES_ENV_VAR}={raw}: not a stripe count"))?;
+                if n == 0 || n > sider_store::stripes::MAX_STRIPES {
+                    return Err(format!(
+                        "{STRIPES_ENV_VAR}={raw}: must be 1..={}",
+                        sider_store::stripes::MAX_STRIPES
+                    ));
+                }
+                config.stripes = n;
+            }
         }
         if let Ok(dir) = std::env::var(sider_store::DATA_DIR_ENV_VAR) {
             if !dir.is_empty() {
@@ -193,31 +218,67 @@ impl ShutdownHandle {
 }
 
 impl Server {
-    /// Bind the listen socket and build the session registry. The
-    /// connection gate is sized at `2 × pool threads` (at least 4): enough
-    /// to keep every core busy while excess clients queue in the OS
-    /// accept backlog.
+    /// Bind the listen socket and build the (striped) session registry:
+    /// one `ThreadPool` of `config.threads` per stripe. The connection
+    /// gate is sized at `2 × total pool threads` (at least 4): enough to
+    /// keep every core busy while excess clients queue in the OS accept
+    /// backlog.
     ///
     /// With a store configured this **recovers first**: every session in
-    /// the data dir is rebuilt by replay before the first connection is
-    /// accepted, and recovery failure fails the bind (a server that
-    /// silently dropped persisted knowledge would defeat the store).
+    /// the data dir — every `stripe-{k}/` subdirectory when striped — is
+    /// rebuilt by replay before the first connection is accepted, and
+    /// recovery failure fails the bind (a server that silently dropped
+    /// persisted knowledge would defeat the store). A single-stripe
+    /// server keeps the flat PR-5 layout, so existing data dirs stay
+    /// valid; asking for `stripes > 1` migrates a flat dir in place, and
+    /// reopening a striped dir with a different count is refused.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let pool = Arc::new(match config.threads {
-            Some(k) => ThreadPool::new(k),
-            None => ThreadPool::from_env(),
-        });
-        let gate = Arc::new(Gate::new((pool.threads() * 2).max(4)));
+        let pools: Vec<Arc<ThreadPool>> = (0..config.stripes.max(1))
+            .map(|_| {
+                Arc::new(match config.threads {
+                    Some(k) => ThreadPool::new(k),
+                    None => ThreadPool::from_env(),
+                })
+            })
+            .collect();
+        let total_threads: usize = pools.iter().map(|p| p.threads()).sum();
+        let gate = Arc::new(Gate::new((total_threads * 2).max(4)));
+        let broken = |e: sider_store::StoreError| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        };
         let manager = match config.store {
-            None => SessionManager::new(pool, config.max_sessions, config.idle_timeout),
+            None if pools.len() == 1 => {
+                let pool = pools.into_iter().next().expect("one pool");
+                SessionManager::new(pool, config.max_sessions, config.idle_timeout)
+            }
+            None => SessionManager::striped(pools, config.max_sessions, config.idle_timeout),
             Some(store_config) => {
-                let broken = |e: sider_store::StoreError| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                };
-                let store = Arc::new(Store::open(store_config).map_err(broken)?);
-                SessionManager::with_store(pool, config.max_sessions, config.idle_timeout, store)
+                let pinned =
+                    sider_store::stripes::detect_stripes(&store_config.dir).map_err(broken)?;
+                if pools.len() == 1 && pinned.is_none() {
+                    // Flat layout: PR-5 data dirs keep working untouched.
+                    let pool = pools.into_iter().next().expect("one pool");
+                    let store = Arc::new(Store::open(store_config).map_err(broken)?);
+                    SessionManager::with_store(
+                        pool,
+                        config.max_sessions,
+                        config.idle_timeout,
+                        store,
+                    )
                     .map_err(broken)?
+                } else {
+                    // Striped layout (migrating a flat dir if needed);
+                    // a stripe-count mismatch with `layout.json` fails
+                    // the bind inside `open_striped`.
+                    SessionManager::with_striped_store(
+                        pools,
+                        config.max_sessions,
+                        config.idle_timeout,
+                        store_config,
+                    )
+                    .map_err(broken)?
+                }
             }
         };
         Ok(Server {
@@ -324,7 +385,11 @@ fn handle_connection(manager: &SessionManager, stream: TcpStream) {
     };
     let mut stream = stream;
     let deadline = std::time::Instant::now() + http::RESPONSE_WRITE_DEADLINE;
-    let _ = response.write_to_deadline(&mut stream, Some(deadline));
+    // One write buffer per connection, reused for every response it
+    // serves: head + body leave in a single syscall, and the serialize
+    // path stops allocating per request.
+    let mut scratch = Vec::new();
+    let _ = response.write_to_deadline_buffered(&mut stream, Some(deadline), &mut scratch);
 }
 
 #[cfg(test)]
@@ -338,6 +403,21 @@ mod tests {
         assert_eq!(config.addr, DEFAULT_ADDR);
         assert_eq!(config.max_sessions, DEFAULT_MAX_SESSIONS);
         assert!(config.threads.is_none());
+        assert_eq!(config.stripes, 1);
+    }
+
+    #[test]
+    fn striped_bind_builds_one_pool_per_stripe() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: Some(1),
+            stripes: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert_eq!(server.manager().stripes(), 4);
+        assert_eq!(server.manager().stripe_threads(), vec![1, 1, 1, 1]);
+        assert_eq!(server.manager().total_threads(), 4);
     }
 
     #[test]

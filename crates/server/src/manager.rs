@@ -1,39 +1,58 @@
 //! The concurrent session registry behind the HTTP API.
 //!
-//! A [`SessionManager`] owns every live [`EdaSession`] plus the **one**
-//! `Arc<ThreadPool>` they all share: request handler threads provide the
-//! concurrency across sessions, the pool provides the data-parallelism
-//! within one session's fit/sample/project step, and nested dispatch in
-//! `sider_par` runs inline — so the two layers compose without
-//! oversubscribing the machine.
+//! A [`SessionManager`] is **striped**: sessions are partitioned over
+//! `N` independent stripes by a stable hash of their ID
+//! ([`sider_store::stripes::stripe_of`]), and each stripe owns its own
+//! slot map + lock, its own `Arc<ThreadPool>`, and (when durable) its
+//! own store subdirectory (`stripe-{k}/`). Requests to sessions on
+//! different stripes never touch a shared lock: the only cross-stripe
+//! state is a pair of atomics (the dense ID counter and the live-session
+//! count), so create/knowledge/update/view scale with the stripe count.
+//! Cross-stripe reads (list, store report, eviction housekeeping)
+//! aggregate per-stripe results in **global ID order**, so their output
+//! is byte-identical at any stripe count. The single-stripe manager is
+//! the degenerate case — `SIDER_STRIPES=1` reproduces the old behaviour
+//! exactly.
+//!
+//! Request handler threads provide the concurrency across sessions, each
+//! stripe's pool provides the data-parallelism within one session's
+//! fit/sample/project step, and nested dispatch in `sider_par` runs
+//! inline — so the layers compose without oversubscribing the machine.
 //!
 //! Sessions are addressed by dense, monotonically increasing IDs
-//! (`s1`, `s2`, …) handed out by the manager. Dense IDs keep the API
-//! deterministic: two servers fed the same request sequence mint the same
-//! IDs and therefore produce byte-identical responses (sessions are *not*
+//! (`s1`, `s2`, …) minted from one global atomic counter shared by all
+//! stripes. Dense IDs keep the API deterministic: two servers fed the
+//! same request sequence mint the same IDs — and, because the stripe is
+//! a pure function of the ID, place them on the same stripes — and
+//! therefore produce byte-identical responses (sessions are *not*
 //! secrets; deploy an authenticating proxy in front if they must be).
 //!
 //! Capacity is bounded twice: a hard session cap (`max_sessions`,
 //! default [`DEFAULT_MAX_SESSIONS`], env `SIDER_MAX_SESSIONS`) rejects
 //! creation with `429`, and **idle eviction** reclaims sessions not
-//! touched for longer than the idle timeout. Eviction is swept on every
-//! create/list *and* by the server's low-frequency housekeeping thread,
-//! so idle sessions expire even under pure read-only traffic; a slot
-//! whose mutex is held by an in-flight request is busy, never idle.
+//! touched for longer than the idle timeout. The cap is global across
+//! stripes, enforced by an atomic reserve (no shared lock). Eviction is
+//! swept on every create/list *and* by the server's low-frequency
+//! housekeeping thread, so idle sessions expire even under pure
+//! read-only traffic; a slot whose mutex is held by an in-flight request
+//! is busy, never idle.
 //!
-//! When a [`Store`] is attached the manager is **durable**: every session
+//! When stores are attached the manager is **durable**: every session
 //! created through [`SessionManager::create_logged`] starts an on-disk
-//! op-log, [`SessionManager::with_store`] rebuilds all sessions from disk
-//! at startup (byte-identically, by replay), and the persisted ID counter
-//! guarantees recovered `s{n}` IDs never collide with new ones. Deleting
-//! or evicting a session removes its on-disk history too — eviction *is*
+//! op-log in its stripe's directory, [`SessionManager::with_striped_store`]
+//! rebuilds all sessions from every stripe directory at startup
+//! (byte-identically, by replay), and the persisted ID counter — each
+//! stripe persists the highest global ID it has seen — guarantees
+//! recovered `s{n}` IDs never collide with new ones. Deleting or
+//! evicting a session removes its on-disk history too — eviction *is*
 //! expiry, not a cache miss.
 
 use sider_core::EdaSession;
 use sider_par::ThreadPool;
-use sider_store::{Store, StoreError};
+use sider_store::stripes::{open_striped, stripe_of};
+use sider_store::{Store, StoreConfig, StoreError};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
 
@@ -131,79 +150,188 @@ impl Slot {
             .map(|t| t.elapsed())
             .unwrap_or(Duration::ZERO)
     }
+
+    fn new(id: u64, session: EdaSession) -> Arc<Slot> {
+        Arc::new(Slot {
+            id,
+            session: Mutex::new(session),
+            last_used: Mutex::new(Instant::now()),
+        })
+    }
 }
 
-/// Concurrent registry of sessions sharing one execution pool.
+/// One shard of the registry: a slot map + lock, an execution pool, and
+/// (when durable) a store rooted at its own `stripe-{k}/` directory.
 #[derive(Debug)]
-pub struct SessionManager {
+struct Stripe {
     pool: Arc<ThreadPool>,
-    max_sessions: usize,
-    idle_timeout: Duration,
     slots: Mutex<BTreeMap<u64, Arc<Slot>>>,
-    next_id: AtomicU64,
     store: Option<Arc<Store>>,
 }
 
+/// Striped concurrent registry of sessions.
+#[derive(Debug)]
+pub struct SessionManager {
+    stripes: Vec<Stripe>,
+    max_sessions: usize,
+    idle_timeout: Duration,
+    /// Global dense ID counter, shared by all stripes.
+    next_id: AtomicU64,
+    /// Global live-session count: the capacity reserve. Kept in sync
+    /// with the union of the stripe maps by pairing every insert/remove
+    /// with an increment/decrement.
+    live: AtomicUsize,
+}
+
 impl SessionManager {
-    /// A manager enforcing the given capacity bounds; all sessions will
-    /// share `pool`. Sessions live in memory only — see
+    /// A single-stripe manager enforcing the given capacity bounds; all
+    /// sessions share `pool`. Sessions live in memory only — see
     /// [`SessionManager::with_store`] for the durable variant.
     pub fn new(pool: Arc<ThreadPool>, max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionManager::striped(vec![pool], max_sessions, idle_timeout)
+    }
+
+    /// A manager with one stripe per pool (`pools.len()` stripes), each
+    /// stripe's sessions sharing that stripe's pool. In-memory only.
+    pub fn striped(
+        pools: Vec<Arc<ThreadPool>>,
+        max_sessions: usize,
+        idle_timeout: Duration,
+    ) -> Self {
+        assert!(!pools.is_empty(), "a manager needs at least one stripe");
         SessionManager {
-            pool,
+            stripes: pools
+                .into_iter()
+                .map(|pool| Stripe {
+                    pool,
+                    slots: Mutex::new(BTreeMap::new()),
+                    store: None,
+                })
+                .collect(),
             max_sessions: max_sessions.max(1),
             idle_timeout,
-            slots: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
-            store: None,
+            live: AtomicUsize::new(0),
         }
     }
 
-    /// A durable manager: rebuild every session the store holds (replay
-    /// recovery — byte-identical to the pre-crash sessions), then resume
-    /// the ID sequence past both the persisted counter and every
-    /// recovered ID. Recovery failure is a hard error: silently dropping
-    /// a session would lose exactly the knowledge the store exists to
-    /// keep.
+    /// A durable single-stripe manager over an already-open store — the
+    /// degenerate case of [`SessionManager::with_striped_store`].
     pub fn with_store(
         pool: Arc<ThreadPool>,
         max_sessions: usize,
         idle_timeout: Duration,
         store: Arc<Store>,
     ) -> Result<Self, StoreError> {
-        let recovered = store.recover_all(&pool)?;
-        let mut slots = BTreeMap::new();
-        let mut max_id = 0;
-        for (id, session) in recovered {
-            max_id = max_id.max(id);
-            slots.insert(
-                id,
-                Arc::new(Slot {
-                    id,
-                    session: Mutex::new(session),
-                    last_used: Mutex::new(Instant::now()),
-                }),
-            );
+        SessionManager::from_stores(vec![pool], max_sessions, idle_timeout, vec![store])
+    }
+
+    /// A durable striped manager: open (or create, or migrate a legacy
+    /// unstriped layout of) the striped store at `config.dir` with one
+    /// stripe per pool, then rebuild every session every stripe holds
+    /// (replay recovery — byte-identical to the pre-crash sessions) and
+    /// resume the global ID sequence past every persisted counter and
+    /// every recovered ID. The stripe count is pinned in the store's
+    /// `layout.json`; reopening with a different count is a hard error.
+    pub fn with_striped_store(
+        pools: Vec<Arc<ThreadPool>>,
+        max_sessions: usize,
+        idle_timeout: Duration,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let stores = open_striped(&config, pools.len())?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        SessionManager::from_stores(pools, max_sessions, idle_timeout, stores)
+    }
+
+    /// Assemble a durable manager from per-stripe stores, recovering
+    /// every stripe. Recovery failure is a hard error: silently dropping
+    /// a session would lose exactly the knowledge the store exists to
+    /// keep.
+    fn from_stores(
+        pools: Vec<Arc<ThreadPool>>,
+        max_sessions: usize,
+        idle_timeout: Duration,
+        stores: Vec<Arc<Store>>,
+    ) -> Result<Self, StoreError> {
+        assert_eq!(pools.len(), stores.len(), "one store per stripe");
+        assert!(!pools.is_empty(), "a manager needs at least one stripe");
+        let n = pools.len();
+        let mut stripes = Vec::with_capacity(n);
+        let mut next_id = 1u64;
+        let mut live = 0usize;
+        for (k, (pool, store)) in pools.into_iter().zip(stores).enumerate() {
+            let mut slots = BTreeMap::new();
+            for (id, session) in store.recover_all(&pool)? {
+                debug_assert_eq!(stripe_of(id, n), k, "s{id} recovered from stripe {k}");
+                next_id = next_id.max(id + 1);
+                slots.insert(id, Slot::new(id, session));
+            }
+            live += slots.len();
+            next_id = next_id.max(store.next_session_id()?);
+            stripes.push(Stripe {
+                pool,
+                slots: Mutex::new(slots),
+                store: Some(store),
+            });
         }
-        let next_id = store.next_session_id()?.max(max_id + 1);
         Ok(SessionManager {
-            pool,
+            stripes,
             max_sessions: max_sessions.max(1),
             idle_timeout,
-            slots: Mutex::new(slots),
             next_id: AtomicU64::new(next_id),
-            store: Some(store),
+            live: AtomicUsize::new(live),
         })
     }
 
-    /// The shared execution pool.
-    pub fn pool(&self) -> &Arc<ThreadPool> {
-        &self.pool
+    /// The stripe a session ID lives on.
+    fn stripe(&self, id: u64) -> &Stripe {
+        &self.stripes[stripe_of(id, self.stripes.len())]
     }
 
-    /// The attached durable store, if any.
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Stripe 0's execution pool — *the* pool of a single-stripe
+    /// manager.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.stripes[0].pool
+    }
+
+    /// Per-stripe pool thread counts, in stripe order (the `/health`
+    /// report).
+    pub fn stripe_threads(&self) -> Vec<usize> {
+        self.stripes.iter().map(|s| s.pool.threads()).collect()
+    }
+
+    /// Total pool threads across stripes (sizes the connection gate).
+    pub fn total_threads(&self) -> usize {
+        self.stripes.iter().map(|s| s.pool.threads()).sum()
+    }
+
+    /// Stripe 0's durable store, if any. Durability is all-or-none
+    /// across stripes, so this answers "is the manager durable" and
+    /// carries the shared fsync/checkpoint configuration.
     pub fn store(&self) -> Option<&Arc<Store>> {
-        self.store.as_ref()
+        self.stripes[0].store.as_ref()
+    }
+
+    /// The durable store holding session `id`, if any.
+    pub fn store_of(&self, id: u64) -> Option<&Arc<Store>> {
+        self.stripe(id).store.as_ref()
+    }
+
+    /// Per-stripe durable stores in stripe order (empty when not
+    /// durable) — the store report aggregates over these.
+    pub fn stores(&self) -> Vec<&Arc<Store>> {
+        self.stripes
+            .iter()
+            .filter_map(|s| s.store.as_ref())
+            .collect()
     }
 
     /// The idle lifetime before a session is evicted.
@@ -211,15 +339,18 @@ impl SessionManager {
         self.idle_timeout
     }
 
-    /// The session cap.
+    /// The session cap (global across stripes).
     pub fn max_sessions(&self) -> usize {
         self.max_sessions
     }
 
-    /// Live session count (after sweeping idle ones).
+    /// Live session count across all stripes (after sweeping idle ones).
     pub fn len(&self) -> usize {
         self.evict_idle();
-        self.slots.lock().expect("slots lock").len()
+        self.stripes
+            .iter()
+            .map(|s| s.slots.lock().expect("slots lock").len())
+            .sum()
     }
 
     /// Whether no session is live.
@@ -236,32 +367,41 @@ impl SessionManager {
         seed: u64,
     ) -> Result<Arc<Slot>, CreateError> {
         self.evict_idle();
-        // Cheap pre-check so an at-capacity flood doesn't pay session
-        // construction; the authoritative check repeats under the lock.
-        if self.slots.lock().expect("slots lock").len() >= self.max_sessions {
+        // Reserve capacity with the global atomic — the authoritative
+        // cap check without any cross-stripe lock. An over-reservation
+        // (a racing create) is handed straight back.
+        if self.live.fetch_add(1, Ordering::AcqRel) >= self.max_sessions {
+            self.live.fetch_sub(1, Ordering::AcqRel);
             return Err(CreateError::AtCapacity(self.max_sessions));
         }
-        let session = EdaSession::with_pool(dataset, seed, Arc::clone(&self.pool))
-            .map_err(|e| CreateError::BadDataset(e.to_string()))?;
-        let mut slots = self.slots.lock().expect("slots lock");
-        if slots.len() >= self.max_sessions {
-            return Err(CreateError::AtCapacity(self.max_sessions));
-        }
+        // The ID picks the stripe — and so the pool the session computes
+        // on — so it is minted *before* the session is built. A failed
+        // build burns the ID; the burn is deterministic (the same request
+        // sequence burns the same IDs on every server), so dense-ID
+        // byte-determinism is preserved.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot {
-            id,
-            session: Mutex::new(session),
-            last_used: Mutex::new(Instant::now()),
-        });
-        slots.insert(id, Arc::clone(&slot));
+        let stripe = self.stripe(id);
+        let session = match EdaSession::with_pool(dataset, seed, Arc::clone(&stripe.pool)) {
+            Ok(session) => session,
+            Err(e) => {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+                return Err(CreateError::BadDataset(e.to_string()));
+            }
+        };
+        let slot = Slot::new(id, session);
+        stripe
+            .slots
+            .lock()
+            .expect("slots lock")
+            .insert(id, Arc::clone(&slot));
         Ok(slot)
     }
 
     /// [`SessionManager::create`] plus durability: start the session's
-    /// on-disk op-log with `body` as its create op. If the log cannot be
-    /// started the in-memory session is rolled back — a session must
-    /// never exist in memory without a history the next restart can
-    /// replay.
+    /// on-disk op-log (in its stripe's store) with `body` as its create
+    /// op. If the log cannot be started the in-memory session is rolled
+    /// back — a session must never exist in memory without a history the
+    /// next restart can replay.
     pub fn create_logged(
         &self,
         dataset: sider_data::Dataset,
@@ -269,9 +409,14 @@ impl SessionManager {
         body: &sider_json::Json,
     ) -> Result<Arc<Slot>, CreateError> {
         let slot = self.create(dataset, seed)?;
-        if let Some(store) = &self.store {
+        if let Some(store) = self.store_of(slot.id) {
             if let Err(e) = store.create_session(slot.id, body) {
-                self.slots.lock().expect("slots lock").remove(&slot.id);
+                self.stripe(slot.id)
+                    .slots
+                    .lock()
+                    .expect("slots lock")
+                    .remove(&slot.id);
+                self.live.fetch_sub(1, Ordering::AcqRel);
                 let _ = store.remove_session(slot.id);
                 return Err(CreateError::Store(e.to_string()));
             }
@@ -282,7 +427,13 @@ impl SessionManager {
     /// Look up a session by wire ID (`"s3"`), refreshing its idle clock.
     pub fn get(&self, id_str: &str) -> Option<Arc<Slot>> {
         let id = parse_id(id_str)?;
-        let slot = self.slots.lock().expect("slots lock").get(&id).cloned()?;
+        let slot = self
+            .stripe(id)
+            .slots
+            .lock()
+            .expect("slots lock")
+            .get(&id)
+            .cloned()?;
         slot.touch();
         Some(slot)
     }
@@ -293,8 +444,15 @@ impl SessionManager {
         let Some(id) = parse_id(id_str) else {
             return false;
         };
-        let existed = self.slots.lock().expect("slots lock").remove(&id).is_some();
+        let existed = self
+            .stripe(id)
+            .slots
+            .lock()
+            .expect("slots lock")
+            .remove(&id)
+            .is_some();
         if existed {
+            self.live.fetch_sub(1, Ordering::AcqRel);
             self.drop_persisted(id);
         }
         existed
@@ -307,7 +465,17 @@ impl SessionManager {
     /// later recovery would silently rebuild a *different* session. The
     /// next restart recovers the session at its last durable op.
     pub fn unload(&self, id: u64) -> bool {
-        self.slots.lock().expect("slots lock").remove(&id).is_some()
+        let existed = self
+            .stripe(id)
+            .slots
+            .lock()
+            .expect("slots lock")
+            .remove(&id)
+            .is_some();
+        if existed {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
+        existed
     }
 
     /// Remove a session's on-disk history (delete and eviction share it).
@@ -315,33 +483,45 @@ impl SessionManager {
     /// worth a log line, but not worth failing the request that already
     /// removed the in-memory session.
     fn drop_persisted(&self, id: u64) {
-        if let Some(store) = &self.store {
+        if let Some(store) = self.store_of(id) {
             if let Err(e) = store.remove_session(id) {
                 eprintln!("sider_server: cannot remove stored session s{id}: {e}");
             }
         }
     }
 
-    /// All live sessions in ID order (after sweeping idle ones).
+    /// All live sessions in **global ID order** (after sweeping idle
+    /// ones). The cross-stripe aggregation order is what keeps listings
+    /// byte-identical at any stripe count.
     pub fn list(&self) -> Vec<Arc<Slot>> {
         self.evict_idle();
-        self.slots
-            .lock()
-            .expect("slots lock")
-            .values()
-            .cloned()
-            .collect()
+        let mut all: Vec<Arc<Slot>> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.slots
+                    .lock()
+                    .expect("slots lock")
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|slot| slot.id);
+        all
     }
 
     /// Drop every session idle for longer than the timeout (including
     /// its on-disk history — eviction is expiry); returns how many were
-    /// evicted. A slot whose session mutex is currently held belongs to
-    /// an in-flight request (e.g. a refit running longer than the idle
-    /// timeout) and is never evicted, however stale its idle clock looks.
+    /// evicted, summed over stripes. A slot whose session mutex is
+    /// currently held belongs to an in-flight request (e.g. a refit
+    /// running longer than the idle timeout) and is never evicted,
+    /// however stale its idle clock looks. Stripes are swept one at a
+    /// time — the sweep never holds two stripe locks at once.
     pub fn evict_idle(&self) -> usize {
         let mut evicted = Vec::new();
-        {
-            let mut slots = self.slots.lock().expect("slots lock");
+        for stripe in &self.stripes {
+            let mut slots = stripe.slots.lock().expect("slots lock");
             slots.retain(|_, slot| {
                 if slot.idle_for() <= self.idle_timeout {
                     return true;
@@ -352,6 +532,9 @@ impl SessionManager {
                 evicted.push(slot.id);
                 false
             });
+        }
+        if !evicted.is_empty() {
+            self.live.fetch_sub(evicted.len(), Ordering::AcqRel);
         }
         for &id in &evicted {
             self.drop_persisted(id);
@@ -383,6 +566,11 @@ mod tests {
 
     fn manager(max: usize, idle: Duration) -> SessionManager {
         SessionManager::new(Arc::new(ThreadPool::new(1)), max, idle)
+    }
+
+    fn striped_manager(stripes: usize, max: usize, idle: Duration) -> SessionManager {
+        let pools = (0..stripes).map(|_| Arc::new(ThreadPool::new(1))).collect();
+        SessionManager::striped(pools, max, idle)
     }
 
     #[test]
@@ -447,6 +635,10 @@ mod tests {
             m.create(empty, 1),
             Err(CreateError::BadDataset(_))
         ));
+        // The burned ID must release its capacity reservation.
+        for _ in 0..8 {
+            m.create(three_d_four_clusters(2018), 1).unwrap();
+        }
     }
 
     #[test]
@@ -549,5 +741,110 @@ mod tests {
         let slot = m.create(three_d_four_clusters(2018), 1).unwrap();
         let session = slot.lock().unwrap();
         assert!(Arc::ptr_eq(session.pool(), &pool));
+    }
+
+    #[test]
+    fn striped_ids_stay_dense_and_route_to_their_stripe_pool() {
+        let pools: Vec<Arc<ThreadPool>> = (0..4).map(|_| Arc::new(ThreadPool::new(1))).collect();
+        let m = SessionManager::striped(pools.clone(), 16, Duration::from_secs(60));
+        assert_eq!(m.stripes(), 4);
+        assert_eq!(m.stripe_threads(), vec![1, 1, 1, 1]);
+        assert_eq!(m.total_threads(), 4);
+        for i in 1..=6u64 {
+            let slot = m.create(three_d_four_clusters(2018), i).unwrap();
+            assert_eq!(slot.id, i, "IDs stay globally dense across stripes");
+            // The session computes on its stripe's pool, not stripe 0's.
+            let k = stripe_of(i, 4);
+            let session = slot.lock().unwrap();
+            assert!(
+                Arc::ptr_eq(session.pool(), &pools[k]),
+                "s{i} must use stripe {k}'s pool"
+            );
+        }
+        // get() routes by hash; list() merges stripes in global ID order.
+        for i in 1..=6u64 {
+            assert_eq!(m.get(&format!("s{i}")).unwrap().id, i);
+        }
+        let ids: Vec<u64> = m.list().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn striped_capacity_and_eviction_are_global() {
+        // The cap is global across stripes, not per stripe.
+        let m = striped_manager(4, 3, Duration::from_secs(60));
+        for i in 1..=3u64 {
+            m.create(three_d_four_clusters(2018), i).unwrap();
+        }
+        assert!(matches!(
+            m.create(three_d_four_clusters(2018), 4),
+            Err(CreateError::AtCapacity(3))
+        ));
+        // And so is eviction: the sweep walks every stripe.
+        let m = striped_manager(4, 8, Duration::ZERO);
+        for i in 1..=3u64 {
+            m.create(three_d_four_clusters(2018), i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        m.evict_idle();
+        assert!(m.is_empty(), "eviction sweeps every stripe");
+    }
+
+    #[test]
+    fn striped_store_recovers_every_stripe_and_continues_ids() {
+        let dir = std::env::temp_dir().join(format!(
+            "sider_manager_striped_store_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = sider_store::StoreConfig::new(&dir);
+        config.fsync = sider_store::FsyncPolicy::Never;
+        let pools = |n: usize| -> Vec<Arc<ThreadPool>> {
+            (0..n).map(|_| Arc::new(ThreadPool::new(1))).collect()
+        };
+        let body = sider_json::Json::parse(r#"{"dataset":"fig2","seed":7}"#).unwrap();
+        {
+            let m = SessionManager::with_striped_store(
+                pools(4),
+                16,
+                Duration::from_secs(60),
+                config.clone(),
+            )
+            .unwrap();
+            for i in 1..=5u64 {
+                let slot = m
+                    .create_logged(three_d_four_clusters(2018), i, &body)
+                    .unwrap();
+                assert_eq!(slot.id, i);
+                // The history lands in the session's stripe directory.
+                let k = stripe_of(i, 4);
+                assert!(
+                    dir.join(format!("stripe-{k}/sessions/s{i}/wal.log"))
+                        .exists(),
+                    "s{i} must be logged under stripe-{k}"
+                );
+            }
+            assert!(m.remove("s3"), "delete removes history too");
+        }
+        // Reopening with a different stripe count is refused…
+        assert!(SessionManager::with_striped_store(
+            pools(2),
+            16,
+            Duration::from_secs(60),
+            config.clone()
+        )
+        .is_err());
+        // …and the pinned count recovers every stripe's sessions.
+        let m = SessionManager::with_striped_store(pools(4), 16, Duration::from_secs(60), config)
+            .unwrap();
+        let ids: Vec<u64> = m.list().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5], "deleted s3 stays gone");
+        // The global ID counter resumes past every stripe's max.
+        let c = m
+            .create_logged(three_d_four_clusters(2018), 9, &body)
+            .unwrap();
+        assert_eq!(c.id_str(), "s6");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

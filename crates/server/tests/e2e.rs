@@ -2,7 +2,8 @@
 //! full exploration loops against a running server and pins the
 //! determinism contract — identical request sequences produce
 //! **byte-identical** responses whether the server's pool has 1 thread or
-//! 4 (the HTTP twin of `session_bit_identical_across_pool_sizes`).
+//! 4 (the HTTP twin of `session_bit_identical_across_pool_sizes`), and
+//! whether the session manager runs 1 stripe or 4.
 
 use sider_server::{Server, ServerConfig, ShutdownHandle};
 use std::io::{Read, Write};
@@ -15,12 +16,13 @@ struct RunningServer {
     joiner: std::thread::JoinHandle<std::io::Result<()>>,
 }
 
-fn start(threads: usize, idle_timeout: Duration) -> RunningServer {
+fn start_striped(threads: usize, stripes: usize, idle_timeout: Duration) -> RunningServer {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         max_sessions: 16,
         idle_timeout,
         threads: Some(threads),
+        stripes,
         store: None,
     })
     .expect("bind");
@@ -32,6 +34,10 @@ fn start(threads: usize, idle_timeout: Duration) -> RunningServer {
         handle,
         joiner,
     }
+}
+
+fn start(threads: usize, idle_timeout: Duration) -> RunningServer {
+    start_striped(threads, 1, idle_timeout)
 }
 
 impl RunningServer {
@@ -164,6 +170,76 @@ fn two_loop_iterations_byte_identical_across_pool_sizes() {
             a,
             b,
             "step {i}: 1-thread and 4-thread responses differ:\n{}\nvs\n{}",
+            body_of(a),
+            body_of(b)
+        );
+    }
+}
+
+/// A script spanning several sessions, so sessions actually land on
+/// different stripes of a striped manager: interleaved creates, knowledge,
+/// updates, views and listings across four concurrent-ish dialogues.
+fn multi_session_script(addr: SocketAddr) -> Vec<Vec<u8>> {
+    let mut steps: Vec<(&str, String, String)> = Vec::new();
+    for seed in 1..=4u64 {
+        steps.push((
+            "POST",
+            "/api/sessions".into(),
+            format!(r#"{{"dataset":"fig2","seed":{seed}}}"#),
+        ));
+    }
+    for id in 1..=4u64 {
+        steps.push((
+            "POST",
+            format!("/api/sessions/s{id}/knowledge"),
+            format!(
+                r#"{{"kind":"cluster","rows":[{}]}}"#,
+                (0..30).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+            ),
+        ));
+        steps.push(("POST", format!("/api/sessions/s{id}/update"), "{}".into()));
+        steps.push((
+            "POST",
+            format!("/api/sessions/s{id}/view"),
+            r#"{"method":"pca"}"#.into(),
+        ));
+    }
+    // Cross-stripe reads: the listing and per-session details must
+    // aggregate in the same (global ID) order at any stripe count.
+    steps.push(("GET", "/api/sessions".into(), String::new()));
+    steps.push(("DELETE", "/api/sessions/s2".into(), String::new()));
+    steps.push(("GET", "/api/sessions".into(), String::new()));
+    steps.push(("GET", "/api/sessions/s3/snapshot".into(), String::new()));
+    steps
+        .iter()
+        .map(|(method, path, body)| raw_request(addr, method, path, body))
+        .collect()
+}
+
+#[test]
+fn multi_session_transcript_byte_identical_across_stripe_counts() {
+    let run = |threads: usize, stripes: usize| {
+        let server = start_striped(threads, stripes, Duration::from_secs(3600));
+        let responses = multi_session_script(server.addr);
+        server.stop();
+        responses
+    };
+    let unstriped = run(1, 1);
+    let striped = run(1, 4);
+    for (i, raw) in unstriped.iter().enumerate() {
+        let status = status_of(raw);
+        assert!(
+            status == 200 || status == 201,
+            "step {i} failed with {status}: {}",
+            body_of(raw)
+        );
+    }
+    assert_eq!(unstriped.len(), striped.len());
+    for (i, (a, b)) in unstriped.iter().zip(&striped).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "step {i}: 1-stripe and 4-stripe responses differ:\n{}\nvs\n{}",
             body_of(a),
             body_of(b)
         );

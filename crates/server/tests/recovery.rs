@@ -24,11 +24,16 @@ struct RunningServer {
 }
 
 fn start(threads: usize, data_dir: Option<&Path>) -> RunningServer {
+    start_striped(threads, 1, data_dir)
+}
+
+fn start_striped(threads: usize, stripes: usize, data_dir: Option<&Path>) -> RunningServer {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         max_sessions: 16,
         idle_timeout: Duration::from_secs(3600),
         threads: Some(threads),
+        stripes,
         store: data_dir.map(StoreConfig::new),
     })
     .expect("bind");
@@ -165,10 +170,19 @@ fn assert_transcripts_equal(tag: &str, a: &[Vec<u8>], b: &[Vec<u8>]) {
 }
 
 fn kill_and_recover(threads: usize, checkpoint_mid_flight: bool, tag: &str) -> Vec<Vec<u8>> {
+    kill_and_recover_striped(threads, 1, checkpoint_mid_flight, tag)
+}
+
+fn kill_and_recover_striped(
+    threads: usize,
+    stripes: usize,
+    checkpoint_mid_flight: bool,
+    tag: &str,
+) -> Vec<Vec<u8>> {
     let dir = temp_dir(tag);
 
     // Durable server: run the prefix, die mid-loop.
-    let durable = start(threads, Some(&dir));
+    let durable = start_striped(threads, stripes, Some(&dir));
     let mut transcript = run_steps(durable.addr, &script_prefix());
     if checkpoint_mid_flight {
         // Compact the log under the twin's feet; the checkpoint response
@@ -179,7 +193,7 @@ fn kill_and_recover(threads: usize, checkpoint_mid_flight: bool, tag: &str) -> V
     durable.kill();
 
     // Restart from the data dir and continue the same session.
-    let recovered = start(threads, Some(&dir));
+    let recovered = start_striped(threads, stripes, Some(&dir));
     transcript.extend(run_steps(recovered.addr, &script_suffix()));
 
     // Recovered IDs never collide: the next create mints s2, not s1.
@@ -193,7 +207,9 @@ fn kill_and_recover(threads: usize, checkpoint_mid_flight: bool, tag: &str) -> V
     assert!(body_of(&raw).contains("\"id\":\"s2\""), "{}", body_of(&raw));
     recovered.kill();
 
-    // The never-restarted (and store-less) twin serves the whole script.
+    // The never-restarted, store-less — and always **unstriped** — twin
+    // serves the whole script: recovered striped transcripts must be
+    // byte-identical to an unstriped server that never died.
     let twin = start(threads, None);
     let mut expected = run_steps(twin.addr, &script_prefix());
     expected.extend(run_steps(twin.addr, &script_suffix()));
@@ -224,6 +240,21 @@ fn killed_mid_loop_server_recovers_byte_identically() {
     let t4cp = kill_and_recover(4, true, "t4cp");
     assert_transcripts_equal("1-vs-4 threads (checkpointed)", &t1cp, &t4cp);
     assert_transcripts_equal("checkpoint transparency", &t1, &t1cp);
+}
+
+#[test]
+fn striped_recovery_is_byte_identical_to_the_unstriped_twin() {
+    // The striping acceptance matrix: each run already asserts equality
+    // against its own unstriped store-less twin inside
+    // `kill_and_recover_striped`; comparing the runs to each other then
+    // pins that the stripe count is invisible on the wire — recovered
+    // 4-stripe transcripts equal recovered 1-stripe transcripts equal the
+    // never-restarted unstriped server, byte for byte.
+    let s1 = kill_and_recover_striped(1, 1, false, "s1");
+    let s4 = kill_and_recover_striped(1, 4, false, "s4");
+    assert_transcripts_equal("1-vs-4 stripes", &s1, &s4);
+    let s4cp = kill_and_recover_striped(1, 4, true, "s4cp");
+    assert_transcripts_equal("1-vs-4 stripes (checkpointed)", &s1, &s4cp);
 }
 
 #[test]

@@ -37,6 +37,7 @@
 
 pub mod checkpoint;
 pub mod ops;
+pub mod stripes;
 pub mod wal;
 
 use checkpoint::Checkpoint;
@@ -321,7 +322,7 @@ fn parse_wal_ops(dir: &Path, payloads: &[Vec<u8>]) -> Result<Vec<Op>, StoreError
 }
 
 /// Atomically replace `path` with `contents` (tmp + fsync + rename).
-fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
@@ -672,7 +673,81 @@ impl Store {
 /// Read-only report over a store directory that may belong to another
 /// (even running) process — the `sider store inspect <dir>` payload.
 /// Unlike [`Store::open`] it creates nothing.
+///
+/// Understands both layouts: a plain per-stripe (or legacy PR-5) store —
+/// `meta.json` + `sessions/` at the root — and the striped layout
+/// (`layout.json` + `stripe-{k}/` subdirectories), where the report
+/// additionally carries `stripes` and a `per_stripe` array of totals and
+/// every session row names its stripe.
 pub fn inspect(dir: &Path) -> Result<Json, String> {
+    match stripes::detect_stripes(dir).map_err(|e| e.to_string())? {
+        Some(n) => inspect_striped(dir, n),
+        None => inspect_flat(dir),
+    }
+}
+
+/// `inspect` over the striped layout: per-stripe totals plus the merged
+/// session list in global ID order (the deterministic aggregation
+/// ordering every cross-stripe read uses).
+fn inspect_striped(dir: &Path, n: usize) -> Result<Json, String> {
+    let mut per_stripe = Vec::new();
+    let mut sessions = Vec::new();
+    let mut next_id = 1u64;
+    for k in 0..n {
+        let sdir = stripes::stripe_path(dir, k);
+        let meta_path = sdir.join("meta.json");
+        if let Ok(text) = std::fs::read_to_string(&meta_path) {
+            let meta = Json::parse(&text).map_err(|e| format!("{}: {e}", meta_path.display()))?;
+            if let Some(id) = meta.get("next_id").and_then(Json::as_num) {
+                next_id = next_id.max(id as u64);
+            }
+        }
+        let rows = inspect_sessions(&sdir.join("sessions"))?;
+        let total = |key: &str| {
+            rows.iter()
+                .filter_map(|r| r.get(key).and_then(Json::as_num))
+                .sum::<f64>()
+        };
+        per_stripe.push(Json::obj([
+            ("stripe", Json::from(k)),
+            ("sessions", Json::from(rows.len())),
+            ("wal_records", Json::from(total("wal_records"))),
+            ("wal_bytes", Json::from(total("wal_bytes"))),
+            ("checkpoint_bytes", Json::from(total("checkpoint_bytes"))),
+        ]));
+        for mut row in rows {
+            if let Json::Obj(map) = &mut row {
+                map.insert("stripe".into(), Json::from(k));
+                next_id = next_id.max(
+                    map.get("id")
+                        .and_then(Json::as_str)
+                        .and_then(|s| s.strip_prefix('s'))
+                        .and_then(|d| d.parse::<u64>().ok())
+                        .map(|id| id + 1)
+                        .unwrap_or(1),
+                );
+            }
+            sessions.push(row);
+        }
+    }
+    sessions.sort_by_key(|row| {
+        row.get("id")
+            .and_then(Json::as_str)
+            .and_then(|s| s.strip_prefix('s'))
+            .and_then(|d| d.parse::<u64>().ok())
+            .unwrap_or(u64::MAX)
+    });
+    Ok(Json::obj([
+        ("dir", Json::from(dir.display().to_string())),
+        ("stripes", Json::from(n)),
+        ("next_id", Json::from(next_id)),
+        ("per_stripe", Json::Arr(per_stripe)),
+        ("sessions", Json::Arr(sessions)),
+    ]))
+}
+
+/// `inspect` over a flat (legacy or single-stripe) store directory.
+fn inspect_flat(dir: &Path) -> Result<Json, String> {
     let meta_path = dir.join("meta.json");
     let meta = match std::fs::read_to_string(&meta_path) {
         Ok(text) => Json::parse(&text).map_err(|e| format!("{}: {e}", meta_path.display()))?,
@@ -683,9 +758,22 @@ pub fn inspect(dir: &Path) -> Result<Json, String> {
             ))
         }
     };
-    let sessions_dir = dir.join("sessions");
+    let sessions = inspect_sessions(&dir.join("sessions"))?;
+    Ok(Json::obj([
+        ("dir", Json::from(dir.display().to_string())),
+        (
+            "next_id",
+            meta.get("next_id").cloned().unwrap_or(Json::Null),
+        ),
+        ("sessions", Json::Arr(sessions)),
+    ]))
+}
+
+/// Per-session status rows (in ID order) for every `s{n}` directory under
+/// `sessions_dir`, read without mutating anything.
+fn inspect_sessions(sessions_dir: &Path) -> Result<Vec<Json>, String> {
     let mut ids = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(&sessions_dir) {
+    if let Ok(entries) = std::fs::read_dir(sessions_dir) {
         for entry in entries.flatten() {
             if let Some(id) = entry
                 .file_name()
@@ -732,14 +820,7 @@ pub fn inspect(dir: &Path) -> Result<Json, String> {
         }
         sessions.push(row);
     }
-    Ok(Json::obj([
-        ("dir", Json::from(dir.display().to_string())),
-        (
-            "next_id",
-            meta.get("next_id").cloned().unwrap_or(Json::Null),
-        ),
-        ("sessions", Json::Arr(sessions)),
-    ]))
+    Ok(sessions)
 }
 
 #[cfg(test)]

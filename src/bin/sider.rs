@@ -18,22 +18,34 @@
 //!     The same, on the paper's built-in datasets.
 //!
 //! sider serve [--addr HOST:PORT] [--max-sessions N] [--threads K]
-//!             [--data-dir DIR] [--fsync always|never|N]
+//!             [--stripes S] [--data-dir DIR] [--fsync always|never|N]
 //!             [--checkpoint-every N]
 //!     Run the HTTP/1.1 + JSON exploration service: many concurrent
-//!     sessions over one shared execution pool, each driving the full
-//!     loop (views, knowledge, warm background updates, snapshots, SVG
-//!     rendering). With --data-dir the server is durable: every mutating
-//!     request is written through to a per-session op-log and a restart
-//!     recovers all sessions byte-identically. Defaults honor SIDER_ADDR
-//!     / SIDER_MAX_SESSIONS / SIDER_THREADS / SIDER_DATA_DIR /
-//!     SIDER_FSYNC / SIDER_CHECKPOINT_EVERY; see docs/ARCHITECTURE.md
-//!     for the wire protocol and the on-disk format.
+//!     sessions over S independent session-manager stripes, each with
+//!     its own execution pool of K threads, each session driving the
+//!     full loop (views, knowledge, warm background updates, snapshots,
+//!     SVG rendering). With --data-dir the server is durable: every
+//!     mutating request is written through to a per-session op-log
+//!     (per-stripe `stripe-{k}/` subdirectories when S > 1) and a
+//!     restart recovers all sessions byte-identically. Defaults honor
+//!     SIDER_ADDR / SIDER_MAX_SESSIONS / SIDER_THREADS / SIDER_STRIPES /
+//!     SIDER_DATA_DIR / SIDER_FSYNC / SIDER_CHECKPOINT_EVERY; see
+//!     docs/ARCHITECTURE.md for the wire protocol and on-disk format.
+//!
+//! sider loadgen --addr HOST:PORT [--sessions N] [--requests N]
+//!               [--rps R] [--workers K] [--seed S] [--out FILE.json]
+//!     Replay a fixed-seed open-loop mixed workload (create / knowledge /
+//!     warm update / view / snapshot) against a running server and print
+//!     the per-endpoint p50/p99/p999 latency + throughput report as
+//!     JSON. Defaults are the full BENCH_serve workload, or the smoke
+//!     workload when SIDER_BENCH_SMOKE=1.
 //!
 //! sider store inspect <DIR>
-//!     Print a JSON report over a data dir: the persisted session-ID
-//!     counter and, per session, last LSN, WAL record/byte counts,
-//!     checkpoint size/LSN and whether the WAL tail is torn.
+//!     Print a JSON report over a data dir — flat or striped
+//!     (`stripe-{k}/`) layout: the persisted session-ID counter,
+//!     per-stripe totals when striped, and, per session, last LSN, WAL
+//!     record/byte counts, checkpoint size/LSN and whether the WAL tail
+//!     is torn.
 //! ```
 //!
 //! The CSV format is the one written by `sider::data::csv`: a header row
@@ -116,8 +128,10 @@ const USAGE: &str = "usage:
                  [--out DIR]
   sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]
   sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]
-                 [--data-dir DIR] [--fsync always|never|N]
+                 [--stripes S] [--data-dir DIR] [--fsync always|never|N]
                  [--checkpoint-every N]
+  sider loadgen  --addr HOST:PORT [--sessions N] [--requests N] [--rps R]
+                 [--workers K] [--seed S] [--out FILE.json]
   sider store    inspect <DIR>";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
@@ -283,6 +297,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
                 .map_err(|_| format!("invalid value for --threads: {threads}"))?,
         );
     }
+    config.stripes = cli.get_or("stripes", config.stripes)?;
     if let Some(dir) = cli.get("data-dir") {
         // --data-dir overrides SIDER_DATA_DIR but keeps the env-level
         // fsync/checkpoint tuning unless flags override those too.
@@ -316,8 +331,9 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     });
     let server = sider::server::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     println!(
-        "sider serve: listening on http://{} ({} pool threads, {} session slots, {} recovered)",
+        "sider serve: listening on http://{} ({} stripes × {} pool threads, {} session slots, {} recovered)",
         server.local_addr(),
+        server.manager().stripes(),
         server.manager().pool().threads(),
         server.manager().max_sessions(),
         server.manager().len(),
@@ -328,6 +344,40 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     }
     println!("try: curl -s http://{}/health", server.local_addr());
     server.run().map_err(|e| format!("server error: {e}"))
+}
+
+fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
+    let addr = cli.get("addr").ok_or(format!("--addr required\n{USAGE}"))?;
+    let mut config = sider::loadgen::LoadConfig::from_env(addr);
+    config.sessions = cli.get_or("sessions", config.sessions)?;
+    config.requests = cli.get_or("requests", config.requests)?;
+    config.rps = cli.get_or("rps", config.rps)?;
+    config.workers = cli.get_or("workers", config.workers)?;
+    config.seed = cli.get_or("seed", config.seed)?;
+    if config.sessions == 0 || config.rps <= 0.0 {
+        return Err("loadgen needs --sessions >= 1 and --rps > 0".into());
+    }
+    eprintln!(
+        "sider loadgen: {} sessions, {} mixed requests at {} req/s (seed {}) against http://{}",
+        config.sessions, config.requests, config.rps, config.seed, config.addr
+    );
+    let report = sider::loadgen::run(&config)?;
+    let json = report.to_json().dump_pretty();
+    match cli.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("sider loadgen: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if report.total_errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed",
+            report.total_errors, report.total_requests
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_store(cli: &Cli) -> Result<(), String> {
@@ -363,6 +413,7 @@ fn run() -> Result<(), String> {
             cmd_explore(&cli, ds)
         }
         "serve" => cmd_serve(&cli),
+        "loadgen" => cmd_loadgen(&cli),
         "store" => cmd_store(&cli),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -26,6 +26,9 @@
 //! * [`store`] — the durable session store: per-session write-ahead
 //!   op-logs with checkpoint compaction and byte-exact crash recovery
 //!   (`sider serve --data-dir`).
+//! * [`loadgen`] — std-only open-loop load generator replaying a
+//!   deterministic mixed workload against a live server
+//!   (`sider loadgen`).
 //!
 //! # Quick start
 //!
@@ -66,6 +69,7 @@ pub use sider_core as core;
 pub use sider_data as data;
 pub use sider_json as json;
 pub use sider_linalg as linalg;
+pub use sider_loadgen as loadgen;
 pub use sider_maxent as maxent;
 pub use sider_par as par;
 pub use sider_plot as plot;
