@@ -36,10 +36,19 @@
 //!   grants more than one CPU; `available_parallelism` is recorded so the
 //!   trajectory can be read in context).
 //!
+//! Every scenario also times the **cold eigensolver** on one class
+//! precision: the raw cyclic Jacobi (`eigen.jacobi_ns`) against the
+//! `SymEigen::decompose` dispatch (`eigen.dc_ns` — tridiagonalization +
+//! divide-and-conquer above the size threshold, Jacobi below), with
+//! `eigen.dc_speedup = jacobi / dc` after a spectrum-agreement gate. At
+//! `d < 32` the dispatch *is* Jacobi, so the ratio hovers around 1; at
+//! `d ≥ 32` it is the cold-refit win the CI schema check gates on.
+//!
 //! Every run also cross-checks that sampling (from the incrementally
-//! refreshed distribution), whitening and PCA produce **bit-identical**
-//! outputs at every thread count (`bit_identical_across_threads`), which
-//! is the determinism contract of `sider_par`.
+//! refreshed distribution), whitening, the fused whiten+moment kernel
+//! and PCA produce **bit-identical** outputs at every thread count
+//! (`bit_identical_across_threads`), which is the determinism contract
+//! of `sider_par`.
 //!
 //! Each scenario also times **crash recovery** (`store.recover_ns`): a
 //! real `sider_store` op-log over an `n × d` session — create, two
@@ -54,7 +63,7 @@
 
 use sider_bench::{median_duration, smoke_mode, time};
 use sider_json::Json;
-use sider_linalg::{sym_eigen, vector, woodbury, Matrix};
+use sider_linalg::{sym_eigen, vector, woodbury, Matrix, SymEigen};
 use sider_maxent::params::ClassParams;
 use sider_maxent::{BackgroundDistribution, RefreshStats};
 use sider_par::ThreadPool;
@@ -275,10 +284,39 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
         }
     }
 
+    // ---- Cold eigensolver: raw Jacobi vs the decompose dispatch on one
+    // class precision (the O(d³) kernel behind every cold refresh and
+    // cold refit). Spectrum agreement is gated before the ratio is
+    // trusted: a fast-but-wrong solver must not produce a metric. ----
+    let prec0 = bg.precision(0).clone();
+    let eigen_jacobi = median_of(reps, || time(|| sym_eigen(&prec0).expect("bench jacobi")).1);
+    let eigen_dc = median_of(reps, || {
+        time(|| SymEigen::decompose(&prec0).expect("bench decompose")).1
+    });
+    {
+        let jac = sym_eigen(&prec0).expect("bench jacobi");
+        let dc = SymEigen::decompose(&prec0).expect("bench decompose");
+        let scale = prec0.frobenius_norm().max(1.0);
+        let worst = jac
+            .values
+            .iter()
+            .zip(&dc.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let recon = dc.reconstruct().max_abs_diff(&prec0);
+        if !(worst.is_finite() && worst <= 1e-9 * scale && recon <= 1e-9 * scale) {
+            eprintln!(
+                "scaling/{n}x{d}: D&C disagrees with Jacobi: values off {worst:.3e}, reconstruction off {recon:.3e}"
+            );
+            std::process::exit(1);
+        }
+    }
+    let dc_speedup = ratio(eigen_jacobi, eigen_dc);
+
     // ---- Current kernels at each thread count. ----
     let mut runs: Vec<StageTimes> = Vec::new();
     let mut bit_identical = true;
-    let mut reference: Option<(Matrix, Matrix, Matrix, Matrix)> = None;
+    let mut reference: Option<(Matrix, Matrix, Matrix, Matrix, Matrix)> = None;
     for &threads in thread_counts {
         let pool = ThreadPool::new(threads);
 
@@ -341,15 +379,26 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
         });
         let matmul = median_of(reps, || time(|| sampled.matmul_with(&w, &pool)).1);
 
-        // Determinism cross-check against the first (1-thread) run.
+        // Determinism cross-check against the first (1-thread) run —
+        // including the fused whiten+moment kernel of the view path.
         let directions = pca_directions_with(&whitened, &pool).unwrap().directions;
+        let fused_moment = bg.whitened_second_moment_with(&sampled, &pool).unwrap();
         match &reference {
-            None => reference = Some((sampled, whitened, directions, refreshed_whitened)),
-            Some((s0, w0, d0, r0)) => {
+            None => {
+                reference = Some((
+                    sampled,
+                    whitened,
+                    directions,
+                    refreshed_whitened,
+                    fused_moment,
+                ))
+            }
+            Some((s0, w0, d0, r0, m0)) => {
                 bit_identical &= s0.as_slice() == sampled.as_slice()
                     && w0.as_slice() == whitened.as_slice()
                     && d0.as_slice() == directions.as_slice()
-                    && r0.as_slice() == refreshed_whitened.as_slice();
+                    && r0.as_slice() == refreshed_whitened.as_slice()
+                    && m0.as_slice() == fused_moment.as_slice();
             }
         }
 
@@ -384,7 +433,7 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
     let incremental_speedup = ratio(t1.refresh_full, t1.refresh);
 
     println!(
-        "scaling/{n}x{d}: pr1 {:.1}ms -> serial {:.1}ms ({serial_speedup:.2}x, refresh rank-{k} incr {incremental_speedup:.2}x vs full) -> {} threads {:.1}ms ({parallel_speedup:.2}x), recover {:.1}ms/{recover_ops} ops, bit_identical={bit_identical}",
+        "scaling/{n}x{d}: pr1 {:.1}ms -> serial {:.1}ms ({serial_speedup:.2}x, refresh rank-{k} incr {incremental_speedup:.2}x vs full, cold eigen dc {dc_speedup:.2}x vs jacobi) -> {} threads {:.1}ms ({parallel_speedup:.2}x), recover {:.1}ms/{recover_ops} ops, bit_identical={bit_identical}",
         baseline_total.as_secs_f64() * 1e3,
         t1.hot_total().as_secs_f64() * 1e3,
         tmax.threads,
@@ -419,9 +468,14 @@ fn run_scenario(sc: &Scenario, thread_counts: &[usize], max_threads: usize, reps
         "{{ \"recover_ns\": {}, \"recover_ops\": {recover_ops}, \"wal_bytes\": {wal_bytes} }}",
         recover.as_nanos(),
     );
+    let eigen_json = format!(
+        "{{ \"jacobi_ns\": {}, \"dc_ns\": {}, \"dc_speedup\": {dc_speedup:.3} }}",
+        eigen_jacobi.as_nanos(),
+        eigen_dc.as_nanos(),
+    );
     format!
         (
-        "    {{\n      \"n\": {n},\n      \"d\": {d},\n      \"baseline_pr1\": {{ \"sample_ns\": {}, \"refresh_ns\": {}, \"hot_total_ns\": {} }},\n      \"refresh_mode\": {refresh_mode},\n      \"store\": {store_json},\n      \"runs\": [\n{}\n      ],\n      \"bit_identical_across_threads\": {bit_identical},\n      \"serial_speedup_vs_pr1\": {serial_speedup:.3},\n      \"parallel_speedup_max_vs_1\": {parallel_speedup:.3}\n    }}",
+        "    {{\n      \"n\": {n},\n      \"d\": {d},\n      \"baseline_pr1\": {{ \"sample_ns\": {}, \"refresh_ns\": {}, \"hot_total_ns\": {} }},\n      \"refresh_mode\": {refresh_mode},\n      \"eigen\": {eigen_json},\n      \"store\": {store_json},\n      \"runs\": [\n{}\n      ],\n      \"bit_identical_across_threads\": {bit_identical},\n      \"serial_speedup_vs_pr1\": {serial_speedup:.3},\n      \"parallel_speedup_max_vs_1\": {parallel_speedup:.3}\n    }}",
         baseline_sample.as_nanos(),
         baseline_refresh.as_nanos(),
         baseline_total.as_nanos(),

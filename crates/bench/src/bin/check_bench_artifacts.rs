@@ -8,11 +8,14 @@
 //! gate on cross-machine speedup values: CI machines (and 1-CPU
 //! containers) make absolute timing thresholds meaningless — the guarded
 //! invariants are artifact shape, the recorded
-//! `bit_identical_across_threads` determinism flag, and the one *same-run
-//! relative* ratio that is machine-independent by construction:
+//! `bit_identical_across_threads` determinism flag, and the *same-run
+//! relative* ratios that are machine-independent by construction:
 //! `refresh_mode.incremental_speedup` (rank-1 spectral maintenance vs the
 //! full Jacobi solve it replaces, measured back-to-back on identical
-//! inputs) must be ≥ 1.0 wherever `d ≥ 16`.
+//! inputs) must be ≥ 1.0 wherever `d ≥ 16`, and `eigen.dc_speedup` (the
+//! `SymEigen::decompose` divide-and-conquer dispatch vs raw Jacobi on the
+//! same class precision) must be ≥ 1.0 wherever `d ≥ 32` — the dispatch
+//! threshold above which D&C carries cold decompositions.
 //!
 //! For `BENCH_serve.json` the SLO-style gates are likewise
 //! machine-independent: both a `stripes == 1` baseline run and a striped
@@ -104,6 +107,9 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             "refresh_mode.incremental_speedup",
             "refresh_mode.eigen_rank_updated",
             "refresh_mode.rank1_directions_applied",
+            "eigen.jacobi_ns",
+            "eigen.dc_ns",
+            "eigen.dc_speedup",
             "store.recover_ns",
             "store.recover_ops",
             "store.wal_bytes",
@@ -139,6 +145,18 @@ fn check_scaling(doc: &Json) -> Result<(), String> {
             return Err(format!(
                 "JSON path '{at}.refresh_mode.incremental_speedup': {incr_speedup} < 1.0 \
                  at d = {d} — the rank-1 refresh lost to the full Jacobi path"
+            ));
+        }
+        // The cold-eigensolver dispatch must not lose to the raw Jacobi
+        // solve it wraps once the divide-and-conquer path engages
+        // (`d ≥ 32`, the dispatch threshold). Below that the dispatch
+        // *is* Jacobi and the ratio is pure timing noise. Same-run
+        // relative ratio — machine-independent by construction.
+        let dc_speedup = require_num_at(sc, &at, "eigen.dc_speedup")?;
+        if d >= 32.0 && dc_speedup < 1.0 {
+            return Err(format!(
+                "JSON path '{at}.eigen.dc_speedup': {dc_speedup} < 1.0 at d = {d} — \
+                 the divide-and-conquer solver lost to the Jacobi path it replaces"
             ));
         }
         if sc

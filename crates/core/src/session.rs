@@ -13,7 +13,10 @@ use sider_maxent::{
     SolverState,
 };
 use sider_par::ThreadPool;
-use sider_projection::{most_informative_projection_with, project, Method};
+use sider_projection::{
+    most_informative_projection_with, pca_directions_from_moment, project, projection_from_pca,
+    Method,
+};
 use sider_stats::Rng;
 use std::sync::Arc;
 
@@ -380,10 +383,27 @@ impl EdaSession {
     /// Compute the next most-informative view: whiten, run projection
     /// pursuit, project the raw data and a fresh background sample onto
     /// the found directions (paper Fig. 1, steps b–c).
+    ///
+    /// The PCA arm runs fused: the whitened second moment is accumulated
+    /// directly from the raw data
+    /// ([`sider_maxent::BackgroundDistribution::whitened_second_moment_with`])
+    /// without materializing the `n × d` whitened matrix, then
+    /// eigendecomposed via [`sider_projection::pca_directions_from_moment`].
+    /// Bit-identical to the two-pass whiten-then-pursue formulation (which
+    /// the ICA arm still uses — FastICA iterates over the whitened rows).
     pub fn next_view(&mut self, method: &Method) -> Result<ViewState> {
-        let whitened = self.whitened()?;
-        let projection =
-            most_informative_projection_with(&whitened, method, &mut self.rng, &self.pool)?;
+        let projection = match method {
+            Method::Pca => {
+                let moment = self
+                    .background()
+                    .whitened_second_moment_with(self.data(), &self.pool)?;
+                projection_from_pca(pca_directions_from_moment(self.data().rows(), moment)?)
+            }
+            _ => {
+                let whitened = self.whitened()?;
+                most_informative_projection_with(&whitened, method, &mut self.rng, &self.pool)?
+            }
+        };
         let projected_data = project(self.data(), &projection.axes);
         // Disjoint field borrows: the engine's distribution (or the prior
         // fallback) is read while the session RNG advances.
@@ -715,6 +735,33 @@ mod tests {
             );
             assert_eq!(kl1.to_bits(), kl.to_bits(), "{threads} threads: KL");
         }
+    }
+
+    #[test]
+    fn fused_pca_view_matches_two_pass_pursuit() {
+        // The fused whitened-moment arm of next_view must reproduce the
+        // materialize-then-pursue formulation bit for bit (and consume no
+        // RNG, like PCA pursuit never did).
+        let mut s = session();
+        s.add_margin_constraints().unwrap();
+        s.update_background(&tight()).unwrap();
+        let whitened = s.whitened().unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let reference = most_informative_projection_with(
+            &whitened,
+            &Method::Pca,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
+        let view = s.next_view(&Method::Pca).unwrap();
+        assert_eq!(
+            view.projection.axes.as_slice(),
+            reference.axes.as_slice(),
+            "fused PCA arm changed the chosen axes"
+        );
+        assert_eq!(view.projection.all_scores, reference.all_scores);
+        assert_eq!(view.projection.scores, reference.scores);
     }
 
     #[test]

@@ -125,7 +125,12 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
     if off.sqrt() <= tol * 1e3 {
         return Ok(sorted(m, v));
     }
-    Err(LinalgError::ConvergenceFailure { sweeps: MAX_SWEEPS })
+    Err(LinalgError::SweepBudgetExhausted {
+        sweeps: MAX_SWEEPS,
+        size: n,
+        off_mass: off.sqrt(),
+        tol,
+    })
 }
 
 fn sorted(m: Matrix, v: Matrix) -> SymEigen {

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors produced by the linear-algebra routines.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// An operation requiring a square matrix received a rectangular one.
     NotSquare { rows: usize, cols: usize },
@@ -19,6 +19,17 @@ pub enum LinalgError {
     /// An iterative method (Jacobi eigen / SVD) did not reach the requested
     /// tolerance within its sweep budget.
     ConvergenceFailure { sweeps: usize },
+    /// Cyclic Jacobi spent its whole sweep budget without driving the
+    /// off-diagonal mass below tolerance. This is the bottom of the
+    /// eigensolver fallback ladder, so it carries enough context to
+    /// diagnose the input: matrix size, the off-diagonal Frobenius mass
+    /// actually achieved, and the tolerance it had to reach.
+    SweepBudgetExhausted {
+        sweeps: usize,
+        size: usize,
+        off_mass: f64,
+        tol: f64,
+    },
     /// Input contained NaN or infinity.
     NotFinite,
 }
@@ -43,6 +54,16 @@ impl fmt::Display for LinalgError {
             LinalgError::ConvergenceFailure { sweeps } => {
                 write!(f, "iteration failed to converge after {sweeps} sweeps")
             }
+            LinalgError::SweepBudgetExhausted {
+                sweeps,
+                size,
+                off_mass,
+                tol,
+            } => write!(
+                f,
+                "Jacobi failed to converge on a {size}x{size} matrix after {sweeps} sweeps: \
+                 off-diagonal mass {off_mass:.3e} still above tolerance {tol:.3e}"
+            ),
             LinalgError::NotFinite => write!(f, "input contains NaN or infinite entries"),
         }
     }
@@ -69,6 +90,17 @@ mod tests {
         assert!(e.to_string().contains("singular"));
         let e = LinalgError::ConvergenceFailure { sweeps: 30 };
         assert!(e.to_string().contains("30"));
+        let e = LinalgError::SweepBudgetExhausted {
+            sweeps: 64,
+            size: 48,
+            off_mass: 3.5e-9,
+            tol: 1.2e-12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("48x48"), "{msg}");
+        assert!(msg.contains("64 sweeps"), "{msg}");
+        assert!(msg.contains("3.500e-9"), "{msg}");
+        assert!(msg.contains("1.200e-12"), "{msg}");
         assert!(LinalgError::NotFinite.to_string().contains("NaN"));
     }
 

@@ -8,8 +8,12 @@
 //! * [`Lu`] — LU decomposition with partial pivoting (solve / inverse / det).
 //! * [`Cholesky`] — for sampling and solving with covariance matrices.
 //! * [`Qr`] — Householder QR (least squares, orthonormal bases).
-//! * [`SymEigen`] — symmetric eigendecomposition via the cyclic Jacobi
-//!   method, the workhorse behind whitening (Eq. 14 of the paper) and PCA.
+//! * [`SymEigen`] — symmetric eigendecomposition, the workhorse behind
+//!   whitening (Eq. 14 of the paper) and PCA. [`SymEigen::decompose`]
+//!   dispatches between tridiagonal divide-and-conquer ([`tridiag`] +
+//!   [`eigen_dc`], sharing the secular kernel with
+//!   [`SymEigen::rank1_update`]) and the cyclic Jacobi small-`d` /
+//!   verification path ([`sym_eigen`]).
 //! * [`Svd`] — singular value decomposition via one-sided Jacobi, used to
 //!   derive cluster-constraint directions (paper §II-A).
 //! * [`woodbury`] — Sherman–Morrison rank-1 covariance updates, the key
@@ -28,24 +32,29 @@
 
 pub mod cholesky;
 pub mod eigen;
+pub mod eigen_dc;
 pub mod eigen_update;
 pub mod error;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+mod secular;
 pub mod sqrtm;
 pub mod svd;
+pub mod tridiag;
 pub mod vector;
 pub mod woodbury;
 
 pub use cholesky::Cholesky;
 pub use eigen::{sym_eigen, SymEigen};
+pub use eigen_dc::{sym_eigen_dc, DecomposeOpts};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use sqrtm::{sym_inv_sqrt, sym_sqrt};
 pub use svd::{svd, Svd};
+pub use tridiag::{tridiagonalize, Tridiagonal};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -255,6 +255,53 @@ impl Matrix {
         out
     }
 
+    /// Product of a column subset with another matrix:
+    /// `self[:, cols] · other`, where `other` is `cols.len() × p`.
+    ///
+    /// This is the blocked rank-k basis product of the eigensolver stack
+    /// (`V[:, nd] · Q` in the secular merge): it reads the selected
+    /// columns in place instead of materializing the `n × m` sub-matrix,
+    /// and reuses the [`Matrix::matmul`] column tiling. For every output
+    /// element the accumulation runs over `k` ascending, so the result is
+    /// bit-identical to `select`-copying the columns and calling
+    /// [`Matrix::matmul`].
+    ///
+    /// # Panics
+    /// Panics if `other.rows != cols.len()` or any index is out of range.
+    pub fn matmul_select_cols(&self, cols: &[usize], other: &Matrix) -> Matrix {
+        assert_eq!(
+            cols.len(),
+            other.rows,
+            "matmul_select_cols: {} selected columns vs {} rows",
+            cols.len(),
+            other.rows
+        );
+        assert!(
+            cols.iter().all(|&c| c < self.cols),
+            "matmul_select_cols: column index out of range"
+        );
+        let p = other.cols;
+        let mut out = Matrix::zeros(self.rows, p);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for jb in (0..p).step_by(MATMUL_J_TILE) {
+                let je = (jb + MATMUL_J_TILE).min(p);
+                for (k, &c) in cols.iter().enumerate() {
+                    let a = a_row[c];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &other.row(k)[jb..je];
+                    for (o, &b) in out_row[jb..je].iter_mut().zip(orow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Kernel shared by the serial and parallel products: rows
     /// `row_start..row_end` of `self * other` into `out` (row-major,
     /// `(row_end − row_start) × other.cols`). The `j` loop is tiled so the
@@ -653,6 +700,30 @@ mod tests {
             let pool = sider_par::ThreadPool::new(threads);
             assert_eq!(a.matmul_with(&b, &pool), serial, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn matmul_select_cols_matches_select_copy_then_matmul() {
+        // Column subset straddling the j-tile boundary, unsorted and with
+        // gaps: the fused kernel must reproduce copy-then-multiply bit
+        // for bit (same ascending-k accumulation per output element).
+        let a = pseudo_random_matrix(37, 50, 11);
+        let cols: Vec<usize> = vec![48, 0, 7, 33, 21, 2, 45, 19];
+        let b = pseudo_random_matrix(cols.len(), 300, 12);
+        let mut selected = Matrix::zeros(a.rows(), cols.len());
+        for i in 0..a.rows() {
+            for (j, &c) in cols.iter().enumerate() {
+                selected[(i, j)] = a[(i, c)];
+            }
+        }
+        let expected = selected.matmul(&b);
+        let got = a.matmul_select_cols(&cols, &b);
+        assert_eq!(got, expected, "fused column-select matmul diverged");
+        // Empty selection produces the zero-shaped product.
+        assert_eq!(
+            a.matmul_select_cols(&[], &Matrix::zeros(0, 4)).shape(),
+            (37, 4)
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `y = U·D^{1/2}·Uᵀ·(x − m)` where `Σ⁻¹ = U·D·Uᵀ` — the symmetric
 //! (direction-preserving) square root of the precision matrix.
 
-use crate::eigen::sym_eigen;
+use crate::eigen::SymEigen;
 use crate::matrix::Matrix;
 use crate::Result;
 
@@ -25,7 +25,7 @@ fn clamped(values: &[f64]) -> Vec<f64> {
 /// (`A^{1/2}·A^{1/2} = A`). Tiny negative eigenvalues from round-off are
 /// clamped to zero.
 pub fn sym_sqrt(a: &Matrix) -> Result<Matrix> {
-    let e = sym_eigen(a)?;
+    let e = SymEigen::decompose(a)?;
     let vals = clamped(&e.values);
     let n = vals.len();
     let mut out = Matrix::zeros(n, n);
@@ -41,7 +41,7 @@ pub fn sym_sqrt(a: &Matrix) -> Result<Matrix> {
 /// infinity — these correspond to fully constrained directions of the
 /// background distribution and carry no variance to whiten.
 pub fn sym_inv_sqrt(a: &Matrix) -> Result<Matrix> {
-    let e = sym_eigen(a)?;
+    let e = SymEigen::decompose(a)?;
     let vals = clamped(&e.values);
     let n = vals.len();
     let mut out = Matrix::zeros(n, n);

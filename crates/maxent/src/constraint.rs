@@ -18,7 +18,7 @@
 use crate::error::MaxEntError;
 use crate::rowset::RowSet;
 use crate::Result;
-use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_linalg::{vector, Matrix, SymEigen};
 
 /// Whether a primitive constraint is on the first or second moment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,7 +206,7 @@ pub fn cluster_constraints(
         let centered = vector::sub(data.row(i), &mhat);
         scatter.add_outer(1.0, &centered, &centered);
     }
-    let eig = sym_eigen(&scatter)?;
+    let eig = SymEigen::decompose(&scatter)?;
     let mut out = Vec::with_capacity(2 * d);
     for k in 0..d {
         let w = eig.vectors.col(k);

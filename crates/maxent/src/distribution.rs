@@ -14,8 +14,9 @@
 
 use crate::params::ClassParams;
 use crate::Result;
-use sider_linalg::{sym_eigen, vector, Matrix, SymEigen};
+use sider_linalg::{vector, Matrix, SymEigen};
 use sider_par::ThreadPool;
+use sider_stats::descriptive::MOMENT_ROW_CHUNK;
 use sider_stats::Rng;
 
 /// Row-chunk length of the parallel sample/whiten loops. Scratch buffers
@@ -61,8 +62,9 @@ pub struct RefreshStats {
     /// Classes in the refreshed distribution.
     pub classes_total: usize,
     /// Classes whose precision was re-eigendecomposed from scratch
-    /// (`sym_eigen` calls) — cov-dirty classes whose pending rank-1 log
-    /// was empty, over the rank budget, or rejected by the drift check.
+    /// ([`SymEigen::decompose`] calls) — cov-dirty classes whose pending
+    /// rank-1 log was empty, over the rank budget, or rejected by the
+    /// drift check.
     pub eigen_recomputed: usize,
     /// Classes that only had their mean vector swapped (linear updates
     /// never touch `Σ`, so the cached spectral transforms stay valid).
@@ -88,14 +90,14 @@ impl ClassModel {
     /// Build the model (including the `O(d³)` eigendecomposition of the
     /// precision) from one class's fitted parameters.
     fn compute(d: usize, p: &ClassParams) -> ClassModel {
-        let eig = sym_eigen(&p.prec).expect("precision eigen failed");
+        let eig = SymEigen::decompose(&p.prec).expect("precision eigen failed");
         Self::from_eigen(d, p, eig)
     }
 
     /// Package parameters plus an already-known eigendecomposition of the
-    /// precision (fresh from Jacobi, or a cached one brought current by
-    /// rank-1 updates), rebuilding the derived `whiten`/`sample_scale`
-    /// transforms from the spectrum.
+    /// precision (fresh from [`SymEigen::decompose`], or a cached one
+    /// brought current by rank-1 updates), rebuilding the derived
+    /// `whiten`/`sample_scale` transforms from the spectrum.
     fn from_eigen(d: usize, p: &ClassParams, eig: SymEigen) -> ClassModel {
         let n_ev = eig.values.len();
         let mut whiten = Matrix::zeros(d, d);
@@ -219,7 +221,8 @@ impl BackgroundDistribution {
         params: &[ClassParams],
         pool: &ThreadPool,
     ) -> Self {
-        // O(d³) Jacobi per class; tiny sessions run inline.
+        // O(d³) decomposition per class (D&C above the dispatch
+        // threshold, Jacobi below); tiny sessions run inline.
         let pool = pool.gated(params.len().saturating_mul(d * d * d));
         let classes = pool.par_map(params, |p| ClassModel::compute(d, p));
         BackgroundDistribution {
@@ -438,6 +441,122 @@ impl BackgroundDistribution {
                         *c = x - m;
                     }
                     class.whiten.matvec_into(&centered, out_row);
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Fused whiten + second moment: `ŶᵀŶ / n` where `Ŷ` is the whitened
+    /// dataset — without ever materializing `Ŷ`. Each chunk whitens its
+    /// rows into a scratch buffer and folds them straight into a partial
+    /// upper-triangle Gram matrix, saving the `n × d` intermediate write
+    /// and read-back of the two-pass formulation.
+    ///
+    /// Bit-identical to
+    /// `second_moment_with(&self.whiten_with(data, pool)?, pool)`: the
+    /// whitened row values come from the same centered-scratch
+    /// [`Matrix::matvec_into`] kernel as [`BackgroundDistribution::whiten_with`],
+    /// and the Gram reduction replicates the fixed
+    /// [`MOMENT_ROW_CHUNK`]-chunked summation tree of
+    /// `sider_stats::descriptive::second_moment_with` exactly — so it is
+    /// also bit-identical at any pool size.
+    pub fn whitened_second_moment_with(&self, data: &Matrix, pool: &ThreadPool) -> Result<Matrix> {
+        let (n, d) = data.shape();
+        if n != self.n() || d != self.d {
+            return Err(crate::MaxEntError::BadDirection {
+                expected: self.d,
+                got: d,
+            });
+        }
+        // d² per row for the whitening matvec plus d²/2 for the Gram
+        // update; tiny datasets run inline (identical result — the chunk
+        // tree is fixed either way).
+        let pool = pool.gated(n.saturating_mul(d * d + d * d / 2));
+        let mut g = pool
+            .map_reduce(
+                n,
+                MOMENT_ROW_CHUNK,
+                |range| {
+                    let mut partial = Matrix::zeros(d, d);
+                    let mut centered = vec![0.0; d];
+                    let mut y = vec![0.0; d];
+                    for i in range {
+                        let class = &self.classes[self.class_of_row(i)];
+                        for ((c, &x), &m) in centered.iter_mut().zip(data.row(i)).zip(&class.m) {
+                            *c = x - m;
+                        }
+                        class.whiten.matvec_into(&centered, &mut y);
+                        for a in 0..d {
+                            let ra = y[a];
+                            if ra == 0.0 {
+                                continue;
+                            }
+                            let dst = &mut partial.row_mut(a)[a..];
+                            for (acc, &rb) in dst.iter_mut().zip(&y[a..]) {
+                                *acc += ra * rb;
+                            }
+                        }
+                    }
+                    partial
+                },
+                |mut acc, partial| {
+                    acc.add_assign_scaled(1.0, &partial);
+                    acc
+                },
+            )
+            .unwrap_or_else(|| Matrix::zeros(d, d));
+        for i in 0..d {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        Ok(g.scale(1.0 / n as f64))
+    }
+
+    /// Fused whiten + project: rows of `data` whitened and then projected
+    /// onto the rows of `axes` (`k × d`), producing `n × k` scores without
+    /// materializing the `n × d` whitened matrix. Each row costs one
+    /// `d × d` matvec into a chunk-local scratch buffer plus one `k × d`
+    /// matvec straight into the output row slice — no per-row allocations.
+    ///
+    /// Bit-identical to
+    /// `project(&self.whiten_with(data, pool)?, axes)` (both paths reduce
+    /// each dot product over the same ascending coordinate order), and
+    /// bit-identical at any pool size (rows are independent; chunk
+    /// boundaries are fixed).
+    pub fn whiten_project_with(
+        &self,
+        data: &Matrix,
+        axes: &Matrix,
+        pool: &ThreadPool,
+    ) -> Result<Matrix> {
+        let (n, d) = data.shape();
+        if n != self.n() || d != self.d || axes.cols() != d {
+            return Err(crate::MaxEntError::BadDirection {
+                expected: self.d,
+                got: if axes.cols() != d { axes.cols() } else { d },
+            });
+        }
+        let k = axes.rows();
+        let mut out = Matrix::zeros(n, k);
+        // d² (whiten) + k·d (project) multiply-adds per row; tiny
+        // datasets run inline.
+        let pool = pool.gated(n.saturating_mul(d * d + k * d));
+        pool.par_chunks_mut(
+            out.as_mut_slice(),
+            ROW_CHUNK * k.max(1),
+            |chunk_idx, rows| {
+                let mut centered = vec![0.0; d];
+                let mut y = vec![0.0; d];
+                for (off, out_row) in rows.chunks_mut(k).enumerate() {
+                    let i = chunk_idx * ROW_CHUNK + off;
+                    let class = &self.classes[self.class_of_row(i)];
+                    for ((c, &x), &m) in centered.iter_mut().zip(data.row(i)).zip(&class.m) {
+                        *c = x - m;
+                    }
+                    class.whiten.matvec_into(&centered, &mut y);
+                    axes.matvec_into(&y, out_row);
                 }
             },
         );
@@ -790,7 +909,7 @@ mod tests {
             // Rebuild the scaled spectral draw through public accessors:
             // x = m + U·(z ⊙ scale). The test helper recomputes U and the
             // scales from the precision like ClassModel does.
-            let eig = sym_eigen(bg.precision(i)).unwrap();
+            let eig = SymEigen::decompose(bg.precision(i)).unwrap();
             let mut scaled = vec![0.0; d];
             for k in 0..d {
                 let ev = eig.values[k].max(0.0);
@@ -862,6 +981,108 @@ mod tests {
             let pool = sider_par::ThreadPool::new(threads);
             let par = bg.whiten_with(&data, &pool).unwrap();
             assert_eq!(serial.as_slice(), par.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fused_whitened_moment_bitwise_matches_two_pass() {
+        // n = 1500 spans several MOMENT_ROW_CHUNK boundaries so the fused
+        // Gram reduction exercises the same chunk tree as the two-pass
+        // formulation it must reproduce bit for bit.
+        let mut rng = Rng::seed_from_u64(101);
+        let data = Matrix::from_fn(1500, 4, |_, j| rng.normal(j as f64 - 1.0, 1.0 + j as f64));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts::default());
+        let bg = solver.distribution();
+        let serial = sider_par::ThreadPool::serial();
+        let two_pass = sider_stats::descriptive::second_moment_with(
+            &bg.whiten_with(&data, &serial).unwrap(),
+            &serial,
+        );
+        for threads in [1usize, 2, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            let fused = bg.whitened_second_moment_with(&data, &pool).unwrap();
+            assert_eq!(
+                fused.as_slice(),
+                two_pass.as_slice(),
+                "{threads} threads: fused moment changed the bytes"
+            );
+        }
+        // Shape mismatches are rejected like whiten's.
+        assert!(bg
+            .whitened_second_moment_with(&Matrix::zeros(3, 4), &serial)
+            .is_err());
+    }
+
+    #[test]
+    fn fused_whiten_project_bitwise_matches_two_pass() {
+        let mut rng = Rng::seed_from_u64(102);
+        let data = Matrix::from_fn(900, 3, |_, j| rng.normal(j as f64, 1.5));
+        let mut solver = Solver::new(&data, margin_constraints(&data).unwrap()).unwrap();
+        solver.fit(&FitOpts::default());
+        let bg = solver.distribution();
+        let axes = Matrix::from_fn(2, 3, |i, j| rng.normal((i + j) as f64 * 0.1, 1.0));
+        let serial = sider_par::ThreadPool::serial();
+        let two_pass = bg
+            .whiten_with(&data, &serial)
+            .unwrap()
+            .matmul(&axes.transpose());
+        for threads in [1usize, 2, 4] {
+            let pool = sider_par::ThreadPool::new(threads);
+            let fused = bg.whiten_project_with(&data, &axes, &pool).unwrap();
+            assert_eq!(
+                fused.as_slice(),
+                two_pass.as_slice(),
+                "{threads} threads: fused projection changed the bytes"
+            );
+        }
+        // Axis dimensionality mismatch is rejected.
+        assert!(bg
+            .whiten_project_with(&data, &Matrix::zeros(2, 5), &serial)
+            .is_err());
+    }
+
+    #[test]
+    fn wide_class_cold_decomposition_deterministic_across_pools() {
+        // d = 36 puts the per-class cold decompositions on the
+        // divide-and-conquer path of `SymEigen::decompose`; the per-class
+        // fan-out of `from_class_params_with` must stay bit-identical at
+        // any pool size, as must the whiten/sample kernels built on top.
+        let d = 36;
+        let n_classes = 6;
+        let mut rng = Rng::seed_from_u64(103);
+        let params: Vec<ClassParams> = (0..n_classes)
+            .map(|c| {
+                let r = rng.standard_normal_matrix(d, d);
+                let mut prec = r.gram().scale(0.05);
+                prec.add_assign_scaled(1.0, &Matrix::identity(d));
+                let mut p = ClassParams::prior(d, 4);
+                p.m = (0..d).map(|j| (c + j) as f64 * 0.01).collect();
+                p.prec = prec;
+                p
+            })
+            .collect();
+        let class_of_row: Vec<u32> = (0..24).map(|i| (i % n_classes) as u32).collect();
+        let data = Matrix::from_fn(24, d, |i, j| {
+            rng.normal((i % 3) as f64, 1.0 + j as f64 * 0.01)
+        });
+        let build = |threads: usize| {
+            let pool = sider_par::ThreadPool::new(threads);
+            let bg = BackgroundDistribution::from_class_params_with(
+                d,
+                class_of_row.clone(),
+                &params,
+                &pool,
+            );
+            let y = bg.whiten_with(&data, &pool).unwrap();
+            let s = bg.sample_with(&mut Rng::seed_from_u64(7), &pool);
+            (y, s)
+        };
+        let (y1, s1) = build(1);
+        for threads in [2usize, 4] {
+            let (y, s) = build(threads);
+            assert_eq!(y1.as_slice(), y.as_slice(), "whiten, {threads} threads");
+            assert_eq!(s1.as_slice(), s.as_slice(), "sample, {threads} threads");
         }
     }
 

@@ -18,7 +18,7 @@
 
 use crate::error::ProjectionError;
 use crate::Result;
-use sider_linalg::{sym_eigen, vector, Matrix};
+use sider_linalg::{vector, Matrix, SymEigen};
 use sider_par::ThreadPool;
 use sider_stats::descriptive::covariance_with;
 use sider_stats::gaussianity::{negentropy_offset, standardize_inplace, Contrast};
@@ -126,7 +126,7 @@ pub fn fastica_with(
 
     // 2. Whiten: eigen of covariance, keep rank-supported directions.
     let cov = covariance_with(&x, pool);
-    let eig = sym_eigen(&cov)?;
+    let eig = SymEigen::decompose(&cov)?;
     let ev_max = eig.values.first().copied().unwrap_or(0.0).max(0.0);
     let mut keep: Vec<usize> = Vec::new();
     for (k, &ev) in eig.values.iter().enumerate() {

@@ -15,7 +15,7 @@
 
 use crate::error::ProjectionError;
 use crate::Result;
-use sider_linalg::{sym_eigen, Matrix};
+use sider_linalg::{Matrix, SymEigen};
 
 /// Pairwise squared Euclidean distance matrix of the rows of `data`.
 pub fn squared_distances(data: &Matrix) -> Matrix {
@@ -62,7 +62,7 @@ pub fn mds_from_squared_distances(d2: &Matrix, k: usize) -> Result<Matrix> {
             b[(i, j)] = -0.5 * (d2[(i, j)] - row_means[i] - row_means[j] + grand);
         }
     }
-    let eig = sym_eigen(&b)?;
+    let eig = SymEigen::decompose(&b)?;
     let mut out = Matrix::zeros(n, k);
     for c in 0..k {
         let lambda = eig.values[c].max(0.0);

@@ -2,7 +2,7 @@
 
 use crate::error::ProjectionError;
 use crate::Result;
-use sider_linalg::{sym_eigen, Matrix};
+use sider_linalg::{Matrix, SymEigen};
 use sider_par::ThreadPool;
 use sider_stats::descriptive::{covariance, second_moment_with};
 use sider_stats::gaussianity::pca_score;
@@ -50,14 +50,24 @@ pub fn pca_directions_with(y: &Matrix, pool: &ThreadPool) -> Result<PcaResult> {
     if y.rows() == 0 || y.cols() == 0 {
         return Err(ProjectionError::EmptyData);
     }
-    build(y, second_moment_with(y, pool), SortBy::Score)
+    build(y.rows(), second_moment_with(y, pool), SortBy::Score)
+}
+
+/// [`pca_directions_with`] for callers that already hold the uncentered
+/// second moment `YᵀY/n` — e.g. accumulated by a fused kernel without ever
+/// materializing `Y` (the whitened-view path of `sider_core`). `n_rows`
+/// is the row count the moment was accumulated over; it only feeds the
+/// emptiness check. Bit-identical to `pca_directions_with(y, pool)` when
+/// `moment == second_moment_with(y, pool)` bitwise.
+pub fn pca_directions_from_moment(n_rows: usize, moment: Matrix) -> Result<PcaResult> {
+    build(n_rows, moment, SortBy::Score)
 }
 
 /// Classic PCA (centered covariance, sorted by variance descending) — the
 /// conventional "first two principal components" view used for reference
 /// and for tests.
 pub fn pca_classic(data: &Matrix) -> Result<PcaResult> {
-    build(data, covariance(data), SortBy::Variance)
+    build(data.rows(), covariance(data), SortBy::Variance)
 }
 
 enum SortBy {
@@ -80,12 +90,12 @@ fn display_score(sigma2: f64) -> f64 {
     }
 }
 
-fn build(data: &Matrix, moment: Matrix, sort: SortBy) -> Result<PcaResult> {
-    let (n, d) = data.shape();
-    if n == 0 || d == 0 {
+fn build(n_rows: usize, moment: Matrix, sort: SortBy) -> Result<PcaResult> {
+    let d = moment.rows();
+    if n_rows == 0 || d == 0 {
         return Err(ProjectionError::EmptyData);
     }
-    let eig = sym_eigen(&moment)?;
+    let eig = SymEigen::decompose(&moment)?;
     // Eigen is sorted by descending eigenvalue (= variance); re-sort by the
     // requested criterion.
     let mut idx: Vec<usize> = (0..d).collect();

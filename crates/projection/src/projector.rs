@@ -67,6 +67,22 @@ impl Projection {
     }
 }
 
+/// Package a [`crate::pca::PcaResult`] as a 2-D [`Projection`] — the PCA
+/// arm of [`most_informative_projection_with`], shared with the fused
+/// whiten+project view path in `sider_core` (which produces the
+/// `PcaResult` from a fused second moment and never materializes the
+/// whitened matrix).
+pub fn projection_from_pca(p: crate::pca::PcaResult) -> Projection {
+    let axes = p.top2();
+    let s1 = p.scores.get(1).copied().unwrap_or(p.scores[0]);
+    Projection {
+        axes,
+        scores: [p.scores[0], s1],
+        all_scores: p.scores,
+        method: "PCA",
+    }
+}
+
 /// Find the most informative 2-D projection of (whitened) data.
 ///
 /// For rank-1 situations the second axis duplicates the first (matching
@@ -91,17 +107,7 @@ pub fn most_informative_projection_with(
     pool: &ThreadPool,
 ) -> Result<Projection> {
     match method {
-        Method::Pca => {
-            let p = pca_directions_with(whitened, pool)?;
-            let axes = p.top2();
-            let s1 = p.scores.get(1).copied().unwrap_or(p.scores[0]);
-            Ok(Projection {
-                axes,
-                scores: [p.scores[0], s1],
-                all_scores: p.scores,
-                method: "PCA",
-            })
-        }
+        Method::Pca => Ok(projection_from_pca(pca_directions_with(whitened, pool)?)),
         Method::Ica(opts) => {
             let res = fastica_with(whitened, opts, rng, pool)?;
             let d = whitened.cols();

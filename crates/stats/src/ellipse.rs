@@ -5,7 +5,7 @@
 //! §III, footnote 3). For a bivariate Gaussian the level-`p` region is
 //! `(x−μ)ᵀ Σ⁻¹ (x−μ) ≤ χ²₂(p)` and `χ²₂(p) = −2·ln(1−p)` exactly.
 
-use sider_linalg::{sym_eigen, Matrix};
+use sider_linalg::{Matrix, SymEigen};
 
 /// An ellipse `center + R(angle)·diag(a, b)·unit circle`.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +29,7 @@ impl Ellipse {
     /// (e.g. `0.95`). Degenerate covariances yield zero-length axes.
     pub fn from_mean_cov(mean: (f64, f64), cov: &Matrix, p: f64) -> Ellipse {
         assert_eq!(cov.shape(), (2, 2), "covariance must be 2x2");
-        let e = sym_eigen(cov).expect("2x2 symmetric eigen cannot fail");
+        let e = SymEigen::decompose(cov).expect("2x2 symmetric eigen cannot fail");
         let q = chi2_quantile_2dof(p);
         let l0 = e.values[0].max(0.0);
         let l1 = e.values[1].max(0.0);
