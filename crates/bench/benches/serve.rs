@@ -1,8 +1,10 @@
 //! Striped-serving load benchmark: the open-loop generator from
 //! `sider_loadgen` replays the identical fixed-seed mixed workload
-//! against an in-process server at `stripes = 1` and `stripes = 4`, and
-//! the per-endpoint latency digests of both runs are persisted to
-//! `BENCH_serve.json`.
+//! against an in-process server (event-driven accept loop) at
+//! `stripes = 1` and `stripes = 4`, plus a `churn` scenario at
+//! `stripes = 4` where every scheduled request is accompanied by a
+//! short-lived aborted or empty connection. The per-endpoint latency
+//! digests of all runs are persisted to `BENCH_serve.json`.
 //!
 //! Why both stripe counts in one artifact: the striping tentpole claims
 //! that sharding the `SessionManager` removes the cross-session lock and
@@ -26,7 +28,7 @@
 
 use sider_json::Json;
 use sider_loadgen::{run, smoke_mode, LoadConfig};
-use sider_server::{Server, ServerConfig};
+use sider_server::{AcceptMode, Server, ServerConfig};
 use std::time::Duration;
 
 /// Stripe counts compared in the artifact (1 = the unstriped baseline).
@@ -40,18 +42,29 @@ fn main() {
 
     let mut runs = Vec::new();
     let mut workload: Option<LoadConfig> = None;
-    for stripes in STRIPE_COUNTS {
-        let (report, config) = run_against(stripes, smoke);
+    // The mixed-workload rows at each stripe count, plus a churn row: the
+    // same striped workload with short-lived aborted/empty connections
+    // injected alongside every request, which the event-driven accept
+    // loop must absorb without a single failed real request.
+    let scenarios: Vec<(usize, bool)> = STRIPE_COUNTS
+        .iter()
+        .map(|&s| (s, false))
+        .chain([(4usize, true)])
+        .collect();
+    for (stripes, churn) in scenarios {
+        let scenario = if churn { "churn" } else { "mixed" };
+        let (report, config) = run_against(stripes, smoke, churn);
         if report.total_errors > 0 {
             eprintln!(
-                "serve: stripes={stripes}: {} of {} requests failed",
+                "serve: stripes={stripes} {scenario}: {} of {} requests failed",
                 report.total_errors, report.total_requests
             );
             std::process::exit(1);
         }
         println!(
-            "serve: stripes={stripes}: {} requests in {:.2}s mixed phase, {:.0} req/s, p99 view {:.2}ms",
+            "serve: stripes={stripes} {scenario}: {} requests ({} churn conns) in {:.2}s mixed phase, {:.0} req/s, p99 view {:.2}ms",
             report.total_requests,
+            report.churn_conns,
             report.mixed_wall_s,
             report.throughput_rps,
             report
@@ -64,6 +77,8 @@ fn main() {
         runs.push(Json::obj([
             ("stripes", Json::from(stripes)),
             ("threads_per_stripe", Json::from(1usize)),
+            ("scenario", Json::from(scenario)),
+            ("accept", Json::from(AcceptMode::Events.as_str())),
             ("report", report.to_json()),
         ]));
         workload = Some(config);
@@ -97,9 +112,15 @@ fn main() {
 }
 
 /// Boot an in-process server with `stripes` stripes (one pool thread
-/// each), replay the workload, and return the report plus the workload
-/// config used (identical across calls — the schedule is seed-fixed).
-fn run_against(stripes: usize, smoke: bool) -> (sider_loadgen::LoadReport, LoadConfig) {
+/// each) under the event-driven accept loop, replay the workload
+/// (optionally with connection churn), and return the report plus the
+/// workload config used (identical across calls — the schedule is
+/// seed-fixed).
+fn run_against(
+    stripes: usize,
+    smoke: bool,
+    churn: bool,
+) -> (sider_loadgen::LoadReport, LoadConfig) {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         max_sessions: if smoke { 64 } else { 512 },
@@ -107,13 +128,15 @@ fn run_against(stripes: usize, smoke: bool) -> (sider_loadgen::LoadReport, LoadC
         threads: Some(1),
         stripes,
         store: None,
+        accept: AcceptMode::Events,
     })
     .expect("bind serve-bench server");
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
     let joiner = std::thread::spawn(move || server.run());
 
-    let config = LoadConfig::from_env(addr.to_string());
+    let mut config = LoadConfig::from_env(addr.to_string());
+    config.churn = churn;
     let report = match run(&config) {
         Ok(report) => report,
         Err(e) => {

@@ -19,9 +19,12 @@
 //!
 //! For `BENCH_serve.json` the SLO-style gates are likewise
 //! machine-independent: both a `stripes == 1` baseline run and a striped
-//! run must be present, every run must have served its whole workload
-//! with zero errors, and each exercised endpoint's percentiles must be
-//! monotone (`p50 ≤ p99 ≤ p999`) with positive throughput.
+//! run must be present, plus a striped `churn` scenario run (short-lived
+//! aborted/empty connections injected alongside every request, with
+//! `churn_conns >= 1` proving churn actually happened); every run must
+//! have served its whole workload with zero errors, and each exercised
+//! endpoint's percentiles must be monotone (`p50 ≤ p99 ≤ p999`) with
+//! positive throughput.
 //!
 //! Every failure message names the offending file and the full JSON path
 //! (e.g. `BENCH_scaling.json: scenarios[2].runs[1].sample_ns`), so a
@@ -218,9 +221,13 @@ fn check_serve(doc: &Json) -> Result<(), String> {
         return Err("JSON path 'runs' is an empty array".into());
     }
     // The artifact's whole point is the striped-vs-unstriped comparison:
-    // both the stripes=1 baseline and a striped run must be present.
+    // both the stripes=1 baseline and a striped run must be present —
+    // and, since the event-driven accept loop, a striped `churn` run
+    // (short-lived aborted/empty connections alongside every request)
+    // served with zero errors.
     let mut saw_unstriped = false;
     let mut saw_striped = false;
+    let mut saw_churn = false;
     for (i, run) in runs.iter().enumerate() {
         let at = format!("runs[{i}]");
         let stripes = require_num_at(run, &at, "stripes")?;
@@ -229,11 +236,27 @@ fn check_serve(doc: &Json) -> Result<(), String> {
         }
         saw_unstriped |= stripes == 1.0;
         saw_striped |= stripes > 1.0;
+        let churn = run.get("scenario").and_then(Json::as_str) == Some("churn");
         if require_num_at(run, &at, "threads_per_stripe")? < 1.0 {
             return Err(format!("JSON path '{at}.threads_per_stripe' must be >= 1"));
         }
         let at = format!("{at}.report");
         let report = run.get("report").ok_or_else(|| format!("missing '{at}'"))?;
+        if churn {
+            saw_churn = true;
+            if stripes < 2.0 {
+                return Err(format!(
+                    "JSON path '{at}': the churn scenario must run striped (stripes >= 2)"
+                ));
+            }
+            // A churn run that opened no churn connections measured the
+            // plain mixed workload under a misleading label.
+            if require_num_at(report, &at, "churn_conns")? < 1.0 {
+                return Err(format!(
+                    "JSON path '{at}.churn_conns' must be >= 1 in the churn scenario"
+                ));
+            }
+        }
         for key in ["create_wall_s", "mixed_wall_s"] {
             require_num_at(report, &at, key)?;
         }
@@ -289,6 +312,11 @@ fn check_serve(doc: &Json) -> Result<(), String> {
     }
     if !saw_striped {
         return Err("no 'runs' entry with stripes > 1 (the striped configuration)".into());
+    }
+    if !saw_churn {
+        return Err(
+            "no 'runs' entry with scenario == \"churn\" (the connection-churn stress run)".into(),
+        );
     }
     Ok(())
 }

@@ -118,6 +118,14 @@ pub struct LoadConfig {
     /// Rows in the target dataset (knowledge statements sample row
     /// indices below this; `fig2` has 150).
     pub dataset_rows: usize,
+    /// Connection-churn scenario: alongside every scheduled request each
+    /// worker also opens a short-lived throwaway connection — alternating
+    /// a mid-request abort (ragged prefix, then hang up) and an
+    /// immediate connect-and-close — so the accept path is stressed with
+    /// connections that never produce a response. Churn connections are
+    /// counted in [`LoadReport::churn_conns`] but never measured: the
+    /// latency digests still describe only real requests.
+    pub churn: bool,
 }
 
 impl LoadConfig {
@@ -132,6 +140,7 @@ impl LoadConfig {
             workers: 32,
             seed: 2018,
             dataset_rows: 150,
+            churn: false,
         }
     }
 
@@ -145,6 +154,7 @@ impl LoadConfig {
             workers: 8,
             seed: 2018,
             dataset_rows: 150,
+            churn: false,
         }
     }
 
@@ -301,6 +311,9 @@ pub struct LoadReport {
     pub total_errors: usize,
     /// Mixed-phase completed requests per second.
     pub throughput_rps: f64,
+    /// Short-lived churn connections opened alongside the workload
+    /// (0 unless [`LoadConfig::churn`] was set).
+    pub churn_conns: usize,
     /// Per-endpoint digests, in [`Endpoint::ALL`] order.
     pub endpoints: Vec<(Endpoint, EndpointStats)>,
 }
@@ -315,6 +328,7 @@ impl LoadReport {
             ("total_requests", Json::from(self.total_requests)),
             ("total_errors", Json::from(self.total_errors)),
             ("throughput_rps", Json::from(self.throughput_rps)),
+            ("churn_conns", Json::from(self.churn_conns)),
             (
                 "endpoints",
                 Json::Obj(
@@ -352,6 +366,21 @@ fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Resul
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("no status in {text:?}"))
+}
+
+/// One short-lived churn connection: either a mid-request abort (write a
+/// ragged request prefix, then hang up without reading) or a bare
+/// connect-and-close. Never reads a response; failures are ignored —
+/// churn exists to stress the server's accept/teardown path, and a
+/// connection the OS refuses stresses nothing.
+fn churn_connection(addr: SocketAddr, abort_style: bool) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    if abort_style {
+        let _ = stream.write_all(b"POST /api/sessions HTTP/1.1\r\nContent-Le");
+    }
+    drop(stream);
 }
 
 /// Run the workload: create `config.sessions` sessions sequentially
@@ -394,6 +423,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     // Phase 2: the open-loop mixed schedule.
     let schedule = build_schedule(config);
     let cursor = AtomicUsize::new(0);
+    let churn_opened = AtomicUsize::new(0);
     let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(schedule.len()));
     let phase_start = Instant::now();
     std::thread::scope(|scope| {
@@ -409,6 +439,10 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                     let now = Instant::now();
                     if due > now {
                         std::thread::sleep(due - now);
+                    }
+                    if config.churn {
+                        churn_connection(addr, i.is_multiple_of(2));
+                        churn_opened.fetch_add(1, Ordering::Relaxed);
                     }
                     let ok = matches!(
                         http_request(addr, req.method, &req.path, &req.body),
@@ -458,6 +492,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         total_requests: config.sessions + samples.len(),
         total_errors,
         throughput_rps: samples.len() as f64 / mixed_wall_s.max(1e-9),
+        churn_conns: churn_opened.into_inner(),
         endpoints,
     })
 }
@@ -475,6 +510,7 @@ mod tests {
             workers: 4,
             seed: 7,
             dataset_rows: 150,
+            churn: false,
         }
     }
 
@@ -549,6 +585,7 @@ mod tests {
             total_requests: 45,
             total_errors: 0,
             throughput_rps: 20.0,
+            churn_conns: 3,
             endpoints: vec![(
                 Endpoint::View,
                 EndpointStats {
@@ -563,6 +600,7 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json.require_num("total_requests").unwrap(), 45.0);
+        assert_eq!(json.require_num("churn_conns").unwrap(), 3.0);
         assert_eq!(json.require_num("endpoints.view.p99_ns").unwrap(), 2.0);
         // Percentiles must be monotone by construction here.
         let p50 = json.require_num("endpoints.view.p50_ns").unwrap();

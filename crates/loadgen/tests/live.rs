@@ -1,5 +1,7 @@
 //! Live smoke test: the generator drives a real striped server over TCP
-//! and the report must be clean — every request answered, percentiles
+//! (event-driven accept loop, the default) with the connection-churn
+//! scenario enabled, and the report must be clean — every request
+//! answered despite the injected aborted/empty connections, percentiles
 //! monotone, throughput positive.
 
 use sider_loadgen::{run, Endpoint, LoadConfig};
@@ -27,6 +29,7 @@ fn open_loop_run_against_a_live_striped_server() {
         workers: 4,
         seed: 7,
         dataset_rows: 150,
+        churn: true,
     };
     let report = run(&config).expect("load run");
     handle.shutdown();
@@ -34,6 +37,10 @@ fn open_loop_run_against_a_live_striped_server() {
 
     assert_eq!(report.total_requests, 4 + 24);
     assert_eq!(report.total_errors, 0, "every request must succeed");
+    assert_eq!(
+        report.churn_conns, 24,
+        "one churn connection per scheduled request"
+    );
     assert!(report.throughput_rps > 0.0);
     let mut mixed_requests = 0;
     for (endpoint, stats) in &report.endpoints {

@@ -234,6 +234,11 @@ fn health(manager: &SessionManager) -> ApiResult {
             ),
             ("pool_threads", Json::from(manager.total_threads())),
             ("durable", Json::from(manager.store().is_some())),
+            // Serving-edge telemetry. Run-dependent (connection counts
+            // move with traffic), which is fine: /health is the one
+            // endpoint excluded from byte-determinism transcripts.
+            ("accept_loop", Json::from(manager.accept_loop())),
+            ("open_connections", Json::from(manager.open_connections())),
         ]),
     ))
 }
@@ -804,6 +809,24 @@ mod tests {
         for t in threads {
             assert_eq!(t.as_num(), Some(2.0));
         }
+    }
+
+    #[test]
+    fn health_reports_accept_loop_and_open_connections() {
+        let m = manager();
+        let body = json(&handle(&m, &request("GET", "/health", "")));
+        assert_eq!(body.require_str("accept_loop").unwrap(), "threads");
+        assert_eq!(body.require_num("open_connections").unwrap(), 0.0);
+
+        m.set_accept_loop("events");
+        m.conn_opened();
+        m.conn_opened();
+        let body = json(&handle(&m, &request("GET", "/health", "")));
+        assert_eq!(body.require_str("accept_loop").unwrap(), "events");
+        assert_eq!(body.require_num("open_connections").unwrap(), 2.0);
+        m.conn_closed();
+        let body = json(&handle(&m, &request("GET", "/health", "")));
+        assert_eq!(body.require_num("open_connections").unwrap(), 1.0);
     }
 
     #[test]

@@ -1,5 +1,4 @@
-//! Minimal blocking HTTP/1.1 plumbing: request parsing and response
-//! writing over any `Read`/`Write` pair.
+//! Minimal HTTP/1.1 plumbing: request parsing and response writing.
 //!
 //! Scope is deliberately small — exactly what a JSON API over TCP needs:
 //! request line + headers + `Content-Length` body in, status line +
@@ -7,6 +6,13 @@
 //! `Connection: close`, which HTTP/1.1 clients honor). No chunked
 //! encoding, no TLS, no keep-alive: the server's unit of work is one
 //! exploration-loop step, which dwarfs connection setup.
+//!
+//! Parsing is built around [`RequestParser`], a resumable push parser:
+//! bytes are `feed`-ed in whatever fragments the transport produces and
+//! `poll` returns a complete [`Request`] once one is framed. The blocking
+//! entry points ([`Request::read_from`] / [`Request::read_from_deadline`])
+//! are thin pull loops over the same state machine, so the threaded and
+//! event-driven accept loops share one grammar — and one set of limits.
 //!
 //! Responses never include a `Date` header or any other
 //! run-dependent field — response bytes are a pure function of the request
@@ -94,65 +100,30 @@ impl Request {
         reader: &mut impl BufRead,
         deadline: Option<Instant>,
     ) -> Result<Request, HttpError> {
-        let request_line = read_line(reader, MAX_HEADER_BYTES, deadline)?;
-        let mut parts = request_line.split_whitespace();
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) => (m, t, v),
-            _ => {
-                return Err(HttpError::Malformed(format!(
-                    "bad request line: {request_line:?}"
-                )))
-            }
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("bad version: {version}")));
-        }
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p.to_string(), Some(q.to_string())),
-            None => (target.to_string(), None),
-        };
-
-        let mut headers = Vec::new();
-        let mut header_bytes = 0usize;
+        let mut parser = RequestParser::new();
         loop {
-            let line = read_line(reader, MAX_HEADER_BYTES, deadline)?;
-            if line.is_empty() {
-                break;
+            check_deadline(deadline)?;
+            if let Some(request) = parser.poll()? {
+                return Ok(request);
             }
-            header_bytes += line.len();
-            if header_bytes > MAX_HEADER_BYTES {
-                return Err(HttpError::TooLarge(format!(
-                    "header block exceeds {MAX_HEADER_BYTES} bytes"
-                )));
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                parser.feed_eof();
+                // With EOF signalled, the parser either frames a final
+                // request (EOF terminates a trailing unterminated line,
+                // matching the historical byte-at-a-time reader) or fails.
+                return match parser.poll()? {
+                    Some(request) => Ok(request),
+                    None => Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))),
+                };
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            let n = chunk.len();
+            parser.feed(chunk);
+            reader.consume(n);
         }
-
-        let content_length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .map(|(_, v)| {
-                v.parse::<usize>()
-                    .map_err(|_| HttpError::Malformed(format!("bad content-length: {v:?}")))
-            })
-            .transpose()?
-            .unwrap_or(0);
-        if content_length > MAX_BODY_BYTES {
-            return Err(HttpError::TooLarge(format!(
-                "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
-            )));
-        }
-        let body = read_body(reader, content_length, deadline)?;
-        Ok(Request {
-            method: method.to_string(),
-            path,
-            query,
-            headers,
-            body,
-        })
     }
 
     /// First header with the given (case-insensitive) name.
@@ -173,6 +144,344 @@ impl Request {
         let text =
             std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))?;
         Json::parse(text)
+    }
+}
+
+/// Fields of a request whose headers are still being parsed.
+#[derive(Debug)]
+struct PartialRequest {
+    method: String,
+    path: String,
+    query: Option<String>,
+    headers: Vec<(String, String)>,
+}
+
+/// Where the parser stands inside the current request.
+#[derive(Debug)]
+enum ParseState {
+    /// Waiting for (the rest of) the request line.
+    RequestLine,
+    /// Request line parsed; collecting header lines.
+    Headers(PartialRequest),
+    /// Headers complete; waiting for `usize` body bytes.
+    Body(PartialRequest, usize),
+}
+
+/// Which [`HttpError`] variant a stored failure rebuilds into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    Io(std::io::ErrorKind),
+    Malformed,
+    TooLarge,
+}
+
+/// A sticky, replayable parse failure: kind + message + the absolute
+/// stream offset at which it was detected.
+#[derive(Debug)]
+struct StoredError {
+    kind: FailKind,
+    message: String,
+    offset: usize,
+}
+
+impl StoredError {
+    fn rebuild(&self) -> HttpError {
+        match self.kind {
+            FailKind::Io(k) => HttpError::Io(std::io::Error::new(k, self.message.clone())),
+            FailKind::Malformed => HttpError::Malformed(self.message.clone()),
+            FailKind::TooLarge => HttpError::TooLarge(self.message.clone()),
+        }
+    }
+}
+
+/// A resumable HTTP/1.1 request parser.
+///
+/// Bytes arrive via [`RequestParser::feed`] in arbitrary fragments;
+/// [`RequestParser::poll`] makes as much progress as the buffered bytes
+/// allow and returns `Ok(Some(request))` once a full request is framed.
+/// After a request is returned the parser resets and keeps any surplus
+/// bytes, so pipelined requests on one stream frame one after another.
+///
+/// Failures are **sticky** and **chunking-invariant**: once `poll`
+/// reports an error, every later `poll` reports the same error, and
+/// [`RequestParser::error_offset`] names the absolute byte offset at
+/// which the failure was detected — the same offset no matter how the
+/// stream was split into `feed` calls. That invariance is what the
+/// framing property tests pin.
+#[derive(Debug)]
+pub struct RequestParser {
+    /// Unconsumed stream bytes (current line/body onward).
+    buf: Vec<u8>,
+    /// Absolute stream offset of `buf[0]`.
+    base: usize,
+    /// Start of the current line within `buf`.
+    line_start: usize,
+    /// Scan cursor: `buf[line_start..scan]` is known to be `\n`-free.
+    scan: usize,
+    state: ParseState,
+    /// Cumulative header-line bytes for the current request.
+    header_bytes: usize,
+    eof: bool,
+    failed: Option<StoredError>,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser at the start of a stream.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            base: 0,
+            line_start: 0,
+            scan: 0,
+            state: ParseState::RequestLine,
+            header_bytes: 0,
+            eof: false,
+            failed: None,
+        }
+    }
+
+    /// Append newly received stream bytes. Ignored after a failure (the
+    /// error is already determined, buffering more would be waste).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.failed.is_none() && !self.eof {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Signal end-of-stream: no more bytes will ever arrive.
+    pub fn feed_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// True once end-of-stream has been signalled.
+    pub fn saw_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// The absolute stream offset at which parsing failed, if it has.
+    /// Depends only on stream content, never on how it was chunked.
+    pub fn error_offset(&self) -> Option<usize> {
+        self.failed.as_ref().map(|f| f.offset)
+    }
+
+    /// Record a failure and return it; later polls replay it.
+    fn fail(&mut self, kind: FailKind, message: String, offset: usize) -> HttpError {
+        let stored = StoredError {
+            kind,
+            message,
+            offset,
+        };
+        let err = stored.rebuild();
+        self.failed = Some(stored);
+        err
+    }
+
+    /// Drop consumed bytes so the buffer never grows past one request.
+    fn compact(&mut self) {
+        if self.line_start > 0 {
+            self.buf.drain(..self.line_start);
+            self.base += self.line_start;
+            self.scan -= self.line_start;
+            self.line_start = 0;
+        }
+    }
+
+    /// Try to take one complete header-section line from the buffer.
+    ///
+    /// Returns the line (terminator stripped) plus the absolute offset of
+    /// its terminating `\n` — the offset any malformed-line error is
+    /// attributed to. `Ok(None)` means more bytes are needed. At EOF a
+    /// trailing unterminated line is returned as if terminated (matching
+    /// the historical blocking reader); an empty buffer at EOF fails.
+    fn take_line(&mut self) -> Result<Option<(String, usize)>, HttpError> {
+        // Overlong-line check runs *before* looking for the terminator so
+        // the failure offset is independent of whether the terminator has
+        // arrived yet — the first excess byte is the crime scene.
+        let newline = self.buf[self.scan..].iter().position(|&b| b == b'\n');
+        let line_len_so_far = match newline {
+            Some(p) => self.scan + p - self.line_start,
+            None => self.buf.len() - self.line_start,
+        };
+        if line_len_so_far > MAX_HEADER_BYTES {
+            let offset = self.base + self.line_start + MAX_HEADER_BYTES;
+            return Err(self.fail(
+                FailKind::TooLarge,
+                format!("line exceeds {MAX_HEADER_BYTES} bytes"),
+                offset,
+            ));
+        }
+        let (end, nl_offset) = match newline {
+            Some(p) => (self.scan + p, self.base + self.scan + p),
+            None => {
+                self.scan = self.buf.len();
+                if !self.eof {
+                    return Ok(None);
+                }
+                if self.buf.len() == self.line_start {
+                    let offset = self.base + self.line_start;
+                    let msg = if offset == 0 {
+                        "connection closed before request line"
+                    } else {
+                        "connection closed mid-request"
+                    };
+                    return Err(self.fail(
+                        FailKind::Io(std::io::ErrorKind::UnexpectedEof),
+                        msg.to_string(),
+                        offset,
+                    ));
+                }
+                // EOF terminates the trailing line.
+                (self.buf.len(), self.base + self.buf.len())
+            }
+        };
+        let mut line = &self.buf[self.line_start..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let line = match std::str::from_utf8(line) {
+            Ok(s) => s.to_string(),
+            Err(e) => {
+                return Err(self.fail(
+                    FailKind::Malformed,
+                    format!("non-UTF-8 header: {e}"),
+                    nl_offset,
+                ))
+            }
+        };
+        self.line_start = (end + 1).min(self.buf.len());
+        self.scan = self.line_start;
+        Ok(Some((line, nl_offset)))
+    }
+
+    /// Advance the state machine as far as the buffered bytes allow.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        if let Some(f) = &self.failed {
+            return Err(f.rebuild());
+        }
+        loop {
+            if let ParseState::Body(_, content_length) = &self.state {
+                let content_length = *content_length;
+                if self.buf.len() < content_length {
+                    if self.eof {
+                        let offset = self.base + self.buf.len();
+                        return Err(self.fail(
+                            FailKind::Io(std::io::ErrorKind::UnexpectedEof),
+                            "connection closed mid-body".to_string(),
+                            offset,
+                        ));
+                    }
+                    return Ok(None);
+                }
+                let body: Vec<u8> = self.buf.drain(..content_length).collect();
+                self.base += content_length;
+                self.line_start = 0;
+                self.scan = 0;
+                self.header_bytes = 0;
+                let partial = match std::mem::replace(&mut self.state, ParseState::RequestLine) {
+                    ParseState::Body(partial, _) => partial,
+                    _ => unreachable!("checked above"),
+                };
+                return Ok(Some(Request {
+                    method: partial.method,
+                    path: partial.path,
+                    query: partial.query,
+                    headers: partial.headers,
+                    body,
+                }));
+            }
+            let Some((line, nl_offset)) = self.take_line()? else {
+                return Ok(None);
+            };
+            match std::mem::replace(&mut self.state, ParseState::RequestLine) {
+                ParseState::RequestLine => {
+                    let mut parts = line.split_whitespace();
+                    let (method, target, version) = match (parts.next(), parts.next(), parts.next())
+                    {
+                        (Some(m), Some(t), Some(v)) => (m, t, v),
+                        _ => {
+                            return Err(self.fail(
+                                FailKind::Malformed,
+                                format!("bad request line: {line:?}"),
+                                nl_offset,
+                            ))
+                        }
+                    };
+                    if !version.starts_with("HTTP/1.") {
+                        return Err(self.fail(
+                            FailKind::Malformed,
+                            format!("bad version: {version}"),
+                            nl_offset,
+                        ));
+                    }
+                    let (path, query) = match target.split_once('?') {
+                        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+                        None => (target.to_string(), None),
+                    };
+                    self.state = ParseState::Headers(PartialRequest {
+                        method: method.to_string(),
+                        path,
+                        query,
+                        headers: Vec::new(),
+                    });
+                }
+                ParseState::Headers(mut partial) => {
+                    if line.is_empty() {
+                        // Blank line: headers complete. Resolve the body
+                        // length before buffering a single body byte.
+                        let content_length =
+                            match partial.headers.iter().find(|(n, _)| n == "content-length") {
+                                Some((_, v)) => match v.parse::<usize>() {
+                                    Ok(n) => n,
+                                    Err(_) => {
+                                        return Err(self.fail(
+                                            FailKind::Malformed,
+                                            format!("bad content-length: {v:?}"),
+                                            nl_offset,
+                                        ))
+                                    }
+                                },
+                                None => 0,
+                            };
+                        if content_length > MAX_BODY_BYTES {
+                            return Err(self.fail(
+                                FailKind::TooLarge,
+                                format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+                                nl_offset,
+                            ));
+                        }
+                        self.compact();
+                        self.state = ParseState::Body(partial, content_length);
+                    } else {
+                        self.header_bytes += line.len();
+                        if self.header_bytes > MAX_HEADER_BYTES {
+                            return Err(self.fail(
+                                FailKind::TooLarge,
+                                format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+                                nl_offset,
+                            ));
+                        }
+                        let Some((name, value)) = line.split_once(':') else {
+                            return Err(self.fail(
+                                FailKind::Malformed,
+                                format!("bad header line: {line:?}"),
+                                nl_offset,
+                            ));
+                        };
+                        partial
+                            .headers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                        self.state = ParseState::Headers(partial);
+                    }
+                }
+                ParseState::Body(..) => unreachable!("body state handled above"),
+            }
+        }
     }
 }
 
@@ -213,67 +522,6 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
         )));
     }
     Ok(())
-}
-
-/// Read exactly `len` body bytes, checking the deadline between reads (a
-/// plain `read_exact` would let a client trickle the body forever).
-fn read_body(
-    reader: &mut impl BufRead,
-    len: usize,
-    deadline: Option<Instant>,
-) -> Result<Vec<u8>, HttpError> {
-    let mut body = vec![0u8; len];
-    let mut filled = 0usize;
-    while filled < len {
-        check_deadline(deadline)?;
-        match reader.read(&mut body[filled..])? {
-            0 => {
-                return Err(HttpError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                )))
-            }
-            n => filled += n,
-        }
-    }
-    Ok(body)
-}
-
-/// Read one CRLF- (or LF-) terminated line, without the terminator.
-fn read_line(
-    reader: &mut impl BufRead,
-    limit: usize,
-    deadline: Option<Instant>,
-) -> Result<String, HttpError> {
-    let mut buf = Vec::new();
-    loop {
-        check_deadline(deadline)?;
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 => {
-                if buf.is_empty() {
-                    return Err(HttpError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed before request line",
-                    )));
-                }
-                break;
-            }
-            _ => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                buf.push(byte[0]);
-                if buf.len() > limit {
-                    return Err(HttpError::TooLarge(format!("line exceeds {limit} bytes")));
-                }
-            }
-        }
-    }
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    String::from_utf8(buf).map_err(|e| HttpError::Malformed(format!("non-UTF-8 header: {e}")))
 }
 
 /// An HTTP response ready to serialize.
@@ -329,11 +577,26 @@ impl Response {
         }
     }
 
+    /// Serialize head + body into `out` (cleared first). The fixed header
+    /// set (`Content-Type`, `Content-Length`, `Connection: close`) is
+    /// deliberately free of dates and versions so identical API state
+    /// produces identical bytes — the event loop queues exactly these
+    /// bytes for incremental draining.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )
+        .expect("writing to a Vec cannot fail");
+        out.extend_from_slice(&self.body);
+    }
+
     /// Serialize the status line, headers and body onto a stream.
-    ///
-    /// The header set is fixed (`Content-Type`, `Content-Length`,
-    /// `Connection: close`) — deliberately free of dates and versions so
-    /// that identical API state produces identical bytes.
     pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
         self.write_to_deadline(writer, None)
     }
@@ -363,16 +626,7 @@ impl Response {
         deadline: Option<Instant>,
         scratch: &mut Vec<u8>,
     ) -> std::io::Result<()> {
-        scratch.clear();
-        write!(
-            scratch,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            self.reason(),
-            self.content_type,
-            self.body.len()
-        )?;
-        scratch.extend_from_slice(&self.body);
+        self.to_bytes(scratch);
         write_all_deadline(writer, scratch, deadline)?;
         writer.flush()
     }
@@ -470,6 +724,45 @@ mod tests {
     }
 
     #[test]
+    fn incremental_feed_frames_a_request() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut parser = RequestParser::new();
+        for byte in raw {
+            assert!(parser.poll().unwrap().is_none(), "incomplete until fed");
+            parser.feed(std::slice::from_ref(byte));
+        }
+        let req = parser.poll().unwrap().expect("complete after last byte");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn pipelined_requests_frame_in_order() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let a = parser.poll().unwrap().expect("first request");
+        assert_eq!(a.path, "/a");
+        let b = parser.poll().unwrap().expect("second request");
+        assert_eq!(b.path, "/b");
+        assert!(parser.poll().unwrap().is_none(), "no third request");
+    }
+
+    #[test]
+    fn parser_errors_are_sticky_with_stable_offset() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n");
+        let first = parser.poll();
+        assert!(matches!(first, Err(HttpError::Malformed(_))));
+        let offset = parser.error_offset().expect("offset recorded");
+        // The offending '\n' terminates "broken header\r".
+        assert_eq!(offset, b"GET / HTTP/1.1\r\nbroken header\r".len());
+        parser.feed(b"more bytes that must not matter");
+        let again = parser.poll();
+        assert!(matches!(again, Err(HttpError::Malformed(_))));
+        assert_eq!(parser.error_offset(), Some(offset));
+    }
+
+    #[test]
     fn expired_write_deadline_times_out() {
         let resp = Response::json(200, &Json::obj([("ok", Json::from(true))]));
         let deadline = std::time::Instant::now() - std::time::Duration::from_secs(1);
@@ -499,6 +792,16 @@ mod tests {
             .unwrap();
         assert_eq!(again, plain);
         assert_eq!(scratch.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn to_bytes_matches_write_to() {
+        let resp = Response::json(201, &Json::obj([("id", Json::from("s1"))]));
+        let mut streamed = Vec::new();
+        resp.write_to(&mut streamed).unwrap();
+        let mut assembled = Vec::new();
+        resp.to_bytes(&mut assembled);
+        assert_eq!(assembled, streamed);
     }
 
     #[test]

@@ -50,8 +50,10 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod conn;
 pub mod http;
 pub mod manager;
+pub mod poller;
 
 use manager::{SessionManager, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_SESSIONS};
 use sider_par::ThreadPool;
@@ -75,6 +77,52 @@ pub const STRIPES_ENV_VAR: &str = sider_store::stripes::STRIPES_ENV_VAR;
 /// The address used when neither `--addr` nor `SIDER_ADDR` is given.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:8080";
 
+/// Environment variable selecting the accept loop (`events` | `threads`).
+pub const ACCEPT_ENV_VAR: &str = "SIDER_ACCEPT";
+
+/// Which accept loop fronts the server.
+///
+/// Both loops speak the identical one-request-per-connection protocol and
+/// produce byte-identical responses (the e2e suite pins this); they
+/// differ only in how many sockets can be *open* at once:
+///
+/// * [`AcceptMode::Events`] (default) — a single readiness-driven thread
+///   multiplexes every connection ([`poller`] + [`conn`]); completed
+///   requests run on a worker pool, so open connections are bounded only
+///   by file descriptors.
+/// * [`AcceptMode::Threads`] — the PR-3 blocking loop: one handler
+///   thread per connection, gated at `2 × total pool threads`. Kept
+///   compiled and selectable (`SIDER_ACCEPT=threads`) as the escape
+///   hatch and as the reference implementation the event loop is
+///   transcript-checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptMode {
+    /// Readiness-based event loop (epoll / `poll(2)`).
+    #[default]
+    Events,
+    /// Blocking thread-per-connection loop.
+    Threads,
+}
+
+impl AcceptMode {
+    /// The wire/env spelling (`"events"` / `"threads"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AcceptMode::Events => "events",
+            AcceptMode::Threads => "threads",
+        }
+    }
+
+    /// Parse an env/CLI value; anything but `events`/`threads` errors.
+    pub fn parse(raw: &str) -> Result<AcceptMode, String> {
+        match raw {
+            "events" => Ok(AcceptMode::Events),
+            "threads" => Ok(AcceptMode::Threads),
+            _ => Err(format!("accept mode {raw:?}: expected events|threads")),
+        }
+    }
+}
+
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -93,6 +141,9 @@ pub struct ServerConfig {
     pub stripes: usize,
     /// Durable store configuration (`None` = in-memory sessions only).
     pub store: Option<StoreConfig>,
+    /// Which accept loop serves connections (default [`AcceptMode::Events`];
+    /// `SIDER_ACCEPT=threads` selects the legacy blocking loop).
+    pub accept: AcceptMode,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +155,7 @@ impl Default for ServerConfig {
             threads: None,
             stripes: 1,
             store: None,
+            accept: AcceptMode::default(),
         }
     }
 }
@@ -144,6 +196,12 @@ impl ServerConfig {
         if let Ok(dir) = std::env::var(sider_store::DATA_DIR_ENV_VAR) {
             if !dir.is_empty() {
                 config.store = Some(StoreConfig::new(dir).with_env_overrides()?);
+            }
+        }
+        if let Ok(raw) = std::env::var(ACCEPT_ENV_VAR) {
+            if !raw.is_empty() {
+                config.accept =
+                    AcceptMode::parse(&raw).map_err(|e| format!("{ACCEPT_ENV_VAR}: {e}"))?;
             }
         }
         Ok(config)
@@ -191,13 +249,14 @@ impl Drop for GateSlot {
     }
 }
 
-/// The blocking HTTP server: a bound listener plus the session registry.
+/// The HTTP server: a bound listener plus the session registry.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     manager: Arc<SessionManager>,
     gate: Arc<Gate>,
     stop: Arc<AtomicBool>,
+    accept: AcceptMode,
 }
 
 /// Handle for stopping a running [`Server`] from another thread.
@@ -233,6 +292,7 @@ impl Server {
     /// valid; asking for `stripes > 1` migrates a flat dir in place, and
     /// reopening a striped dir with a different count is refused.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let accept = config.accept;
         let listener = TcpListener::bind(&config.addr)?;
         let pools: Vec<Arc<ThreadPool>> = (0..config.stripes.max(1))
             .map(|_| {
@@ -281,11 +341,13 @@ impl Server {
                 }
             }
         };
+        manager.set_accept_loop(accept.as_str());
         Ok(Server {
             listener,
             manager: Arc::new(manager),
             gate,
             stop: Arc::new(AtomicBool::new(false)),
+            accept,
         })
     }
 
@@ -307,36 +369,57 @@ impl Server {
         }
     }
 
-    /// Serve until [`ShutdownHandle::shutdown`] is called: accept, gate,
-    /// and hand each connection to a short-lived handler thread.
+    /// Serve until [`ShutdownHandle::shutdown`] is called, using the
+    /// accept loop selected at configuration time ([`AcceptMode`]).
     ///
-    /// Thread-per-connection is a deliberate fit for the workload: one
-    /// request is one exploration-loop step (a MaxEnt refit, a projection
-    /// pursuit), which costs milliseconds to seconds — connection and
-    /// thread overhead is noise, and the blocking model keeps the whole
-    /// stack std-only and trivially debuggable.
-    ///
-    /// A low-frequency **housekeeping thread** runs alongside the accept
-    /// loop, sweeping idle sessions every quarter idle-timeout (bounded
-    /// to 250 ms … 60 s). Without it, eviction only happened lazily on
+    /// Both loops share the session registry, the route table, the
+    /// deadline budgets and the one-request-per-connection protocol, so
+    /// responses are byte-identical regardless of mode — the e2e suite
+    /// pins exactly that. On non-unix platforms `Events` falls back to
+    /// the portable threaded loop.
+    pub fn run(self) -> std::io::Result<()> {
+        match self.accept {
+            AcceptMode::Threads => self.run_threads(),
+            #[cfg(unix)]
+            AcceptMode::Events => self.run_events(),
+            #[cfg(not(unix))]
+            AcceptMode::Events => self.run_threads(),
+        }
+    }
+
+    /// The low-frequency housekeeping thread both accept loops run:
+    /// sweeps idle sessions every quarter idle-timeout (bounded to
+    /// 250 ms … 60 s). Without it, eviction only happened lazily on
     /// create/list, so a server under pure read-only traffic (views,
     /// updates, session detail) never expired anything.
-    pub fn run(self) -> std::io::Result<()> {
-        let sweeper = {
-            let manager = Arc::clone(&self.manager);
-            let stop = Arc::clone(&self.stop);
-            let interval = (self.manager.idle_timeout() / 4)
-                .clamp(Duration::from_millis(250), Duration::from_secs(60));
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    std::thread::park_timeout(interval);
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    manager.evict_idle();
+    fn spawn_sweeper(&self) -> std::thread::JoinHandle<()> {
+        let manager = Arc::clone(&self.manager);
+        let stop = Arc::clone(&self.stop);
+        let interval = (self.manager.idle_timeout() / 4)
+            .clamp(Duration::from_millis(250), Duration::from_secs(60));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::park_timeout(interval);
+                if stop.load(Ordering::SeqCst) {
+                    break;
                 }
-            })
-        };
+                manager.evict_idle();
+            }
+        })
+    }
+
+    /// The blocking accept loop: accept, gate, and hand each connection
+    /// to a short-lived handler thread.
+    ///
+    /// Thread-per-connection remains a deliberate fit for *low fan-in*
+    /// workloads: one request is one exploration-loop step (a MaxEnt
+    /// refit, a projection pursuit), which costs milliseconds to seconds
+    /// — connection and thread overhead is noise, and the blocking model
+    /// is trivially debuggable. Its wall is **open sockets**: the gate
+    /// admits at most `2 × total pool threads` concurrent connections,
+    /// which is why the event loop is the default.
+    fn run_threads(self) -> std::io::Result<()> {
+        let sweeper = self.spawn_sweeper();
         for conn in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -348,8 +431,11 @@ impl Server {
             self.gate.acquire();
             let manager = Arc::clone(&self.manager);
             let slot = GateSlot(Arc::clone(&self.gate));
+            manager.conn_opened();
+            let tally = ConnTally(Arc::clone(&manager));
             std::thread::spawn(move || {
                 let _slot = slot; // released on drop, panic included
+                let _tally = tally; // open-connection count, ditto
                 handle_connection(&manager, stream);
             });
         }
@@ -358,6 +444,279 @@ impl Server {
         sweeper.thread().unpark();
         let _ = sweeper.join();
         Ok(())
+    }
+
+    /// The readiness-driven accept loop (see [`poller`] and [`conn`]).
+    ///
+    /// One thread multiplexes the listener, a wake pipe and every client
+    /// connection over a [`poller::Poller`]. Connections advance through
+    /// the [`conn::Conn`] state machine on readiness; completed requests
+    /// are queued to a worker pool sized exactly like the threaded
+    /// loop's gate (`2 × total pool threads`, min 4), so *request*
+    /// concurrency — and with it solver-pool pressure — is unchanged
+    /// while *open sockets* are bounded only by file descriptors.
+    /// Workers push finished responses to a completion list and write
+    /// one byte to the wake pipe; the loop stages the bytes and drains
+    /// them as the socket allows. Read/write deadlines live in a
+    /// [`conn::TimerWheel`] advanced from the wait timeout.
+    #[cfg(unix)]
+    fn run_events(self) -> std::io::Result<()> {
+        use conn::{
+            Conn, ReadStep, TimerWheel, WriteStep, READ_DEADLINE_TICKS, TICK, WRITE_DEADLINE_TICKS,
+        };
+        use poller::Poller;
+        use std::collections::{HashMap, VecDeque};
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        use std::os::unix::net::UnixStream;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        const LISTENER: u64 = 0;
+        const WAKER: u64 = 1;
+
+        /// Job queue feeding the worker pool; `.1` is the stop flag.
+        struct Jobs {
+            queue: Mutex<(VecDeque<(u64, http::Request)>, bool)>,
+            ready: Condvar,
+        }
+
+        fn close_conn(
+            poller: &mut Poller,
+            conns: &mut HashMap<u64, Conn<TcpStream>>,
+            manager: &SessionManager,
+            token: u64,
+        ) {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = poller.deregister(conn.stream().as_raw_fd());
+                manager.conn_closed();
+            }
+        }
+
+        let sweeper = self.spawn_sweeper();
+
+        self.listener.set_nonblocking(true)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+
+        let mut poller = Poller::new()?;
+        poller.register(self.listener.as_raw_fd(), LISTENER, true, false)?;
+        poller.register(wake_rx.as_raw_fd(), WAKER, true, false)?;
+
+        let jobs = Arc::new(Jobs {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        let completions: Arc<Mutex<Vec<(u64, http::Response)>>> = Arc::new(Mutex::new(Vec::new()));
+        let worker_count = (self.manager.total_threads() * 2).max(4);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let manager = Arc::clone(&self.manager);
+            let wake = wake_tx.try_clone()?;
+            workers.push(std::thread::spawn(move || loop {
+                let job = {
+                    let mut state = jobs.queue.lock().expect("job lock");
+                    loop {
+                        if let Some(job) = state.0.pop_front() {
+                            break Some(job);
+                        }
+                        if state.1 {
+                            break None;
+                        }
+                        state = jobs.ready.wait(state).expect("job wait");
+                    }
+                };
+                let Some((token, request)) = job else { break };
+                // A panicking handler must cost its client a 500, never
+                // the whole server.
+                let response = catch_unwind(AssertUnwindSafe(|| api::handle(&manager, &request)))
+                    .unwrap_or_else(|_| http::Response::error(500, "internal error"));
+                completions
+                    .lock()
+                    .expect("completion lock")
+                    .push((token, response));
+                let _ = (&wake).write(&[1u8]);
+            }));
+        }
+
+        let mut conns: HashMap<u64, Conn<TcpStream>> = HashMap::new();
+        let mut wheel = TimerWheel::new(1024);
+        let mut next_token: u64 = 2; // 0/1 are the listener and the waker
+        let started = std::time::Instant::now();
+        let mut events = Vec::new();
+        let mut expired: Vec<(u64, u64)> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut fatal: Option<std::io::Error> = None;
+
+        while !self.stop.load(Ordering::SeqCst) {
+            // With deadlines armed, wake every tick to advance the wheel;
+            // otherwise only a readiness event or shutdown matters.
+            let timeout = if wheel.armed() > 0 {
+                TICK
+            } else {
+                Duration::from_millis(500)
+            };
+            if let Err(e) = poller.wait(&mut events, Some(timeout)) {
+                fatal = Some(e);
+                break;
+            }
+            let now_tick = (started.elapsed().as_millis() / TICK.as_millis()) as u64;
+
+            for &ev in &events {
+                match ev.token {
+                    LISTENER => loop {
+                        match self.listener.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let token = next_token;
+                                next_token += 1;
+                                if poller
+                                    .register(stream.as_raw_fd(), token, true, false)
+                                    .is_err()
+                                {
+                                    continue;
+                                }
+                                wheel.schedule(token, 0, now_tick + READ_DEADLINE_TICKS);
+                                self.manager.conn_opened();
+                                conns.insert(token, Conn::new(stream, token));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(_) => break, // transient accept error
+                        }
+                    },
+                    WAKER => {
+                        // Drain the wake bytes; completions are processed
+                        // below on every loop turn.
+                        let mut sink = [0u8; 256];
+                        use std::io::Read;
+                        while let Ok(n) = (&wake_rx).read(&mut sink) {
+                            if n < sink.len() {
+                                break;
+                            }
+                        }
+                    }
+                    token => {
+                        let Some(connection) = conns.get_mut(&token) else {
+                            continue; // closed earlier in this batch
+                        };
+                        let fd = connection.stream().as_raw_fd();
+                        if connection.is_writing() {
+                            if ev.writable {
+                                match connection.on_writable() {
+                                    WriteStep::Blocked => {}
+                                    WriteStep::Done | WriteStep::Close => {
+                                        close_conn(&mut poller, &mut conns, &self.manager, token);
+                                    }
+                                }
+                            }
+                        } else if connection.is_handling() {
+                            // No interests are registered while a worker
+                            // holds the request, so readiness here means
+                            // ERR/HUP: the peer is gone. Close now; the
+                            // completion for this token lands on a
+                            // missing connection and is dropped.
+                            close_conn(&mut poller, &mut conns, &self.manager, token);
+                        } else if ev.readable {
+                            match connection.on_readable(&mut scratch) {
+                                ReadStep::Continue => {}
+                                ReadStep::Dispatch(request) => {
+                                    let _ = poller.modify(fd, token, false, false);
+                                    let mut state = jobs.queue.lock().expect("job lock");
+                                    state.0.push_back((token, request));
+                                    drop(state);
+                                    jobs.ready.notify_one();
+                                }
+                                ReadStep::Respond => match connection.on_writable() {
+                                    WriteStep::Blocked => {
+                                        let _ = poller.modify(fd, token, false, true);
+                                        wheel.schedule(
+                                            token,
+                                            connection.gen,
+                                            now_tick + WRITE_DEADLINE_TICKS,
+                                        );
+                                    }
+                                    WriteStep::Done | WriteStep::Close => {
+                                        close_conn(&mut poller, &mut conns, &self.manager, token);
+                                    }
+                                },
+                                ReadStep::Close => {
+                                    close_conn(&mut poller, &mut conns, &self.manager, token);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Stage every completed response; most drain in one write.
+            let completed: Vec<(u64, http::Response)> = {
+                let mut list = completions.lock().expect("completion lock");
+                std::mem::take(&mut *list)
+            };
+            for (token, response) in completed {
+                let step = {
+                    let Some(connection) = conns.get_mut(&token) else {
+                        continue; // client aborted while the worker ran
+                    };
+                    connection.stage_response(&response);
+                    let step = connection.on_writable();
+                    if step == WriteStep::Blocked {
+                        let fd = connection.stream().as_raw_fd();
+                        let _ = poller.modify(fd, token, false, true);
+                        wheel.schedule(token, connection.gen, now_tick + WRITE_DEADLINE_TICKS);
+                    }
+                    step
+                };
+                if step != WriteStep::Blocked {
+                    close_conn(&mut poller, &mut conns, &self.manager, token);
+                }
+            }
+
+            // Fire deadlines. Stale generations (the connection has moved
+            // to a later phase since the timer was armed) are ignored.
+            wheel.advance(now_tick, &mut expired);
+            for (token, gen) in expired.drain(..) {
+                if conns.get(&token).is_some_and(|c| c.gen == gen) {
+                    close_conn(&mut poller, &mut conns, &self.manager, token);
+                }
+            }
+        }
+
+        // Shutdown: stop the workers, drop every connection, stop the
+        // sweeper. In-flight requests finish computing but their
+        // responses are dropped with the connections.
+        {
+            let mut state = jobs.queue.lock().expect("job lock");
+            state.1 = true;
+        }
+        jobs.ready.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for (_, connection) in conns.drain() {
+            let _ = poller.deregister(connection.stream().as_raw_fd());
+            self.manager.conn_closed();
+        }
+        sweeper.thread().unpark();
+        let _ = sweeper.join();
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Decrements the manager's open-connection count on drop, so a
+/// panicking handler thread cannot skew the `/health` telemetry.
+struct ConnTally(Arc<SessionManager>);
+
+impl Drop for ConnTally {
+    fn drop(&mut self) {
+        self.0.conn_closed();
     }
 }
 

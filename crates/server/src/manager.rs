@@ -177,6 +177,12 @@ pub struct SessionManager {
     idle_timeout: Duration,
     /// Global dense ID counter, shared by all stripes.
     next_id: AtomicU64,
+    /// Which accept loop fronts the manager (`"threads"` or `"events"`),
+    /// for the `/health` report. Set once by `Server::bind`.
+    accept_loop: Mutex<&'static str>,
+    /// Currently open client connections — maintained by whichever
+    /// accept loop is serving, reported by `/health`.
+    open_conns: AtomicUsize,
     /// Global live-session count: the capacity reserve. Kept in sync
     /// with the union of the stripe maps by pairing every insert/remove
     /// with an increment/decrement.
@@ -211,6 +217,8 @@ impl SessionManager {
             max_sessions: max_sessions.max(1),
             idle_timeout,
             next_id: AtomicU64::new(1),
+            accept_loop: Mutex::new("threads"),
+            open_conns: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
         }
     }
@@ -282,6 +290,8 @@ impl SessionManager {
             max_sessions: max_sessions.max(1),
             idle_timeout,
             next_id: AtomicU64::new(next_id),
+            accept_loop: Mutex::new("threads"),
+            open_conns: AtomicUsize::new(0),
             live: AtomicUsize::new(live),
         })
     }
@@ -311,6 +321,31 @@ impl SessionManager {
     /// Total pool threads across stripes (sizes the connection gate).
     pub fn total_threads(&self) -> usize {
         self.stripes.iter().map(|s| s.pool.threads()).sum()
+    }
+
+    /// Record which accept loop fronts this manager (`/health` telemetry).
+    pub fn set_accept_loop(&self, mode: &'static str) {
+        *self.accept_loop.lock().expect("accept_loop lock") = mode;
+    }
+
+    /// The accept loop serving this manager (`"threads"` or `"events"`).
+    pub fn accept_loop(&self) -> &'static str {
+        *self.accept_loop.lock().expect("accept_loop lock")
+    }
+
+    /// A client connection was accepted.
+    pub fn conn_opened(&self) {
+        self.open_conns.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A client connection was closed.
+    pub fn conn_closed(&self) {
+        self.open_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Currently open client connections (the `/health` report).
+    pub fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::Acquire)
     }
 
     /// Stripe 0's durable store, if any. Durability is all-or-none

@@ -1,0 +1,238 @@
+//! Property tests for the resumable request parser: **chunking
+//! invariance**. However a byte stream is split into `feed` fragments —
+//! one-shot, byte-at-a-time, every two-chunk split, or seeded random
+//! chunkings — a valid request must parse to the identical request, and a
+//! malformed stream must fail with the same error variant at the same
+//! byte offset. This is the property that makes the event loop's framing
+//! trustworthy: the kernel chooses the fragment boundaries, and the
+//! fragment boundaries must not be observable.
+
+use sider_server::http::{HttpError, Request, RequestParser};
+use sider_stats::Rng;
+
+/// Feed `stream` to a fresh parser in the given chunks (then EOF) and
+/// poll to completion.
+fn parse_chunked(
+    stream: &[u8],
+    chunks: &[&[u8]],
+) -> (Result<Option<Request>, HttpError>, Option<usize>) {
+    assert_eq!(
+        chunks.iter().map(|c| c.len()).sum::<usize>(),
+        stream.len(),
+        "chunks must reassemble the stream"
+    );
+    let mut parser = RequestParser::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        match parser.poll() {
+            Ok(Some(req)) => return (Ok(Some(req)), parser.error_offset()),
+            Ok(None) => {}
+            Err(e) => return (Err(e), parser.error_offset()),
+        }
+    }
+    parser.feed_eof();
+    let result = parser.poll();
+    (result, parser.error_offset())
+}
+
+/// One-shot parse: the whole stream in a single feed.
+fn parse_oneshot(stream: &[u8]) -> (Result<Option<Request>, HttpError>, Option<usize>) {
+    parse_chunked(stream, &[stream])
+}
+
+/// A canonical textual form for comparing parsed requests.
+fn fingerprint(req: &Request) -> String {
+    format!(
+        "{} {} {:?} {:?} {:?}",
+        req.method, req.path, req.query, req.headers, req.body
+    )
+}
+
+/// The error class, for comparing failures across chunkings.
+fn error_class(e: &HttpError) -> &'static str {
+    match e {
+        HttpError::Io(_) => "io",
+        HttpError::Malformed(_) => "malformed",
+        HttpError::TooLarge(_) => "too-large",
+    }
+}
+
+/// Split `stream` into `k` chunks at pseudo-random boundaries.
+fn random_chunks(stream: &[u8], rng: &mut Rng, k: usize) -> Vec<Vec<u8>> {
+    let mut cuts: Vec<usize> = (0..k.saturating_sub(1))
+        .map(|_| rng.below(stream.len() + 1))
+        .collect();
+    cuts.sort_unstable();
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    for cut in cuts {
+        chunks.push(stream[start..cut].to_vec());
+        start = cut;
+    }
+    chunks.push(stream[start..].to_vec());
+    chunks
+}
+
+const VALID: &[&[u8]] = &[
+    b"GET / HTTP/1.1\r\n\r\n",
+    b"GET /api/sessions?limit=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+    b"POST /api/sessions HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 18\r\n\r\n{\"dataset\":\"fig2\"}",
+    b"GET / HTTP/1.1\nHost: lf-only\n\n",
+    b"DELETE /api/sessions/s1 HTTP/1.1\r\nHost: a\r\nX-Extra:   padded value  \r\n\r\n",
+    b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    // Body containing CRLFs and braces — framing must be length-driven.
+    b"POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n\r\n\r\n{a:b}\r\n\r",
+];
+
+const MALFORMED: &[&[u8]] = &[
+    b"FLUB\r\n\r\n",
+    b"GET / SPDY/9\r\n\r\n",
+    b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+    b"GET / HTTP/1.1\r\nHost: ok\r\nbroken line here\r\nNever: reached\r\n\r\n",
+    // Non-UTF-8 header line.
+    b"GET / HTTP/1.1\r\nX-Bad: \xff\xfe\r\n\r\n",
+    // Truncated mid-body (EOF before Content-Length is satisfied).
+    b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab",
+    // Truncated mid-headers.
+    b"GET / HTTP/1.1\r\nHost: x\r\n",
+    // Empty stream.
+    b"",
+];
+
+/// Every chunking of a valid request parses to the identical request.
+#[test]
+fn valid_requests_parse_identically_under_any_two_chunk_split() {
+    for stream in VALID {
+        let (reference, _) = parse_oneshot(stream);
+        let reference = fingerprint(&reference.unwrap().expect("valid request"));
+        for cut in 0..=stream.len() {
+            let (result, _) = parse_chunked(stream, &[&stream[..cut], &stream[cut..]]);
+            let req = result
+                .unwrap_or_else(|e| panic!("cut at {cut} failed: {e}"))
+                .unwrap_or_else(|| panic!("cut at {cut} incomplete"));
+            assert_eq!(fingerprint(&req), reference, "split at byte {cut}");
+        }
+    }
+}
+
+#[test]
+fn valid_requests_parse_identically_byte_at_a_time() {
+    for stream in VALID {
+        let (reference, _) = parse_oneshot(stream);
+        let reference = fingerprint(&reference.unwrap().expect("valid request"));
+        let bytes: Vec<&[u8]> = stream.chunks(1).collect();
+        let (result, _) = parse_chunked(stream, &bytes);
+        assert_eq!(
+            fingerprint(&result.unwrap().expect("complete")),
+            reference,
+            "byte-at-a-time must match one-shot"
+        );
+    }
+}
+
+#[test]
+fn valid_requests_parse_identically_under_random_chunkings() {
+    let mut rng = Rng::seed_from_u64(2018);
+    for stream in VALID {
+        let (reference, _) = parse_oneshot(stream);
+        let reference = fingerprint(&reference.unwrap().expect("valid request"));
+        for trial in 0..50 {
+            let k = 1 + rng.below(8);
+            let chunks = random_chunks(stream, &mut rng, k);
+            let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+            let (result, _) = parse_chunked(stream, &refs);
+            let req = result
+                .unwrap_or_else(|e| panic!("trial {trial} failed: {e}"))
+                .expect("complete");
+            assert_eq!(fingerprint(&req), reference, "trial {trial} ({k} chunks)");
+        }
+    }
+}
+
+/// Malformed streams fail with the same error class at the same byte
+/// offset no matter how they are chunked.
+#[test]
+fn malformed_streams_fail_at_the_same_offset_under_any_two_chunk_split() {
+    for stream in MALFORMED {
+        let (reference, ref_offset) = parse_oneshot(stream);
+        let reference = error_class(&reference.expect_err("malformed must fail"));
+        for cut in 0..=stream.len() {
+            let (result, offset) = parse_chunked(stream, &[&stream[..cut], &stream[cut..]]);
+            let err = result
+                .err()
+                .unwrap_or_else(|| panic!("cut at {cut} of {stream:?} unexpectedly succeeded"));
+            assert_eq!(error_class(&err), reference, "class at split {cut}");
+            assert_eq!(
+                offset,
+                ref_offset,
+                "offset at split {cut} of {:?}",
+                String::from_utf8_lossy(stream)
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_streams_fail_at_the_same_offset_under_random_chunkings() {
+    let mut rng = Rng::seed_from_u64(7);
+    for stream in MALFORMED {
+        let (reference, ref_offset) = parse_oneshot(stream);
+        let reference = error_class(&reference.expect_err("malformed must fail"));
+        for trial in 0..50 {
+            let k = 1 + rng.below(8);
+            let chunks = random_chunks(stream, &mut rng, k);
+            let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+            let (result, offset) = parse_chunked(stream, &refs);
+            let err = result
+                .err()
+                .unwrap_or_else(|| panic!("trial {trial} unexpectedly succeeded"));
+            assert_eq!(error_class(&err), reference, "trial {trial}");
+            assert_eq!(offset, ref_offset, "trial {trial} ({k} chunks)");
+        }
+    }
+}
+
+/// A malformed prefix poisons the parser permanently: later feeds and
+/// polls replay the identical failure.
+#[test]
+fn failures_are_sticky_across_further_feeds() {
+    let mut parser = RequestParser::new();
+    parser.feed(b"GET / HTTP/1.1\r\nbroken\r\n");
+    let first = parser.poll().expect_err("broken header");
+    let offset = parser.error_offset().expect("offset");
+    parser.feed(b"Host: fine\r\n\r\n");
+    let second = parser.poll().expect_err("still broken");
+    assert_eq!(error_class(&first), error_class(&second));
+    assert_eq!(parser.error_offset(), Some(offset));
+}
+
+/// Pipelined requests on one stream frame one after another, and the
+/// boundary between them is chunking-invariant too.
+#[test]
+fn pipelined_pair_frames_identically_under_splits() {
+    let stream: &[u8] =
+        b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b?x=1 HTTP/1.1\r\nHost: h\r\n\r\n";
+    let parse_pair = |chunks: &[&[u8]]| -> (String, String) {
+        let mut parser = RequestParser::new();
+        let mut got: Vec<String> = Vec::new();
+        for chunk in chunks {
+            parser.feed(chunk);
+            while let Ok(Some(req)) = parser.poll() {
+                got.push(fingerprint(&req));
+            }
+        }
+        parser.feed_eof();
+        while let Ok(Some(req)) = parser.poll() {
+            got.push(fingerprint(&req));
+        }
+        assert_eq!(got.len(), 2, "exactly two pipelined requests");
+        (got[0].clone(), got[1].clone())
+    };
+    let reference = parse_pair(&[stream]);
+    for cut in 0..=stream.len() {
+        let got = parse_pair(&[&stream[..cut], &stream[cut..]]);
+        assert_eq!(got, reference, "split at byte {cut}");
+    }
+}

@@ -18,27 +18,34 @@
 //!     The same, on the paper's built-in datasets.
 //!
 //! sider serve [--addr HOST:PORT] [--max-sessions N] [--threads K]
-//!             [--stripes S] [--data-dir DIR] [--fsync always|never|N]
-//!             [--checkpoint-every N]
+//!             [--stripes S] [--accept events|threads] [--data-dir DIR]
+//!             [--fsync always|never|N] [--checkpoint-every N]
 //!     Run the HTTP/1.1 + JSON exploration service: many concurrent
 //!     sessions over S independent session-manager stripes, each with
 //!     its own execution pool of K threads, each session driving the
 //!     full loop (views, knowledge, warm background updates, snapshots,
-//!     SVG rendering). With --data-dir the server is durable: every
-//!     mutating request is written through to a per-session op-log
-//!     (per-stripe `stripe-{k}/` subdirectories when S > 1) and a
-//!     restart recovers all sessions byte-identically. Defaults honor
-//!     SIDER_ADDR / SIDER_MAX_SESSIONS / SIDER_THREADS / SIDER_STRIPES /
-//!     SIDER_DATA_DIR / SIDER_FSYNC / SIDER_CHECKPOINT_EVERY; see
-//!     docs/ARCHITECTURE.md for the wire protocol and on-disk format.
+//!     SVG rendering). The serving edge defaults to the readiness-based
+//!     event loop (--accept events, no cap on open connections);
+//!     --accept threads selects the legacy blocking
+//!     thread-per-connection loop. With --data-dir the server is
+//!     durable: every mutating request is written through to a
+//!     per-session op-log (per-stripe `stripe-{k}/` subdirectories when
+//!     S > 1) and a restart recovers all sessions byte-identically.
+//!     Defaults honor SIDER_ADDR / SIDER_MAX_SESSIONS / SIDER_THREADS /
+//!     SIDER_STRIPES / SIDER_ACCEPT / SIDER_DATA_DIR / SIDER_FSYNC /
+//!     SIDER_CHECKPOINT_EVERY; see docs/ARCHITECTURE.md for the wire
+//!     protocol and on-disk format.
 //!
 //! sider loadgen --addr HOST:PORT [--sessions N] [--requests N]
-//!               [--rps R] [--workers K] [--seed S] [--out FILE.json]
+//!               [--rps R] [--workers K] [--seed S] [--churn]
+//!               [--out FILE.json]
 //!     Replay a fixed-seed open-loop mixed workload (create / knowledge /
 //!     warm update / view / snapshot) against a running server and print
 //!     the per-endpoint p50/p99/p999 latency + throughput report as
-//!     JSON. Defaults are the full BENCH_serve workload, or the smoke
-//!     workload when SIDER_BENCH_SMOKE=1.
+//!     JSON. --churn additionally opens a short-lived aborted or empty
+//!     connection alongside every scheduled request, stressing the
+//!     server's accept/teardown path. Defaults are the full BENCH_serve
+//!     workload, or the smoke workload when SIDER_BENCH_SMOKE=1.
 //!
 //! sider store inspect <DIR>
 //!     Print a JSON report over a data dir — flat or striped
@@ -128,10 +135,10 @@ const USAGE: &str = "usage:
                  [--out DIR]
   sider demo     <fig2|xhat5|bnc|segmentation> [--out DIR]
   sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]
-                 [--stripes S] [--data-dir DIR] [--fsync always|never|N]
-                 [--checkpoint-every N]
+                 [--stripes S] [--accept events|threads] [--data-dir DIR]
+                 [--fsync always|never|N] [--checkpoint-every N]
   sider loadgen  --addr HOST:PORT [--sessions N] [--requests N] [--rps R]
-                 [--workers K] [--seed S] [--out FILE.json]
+                 [--workers K] [--seed S] [--churn] [--out FILE.json]
   sider store    inspect <DIR>";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
@@ -298,6 +305,10 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         );
     }
     config.stripes = cli.get_or("stripes", config.stripes)?;
+    if let Some(mode) = cli.get("accept") {
+        config.accept =
+            sider::server::AcceptMode::parse(mode).map_err(|e| format!("--accept: {e}"))?;
+    }
     if let Some(dir) = cli.get("data-dir") {
         // --data-dir overrides SIDER_DATA_DIR but keeps the env-level
         // fsync/checkpoint tuning unless flags override those too.
@@ -331,12 +342,13 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     });
     let server = sider::server::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     println!(
-        "sider serve: listening on http://{} ({} stripes × {} pool threads, {} session slots, {} recovered)",
+        "sider serve: listening on http://{} ({} stripes × {} pool threads, {} session slots, {} recovered, {} accept loop)",
         server.local_addr(),
         server.manager().stripes(),
         server.manager().pool().threads(),
         server.manager().max_sessions(),
         server.manager().len(),
+        server.manager().accept_loop(),
     );
     match durability {
         Some(line) => println!("sider serve: {line}"),
@@ -354,12 +366,22 @@ fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
     config.rps = cli.get_or("rps", config.rps)?;
     config.workers = cli.get_or("workers", config.workers)?;
     config.seed = cli.get_or("seed", config.seed)?;
+    config.churn = cli.flag("churn");
     if config.sessions == 0 || config.rps <= 0.0 {
         return Err("loadgen needs --sessions >= 1 and --rps > 0".into());
     }
     eprintln!(
-        "sider loadgen: {} sessions, {} mixed requests at {} req/s (seed {}) against http://{}",
-        config.sessions, config.requests, config.rps, config.seed, config.addr
+        "sider loadgen: {} sessions, {} mixed requests at {} req/s (seed {}{}) against http://{}",
+        config.sessions,
+        config.requests,
+        config.rps,
+        config.seed,
+        if config.churn {
+            ", with connection churn"
+        } else {
+            ""
+        },
+        config.addr
     );
     let report = sider::loadgen::run(&config)?;
     let json = report.to_json().dump_pretty();
