@@ -23,13 +23,25 @@
 //! harness end to end (schema, error-free serving, monotone
 //! percentiles), which is what `check_bench_artifacts` gates on.
 //!
+//! Since the replication tentpole the artifact also carries a
+//! `replication` scenario: the same striped workload against a durable
+//! **leader** that is actively shipping every stripe's WAL records to a
+//! live follower. The leader's latency digests go through the same SLO
+//! gates as every other run — shipping must not cost the serving edge
+//! its latency — and the run records the follower's catch-up stats
+//! (shipped vs applied seqs per stripe, catch-up wall time), which
+//! `check_bench_artifacts` gates on: a follower that never reaches zero
+//! lag fails CI.
+//!
 //! Set `SIDER_BENCH_SMOKE=1` for the reduced CI workload (same JSON
 //! schema).
 
 use sider_json::Json;
-use sider_loadgen::{run, smoke_mode, LoadConfig};
+use sider_loadgen::{http_exchange, run, smoke_mode, LoadConfig};
 use sider_server::{AcceptMode, Server, ServerConfig};
-use std::time::Duration;
+use sider_store::StoreConfig;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 /// Stripe counts compared in the artifact (1 = the unstriped baseline).
 const STRIPE_COUNTS: [usize; 2] = [1, 4];
@@ -46,14 +58,13 @@ fn main() {
     // same striped workload with short-lived aborted/empty connections
     // injected alongside every request, which the event-driven accept
     // loop must absorb without a single failed real request.
-    let scenarios: Vec<(usize, bool)> = STRIPE_COUNTS
+    let scenarios: Vec<(usize, &str)> = STRIPE_COUNTS
         .iter()
-        .map(|&s| (s, false))
-        .chain([(4usize, true)])
+        .map(|&s| (s, "mixed"))
+        .chain([(4usize, "churn"), (4usize, "replication")])
         .collect();
-    for (stripes, churn) in scenarios {
-        let scenario = if churn { "churn" } else { "mixed" };
-        let (report, config) = run_against(stripes, smoke, churn);
+    for (stripes, scenario) in scenarios {
+        let (report, config, follower) = run_against(stripes, smoke, scenario);
         if report.total_errors > 0 {
             eprintln!(
                 "serve: stripes={stripes} {scenario}: {} of {} requests failed",
@@ -74,13 +85,17 @@ fn main() {
                 .map(|(_, s)| s.p99_ns as f64 / 1e6)
                 .unwrap_or(0.0),
         );
-        runs.push(Json::obj([
+        let mut fields = vec![
             ("stripes", Json::from(stripes)),
             ("threads_per_stripe", Json::from(1usize)),
             ("scenario", Json::from(scenario)),
             ("accept", Json::from(AcceptMode::Events.as_str())),
             ("report", report.to_json()),
-        ]));
+        ];
+        if let Some(follower) = follower {
+            fields.push(("follower", follower));
+        }
+        runs.push(Json::obj(fields));
         workload = Some(config);
     }
     let workload = workload.expect("at least one run");
@@ -113,30 +128,66 @@ fn main() {
 
 /// Boot an in-process server with `stripes` stripes (one pool thread
 /// each) under the event-driven accept loop, replay the workload
-/// (optionally with connection churn), and return the report plus the
-/// workload config used (identical across calls — the schedule is
-/// seed-fixed).
+/// (with connection churn or active replication when the scenario asks
+/// for it), and return the report, the workload config used (identical
+/// across calls — the schedule is seed-fixed), and the follower's
+/// catch-up stats for the replication scenario.
 fn run_against(
     stripes: usize,
     smoke: bool,
-    churn: bool,
-) -> (sider_loadgen::LoadReport, LoadConfig) {
+    scenario: &str,
+) -> (sider_loadgen::LoadReport, LoadConfig, Option<Json>) {
+    let replication = scenario == "replication";
+    let bench_dir = std::env::temp_dir().join(format!(
+        "sider_bench_serve_replication_{}",
+        std::process::id()
+    ));
+    let store = replication.then(|| {
+        let dir = bench_dir.join("leader");
+        let _ = std::fs::remove_dir_all(&bench_dir);
+        StoreConfig::new(dir)
+    });
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         max_sessions: if smoke { 64 } else { 512 },
         idle_timeout: Duration::from_secs(600),
         threads: Some(1),
         stripes,
-        store: None,
+        store,
         accept: AcceptMode::Events,
+        ship_addr: replication.then(|| "127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
     })
     .expect("bind serve-bench server");
     let addr = server.local_addr();
+    let ship_addr = server.ship_addr();
     let handle = server.shutdown_handle();
     let joiner = std::thread::spawn(move || server.run());
 
+    // The replication scenario attaches a live follower before the
+    // workload starts: the leader's latencies are measured while every
+    // acknowledged op is also being framed, shipped, and acked.
+    let follower = replication.then(|| {
+        let follower = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: if smoke { 64 } else { 512 },
+            idle_timeout: Duration::from_secs(600),
+            threads: Some(1),
+            stripes,
+            store: Some(StoreConfig::new(bench_dir.join("follower"))),
+            accept: AcceptMode::Events,
+            follow: Some(ship_addr.expect("leader ship addr").to_string()),
+            ..ServerConfig::default()
+        })
+        .expect("bind serve-bench follower");
+        let addr = follower.local_addr();
+        let handle = follower.shutdown_handle();
+        let joiner = std::thread::spawn(move || follower.run());
+        (addr, handle, joiner)
+    });
+
     let mut config = LoadConfig::from_env(addr.to_string());
-    config.churn = churn;
+    config.churn = scenario == "churn";
     let report = match run(&config) {
         Ok(report) => report,
         Err(e) => {
@@ -144,7 +195,82 @@ fn run_against(
             std::process::exit(1);
         }
     };
+
+    let follower_stats = follower.map(|(follower_addr, fhandle, fjoiner)| {
+        let stats = wait_for_catchup(addr, follower_addr);
+        fhandle.shutdown();
+        fjoiner
+            .join()
+            .expect("follower thread")
+            .expect("follower run");
+        stats
+    });
     handle.shutdown();
     joiner.join().expect("server thread").expect("server run");
-    (report, config)
+    if replication {
+        let _ = std::fs::remove_dir_all(&bench_dir);
+    }
+    (report, config, follower_stats)
+}
+
+/// Per-stripe seq array from a `/health` replication block.
+fn health_seqs(addr: SocketAddr, key: &str) -> Vec<u64> {
+    let (status, raw) = http_exchange(addr, "GET", "/health", "").expect("health");
+    assert_eq!(status, 200, "health status");
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let body = std::str::from_utf8(&raw[pos + 4..]).expect("utf-8 health");
+    let doc = Json::parse(body).expect("health json");
+    doc.path(&format!("replication.{key}"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("no replication.{key} in {body}"))
+        .iter()
+        .map(|v| v.as_num().expect("seq") as u64)
+        .collect()
+}
+
+/// Poll the follower until its applied seqs reach the leader's shipped
+/// seqs; returns the catch-up stats recorded in the artifact. The
+/// leader's own `/health` is the ground truth for how much must arrive.
+fn wait_for_catchup(leader: SocketAddr, follower: SocketAddr) -> Json {
+    let shipped = health_seqs(leader, "shipped");
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(300);
+    loop {
+        let applied = health_seqs(follower, "applied");
+        let caught_up =
+            applied.len() == shipped.len() && applied.iter().zip(&shipped).all(|(a, s)| a >= s);
+        if caught_up || Instant::now() >= deadline {
+            let lag: u64 = shipped
+                .iter()
+                .zip(&applied)
+                .map(|(s, a)| s.saturating_sub(*a))
+                .sum();
+            if !caught_up {
+                eprintln!(
+                    "serve: replication follower never caught up: shipped {shipped:?}, applied {applied:?}"
+                );
+                std::process::exit(1);
+            }
+            return Json::obj([
+                ("caught_up", Json::from(true)),
+                ("final_lag", Json::from(lag)),
+                (
+                    "catchup_wall_s",
+                    Json::from(started.elapsed().as_secs_f64()),
+                ),
+                (
+                    "shipped",
+                    Json::Arr(shipped.iter().map(|&v| Json::from(v)).collect()),
+                ),
+                (
+                    "applied",
+                    Json::Arr(applied.iter().map(|&v| Json::from(v)).collect()),
+                ),
+            ]);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }

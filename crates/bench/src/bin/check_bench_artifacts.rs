@@ -224,10 +224,13 @@ fn check_serve(doc: &Json) -> Result<(), String> {
     // both the stripes=1 baseline and a striped run must be present —
     // and, since the event-driven accept loop, a striped `churn` run
     // (short-lived aborted/empty connections alongside every request)
-    // served with zero errors.
+    // served with zero errors. Since WAL shipping, also a `replication`
+    // run: the same workload against a leader streaming to a live
+    // follower, which must end caught up (zero lag).
     let mut saw_unstriped = false;
     let mut saw_striped = false;
     let mut saw_churn = false;
+    let mut saw_replication = false;
     for (i, run) in runs.iter().enumerate() {
         let at = format!("runs[{i}]");
         let stripes = require_num_at(run, &at, "stripes")?;
@@ -236,9 +239,40 @@ fn check_serve(doc: &Json) -> Result<(), String> {
         }
         saw_unstriped |= stripes == 1.0;
         saw_striped |= stripes > 1.0;
-        let churn = run.get("scenario").and_then(Json::as_str) == Some("churn");
+        let scenario = run.get("scenario").and_then(Json::as_str);
+        let churn = scenario == Some("churn");
         if require_num_at(run, &at, "threads_per_stripe")? < 1.0 {
             return Err(format!("JSON path '{at}.threads_per_stripe' must be >= 1"));
+        }
+        if scenario == Some("replication") {
+            saw_replication = true;
+            // The leader's latency rows are gated below like every other
+            // run; the replication-specific claim is the follower's: it
+            // caught up to everything the leader shipped, per stripe.
+            let f = format!("{at}.follower");
+            if run.path("follower.caught_up").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("JSON path '{f}.caught_up' must be true"));
+            }
+            if require_num_at(run, &at, "follower.final_lag")? != 0.0 {
+                return Err(format!(
+                    "JSON path '{f}.final_lag' is nonzero — the follower never caught up"
+                ));
+            }
+            require_num_at(run, &at, "follower.catchup_wall_s")?;
+            for key in ["shipped", "applied"] {
+                let seqs = run
+                    .path(&format!("follower.{key}"))
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("missing '{f}.{key}' array"))?;
+                if seqs.is_empty() {
+                    return Err(format!("JSON path '{f}.{key}' is an empty array"));
+                }
+                if seqs.iter().all(|s| s.as_num() == Some(0.0)) {
+                    return Err(format!(
+                        "JSON path '{f}.{key}' is all zeros — nothing was replicated"
+                    ));
+                }
+            }
         }
         let at = format!("{at}.report");
         let report = run.get("report").ok_or_else(|| format!("missing '{at}'"))?;
@@ -316,6 +350,12 @@ fn check_serve(doc: &Json) -> Result<(), String> {
     if !saw_churn {
         return Err(
             "no 'runs' entry with scenario == \"churn\" (the connection-churn stress run)".into(),
+        );
+    }
+    if !saw_replication {
+        return Err(
+            "no 'runs' entry with scenario == \"replication\" (leader under active WAL shipping)"
+                .into(),
         );
     }
     Ok(())

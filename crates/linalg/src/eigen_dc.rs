@@ -7,7 +7,7 @@
 //!
 //! where `T₁̂`/`T₂̂` are the halves with β subtracted from the adjacent
 //! diagonal entries. In the eigenbasis of the solved halves this is the
-//! diagonal-plus-rank-1 problem of [`crate::secular`] — the same
+//! diagonal-plus-rank-1 problem of the private `secular` module — the same
 //! deflation + safeguarded-Newton kernel that powers
 //! [`SymEigen::rank1_update`] — so the merge costs `O(n·m²)` with `m` the
 //! non-deflated count, and leaves small enough for Jacobi are solved

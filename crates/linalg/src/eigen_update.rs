@@ -15,8 +15,8 @@
 //! what makes the warm refresh path of the interactive loop scale with
 //! the *rank of the change* rather than with `d³`.
 //!
-//! The deflation / secular-Newton machinery itself lives in
-//! [`crate::secular`], shared verbatim with the merge step of the
+//! The deflation / secular-Newton machinery itself lives in the
+//! private `secular` module, shared verbatim with the merge step of the
 //! divide-and-conquer solver ([`crate::eigen_dc`]); this module only
 //! rotates the perturbation into the eigenbasis and maps the solution
 //! back. Chained updates accumulate round-off in the eigenbasis; callers

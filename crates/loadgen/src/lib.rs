@@ -35,6 +35,9 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+
+use fault::{FaultSchedule, FlakyProxy};
 use sider_json::Json;
 use sider_stats::Rng;
 use std::io::{Read, Write};
@@ -126,6 +129,15 @@ pub struct LoadConfig {
     /// counted in [`LoadReport::churn_conns`] but never measured: the
     /// latency digests still describe only real requests.
     pub churn: bool,
+    /// Fault-injection scenario: interpose a seeded [`FlakyProxy`]
+    /// between the workers and the server for the mixed phase, so the
+    /// latency digests measure the server as seen through a link that
+    /// splits, delays, and severs connections. The create phase always
+    /// dials the server directly — the session population is setup,
+    /// not the system under test, and a severed create would leave a
+    /// half-built population. Proxy counters land in
+    /// [`LoadReport::fault`].
+    pub fault: Option<FaultSchedule>,
 }
 
 impl LoadConfig {
@@ -141,6 +153,7 @@ impl LoadConfig {
             seed: 2018,
             dataset_rows: 150,
             churn: false,
+            fault: None,
         }
     }
 
@@ -155,6 +168,7 @@ impl LoadConfig {
             seed: 2018,
             dataset_rows: 150,
             churn: false,
+            fault: None,
         }
     }
 
@@ -314,15 +328,39 @@ pub struct LoadReport {
     /// Short-lived churn connections opened alongside the workload
     /// (0 unless [`LoadConfig::churn`] was set).
     pub churn_conns: usize,
+    /// Flaky-proxy counters when [`LoadConfig::fault`] interposed one.
+    pub fault: Option<FaultCounters>,
     /// Per-endpoint digests, in [`Endpoint::ALL`] order.
     pub endpoints: Vec<(Endpoint, EndpointStats)>,
+}
+
+/// What the interposed [`FlakyProxy`] did during a `--fault` run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCounters {
+    /// Connections the proxy accepted.
+    pub conns: usize,
+    /// Connections it severed mid-stream (drop budget exhausted).
+    pub drops: usize,
+    /// Bytes it forwarded across all connections and directions.
+    pub bytes: u64,
+}
+
+impl FaultCounters {
+    /// JSON form (`fault` key of the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("conns", Json::from(self.conns)),
+            ("drops", Json::from(self.drops)),
+            ("bytes", Json::from(self.bytes)),
+        ])
+    }
 }
 
 impl LoadReport {
     /// JSON form for `BENCH_serve.json` (endpoint keys sort, like every
     /// `sider_json` object).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("create_wall_s", Json::from(self.create_wall_s)),
             ("mixed_wall_s", Json::from(self.mixed_wall_s)),
             ("total_requests", Json::from(self.total_requests)),
@@ -338,13 +376,25 @@ impl LoadReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(fault) = &self.fault {
+            fields.push(("fault", fault.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
 /// One blocking HTTP/1.1 request (`Connection: close`, the server's
-/// model); returns the response status code.
-fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<u16, String> {
+/// model); returns the response status code and the raw response bytes
+/// (status line, headers, and body). Public so the bench harness and
+/// fault batteries can poll `/health` and compare full transcripts with
+/// the same client the load workers use.
+pub fn http_exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, Vec<u8>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -362,10 +412,17 @@ fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Resul
         .map_err(|e| format!("read: {e}"))?;
     let text = std::str::from_utf8(&response[..response.len().min(64)])
         .map_err(|e| format!("status line: {e}"))?;
-    text.split_whitespace()
+    let status = text
+        .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("no status in {text:?}"))
+        .ok_or_else(|| format!("no status in {text:?}"))?;
+    Ok((status, response))
+}
+
+/// Status-only wrapper over [`http_exchange`].
+fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<u16, String> {
+    http_exchange(addr, method, path, body).map(|(status, _)| status)
 }
 
 /// One short-lived churn connection: either a mid-request abort (write a
@@ -420,7 +477,15 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         ));
     }
 
-    // Phase 2: the open-loop mixed schedule.
+    // Phase 2: the open-loop mixed schedule — through the flaky proxy
+    // when the fault scenario asked for one.
+    let proxy = match &config.fault {
+        Some(schedule) => Some(
+            FlakyProxy::start(addr, schedule.clone()).map_err(|e| format!("fault proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    let mixed_addr = proxy.as_ref().map_or(addr, |p| p.local_addr());
     let schedule = build_schedule(config);
     let cursor = AtomicUsize::new(0);
     let churn_opened = AtomicUsize::new(0);
@@ -441,11 +506,11 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                         std::thread::sleep(due - now);
                     }
                     if config.churn {
-                        churn_connection(addr, i.is_multiple_of(2));
+                        churn_connection(mixed_addr, i.is_multiple_of(2));
                         churn_opened.fetch_add(1, Ordering::Relaxed);
                     }
                     let ok = matches!(
-                        http_request(addr, req.method, &req.path, &req.body),
+                        http_request(mixed_addr, req.method, &req.path, &req.body),
                         Ok(s) if s < 400
                     );
                     local.push(Sample {
@@ -460,6 +525,15 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     });
     let mixed_wall_s = phase_start.elapsed().as_secs_f64();
     let samples = samples.into_inner().expect("samples lock");
+    let fault = proxy.map(|p| {
+        let counters = FaultCounters {
+            conns: p.conns(),
+            drops: p.drops(),
+            bytes: p.bytes(),
+        };
+        p.stop();
+        counters
+    });
 
     let mut endpoints = Vec::new();
     let mut total_errors = create_errors;
@@ -493,6 +567,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         total_errors,
         throughput_rps: samples.len() as f64 / mixed_wall_s.max(1e-9),
         churn_conns: churn_opened.into_inner(),
+        fault,
         endpoints,
     })
 }
@@ -511,6 +586,7 @@ mod tests {
             seed: 7,
             dataset_rows: 150,
             churn: false,
+            fault: None,
         }
     }
 
@@ -586,6 +662,7 @@ mod tests {
             total_errors: 0,
             throughput_rps: 20.0,
             churn_conns: 3,
+            fault: None,
             endpoints: vec![(
                 Endpoint::View,
                 EndpointStats {

@@ -30,6 +30,7 @@ fn open_loop_run_against_a_live_striped_server() {
         seed: 7,
         dataset_rows: 150,
         churn: true,
+        fault: None,
     };
     let report = run(&config).expect("load run");
     handle.shutdown();

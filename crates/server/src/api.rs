@@ -77,9 +77,55 @@ fn bad_request(msg: impl Into<String>) -> ApiError {
 pub fn handle(manager: &SessionManager, req: &Request) -> Response {
     let path = req.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    // A read-only follower refuses every state-changing endpoint with
+    // 409 (the leader is the write path) but still serves views and
+    // rendered plots — from a scratch clone of the replicated session,
+    // so peeking never advances the session's RNG away from the
+    // leader's. GET endpoints fall through untouched.
+    if manager.read_only() {
+        let refused = matches!(
+            (req.method.as_str(), segments.as_slice()),
+            ("POST", ["api", "sessions"])
+                | ("DELETE", ["api", "sessions", _])
+                | (
+                    "POST",
+                    [
+                        "api",
+                        "sessions",
+                        _,
+                        "knowledge" | "update" | "undo" | "snapshot" | "checkpoint"
+                    ],
+                )
+        );
+        if refused {
+            let leader = manager
+                .follow_state()
+                .map(|s| s.leader.clone())
+                .unwrap_or_else(|| "?".into());
+            return Response::error(
+                409,
+                &format!(
+                    "read-only follower (replicating from {leader}); \
+                     write to the leader, or POST /api/promote to take over"
+                ),
+            );
+        }
+        match (req.method.as_str(), segments.as_slice()) {
+            ("POST", ["api", "sessions", id, "view"]) => {
+                return follower_view(manager, id, req, false)
+                    .unwrap_or_else(|ApiError(status, msg)| Response::error(status, &msg));
+            }
+            ("POST", ["api", "sessions", id, "view.svg"]) => {
+                return follower_view(manager, id, req, true)
+                    .unwrap_or_else(|ApiError(status, msg)| Response::error(status, &msg));
+            }
+            _ => {}
+        }
+    }
     let outcome = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => health(manager),
         ("GET", ["api", "store"]) => store_status(manager),
+        ("POST", ["api", "promote"]) => promote(manager),
         ("GET", ["api", "sessions"]) => list_sessions(manager),
         ("POST", ["api", "sessions"]) => create_session(manager, req),
         ("GET", ["api", "sessions", id]) => with_slot(manager, id, session_detail),
@@ -102,6 +148,7 @@ pub fn handle(manager: &SessionManager, req: &Request) -> Response {
         // (including unknown paths under /api) is 404.
         (_, ["health"])
         | (_, ["api", "store"])
+        | (_, ["api", "promote"])
         | (_, ["api", "sessions"])
         | (_, ["api", "sessions", _])
         | (
@@ -239,8 +286,116 @@ fn health(manager: &SessionManager) -> ApiResult {
             // endpoint excluded from byte-determinism transcripts.
             ("accept_loop", Json::from(manager.accept_loop())),
             ("open_connections", Json::from(manager.open_connections())),
+            ("role", Json::from(manager.role().as_str())),
+            ("replication", replication_health(manager)),
         ]),
     ))
+}
+
+/// The `/health` replication block: per-stripe shipped/applied seqs and
+/// lag. On a leader, lag is per connected follower (shipped − acked);
+/// on a follower, it is the distance to the leader's announced seqs.
+fn replication_health(manager: &SessionManager) -> Json {
+    if let Some(state) = manager.follow_state() {
+        let applied = state.applied_seqs();
+        let leader_seqs = state.leader_seqs();
+        let lag: Vec<u64> = leader_seqs
+            .iter()
+            .zip(&applied)
+            .map(|(l, a)| l.saturating_sub(*a))
+            .collect();
+        let mut fields = vec![
+            ("applied", Json::arr(applied.into_iter().map(Json::from))),
+            ("connected", Json::from(state.is_connected())),
+            ("lag", Json::arr(lag.into_iter().map(Json::from))),
+            ("leader", Json::from(state.leader.as_str())),
+            (
+                "leader_seqs",
+                Json::arr(leader_seqs.into_iter().map(Json::from)),
+            ),
+            ("reconnects", Json::from(state.reconnects())),
+        ];
+        if let Some(broken) = state.broken() {
+            fields.push(("broken", Json::from(broken)));
+        }
+        return Json::obj(fields);
+    }
+    let shipped: Vec<u64> = manager.stores().iter().map(|s| s.ship_seq()).collect();
+    let followers = manager
+        .ship_hub()
+        .map(|hub| {
+            hub.live()
+                .into_iter()
+                .map(|conn| {
+                    let acked = conn.acked_seqs();
+                    let lag: Vec<u64> = shipped
+                        .iter()
+                        .zip(&acked)
+                        .map(|(s, a)| s.saturating_sub(*a))
+                        .collect();
+                    Json::obj([
+                        ("acked", Json::arr(acked.into_iter().map(Json::from))),
+                        ("lag", Json::arr(lag.into_iter().map(Json::from))),
+                        ("peer", Json::from(conn.peer.as_str())),
+                    ])
+                })
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
+    Json::obj([
+        ("followers", Json::Arr(followers)),
+        ("shipped", Json::arr(shipped.into_iter().map(Json::from))),
+    ])
+}
+
+/// `POST /api/promote`: turn a follower into the serving leader — stop
+/// the replication link, clear the replica marker, lift the read-only
+/// gate. `409` when already leading.
+fn promote(manager: &SessionManager) -> ApiResult {
+    let applied = manager.promote().map_err(|e| ApiError(409, e))?;
+    Ok(Response::json(
+        200,
+        &Json::obj([
+            ("applied", Json::arr(applied.into_iter().map(Json::from))),
+            ("promoted", Json::from(true)),
+            ("role", Json::from(manager.role().as_str())),
+        ]),
+    ))
+}
+
+/// A view served by a read-only follower: apply the view op to a
+/// **scratch clone** of the replicated session and discard it. The
+/// response bytes equal what the leader would serve for the same request
+/// at this point in the replicated history, while the real session's
+/// RNG stays wherever the leader's stream put it.
+fn follower_view(manager: &SessionManager, id: &str, req: &Request, svg: bool) -> ApiResult {
+    let body = req.json_body().map_err(bad_request)?;
+    let title = body
+        .get("title")
+        .and_then(Json::as_str)
+        .unwrap_or("sider view")
+        .to_string();
+    let selection: Option<Vec<usize>> = match body.get("selection") {
+        None => None,
+        Some(v) => Some(ops::index_arr(v, "selection")?),
+    };
+    with_slot(manager, id, |session, _slot| {
+        let mut scratch = session.clone();
+        let Applied::View { view } = ops::apply(&mut scratch, OpKind::View, &body)? else {
+            return Err(ApiError(500, "view op did not produce a view".into()));
+        };
+        if svg {
+            let rendered = view.to_scatter_plot(&title, selection.as_deref()).render();
+            return Ok(Response::svg(rendered));
+        }
+        Ok(Response::json(
+            200,
+            &Json::obj([
+                ("view", wire::view_to_json(&view)),
+                ("information_nats", Json::from(scratch.information_nats())),
+            ]),
+        ))
+    })
 }
 
 /// `GET /api/store`: per-session durability status (log/checkpoint sizes,
@@ -262,19 +417,48 @@ fn store_status(manager: &SessionManager) -> ApiResult {
         .flat_map(|s| s.status())
         .collect();
     rows.sort_by_key(|s| s.id);
-    Ok(Response::json(
-        200,
-        &Json::obj([
-            ("enabled", Json::from(true)),
-            ("fsync", Json::from(store.config().fsync.as_string())),
-            (
-                "checkpoint_every",
-                Json::from(store.config().checkpoint_every),
-            ),
-            ("stripes", Json::from(manager.stripes())),
-            ("sessions", Json::arr(rows.into_iter().map(|s| s.to_json()))),
-        ]),
-    ))
+    // Data-loss and replication state ride along: torn WAL tails
+    // truncated by recovery (in session order), the per-stripe ship-log
+    // horizon, and — on a follower — the persisted resume cursor.
+    let mut recovered: Vec<_> = manager
+        .stores()
+        .into_iter()
+        .flat_map(|s| s.recovery_report())
+        .collect();
+    recovered.sort_by_key(|t| t.session);
+    let ship_rows: Vec<Json> = manager
+        .stores()
+        .into_iter()
+        .map(|s| {
+            Json::obj([
+                ("bytes", Json::from(s.ship_bytes())),
+                ("seq", Json::from(s.ship_seq())),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("enabled", Json::from(true)),
+        ("fsync", Json::from(store.config().fsync.as_string())),
+        (
+            "checkpoint_every",
+            Json::from(store.config().checkpoint_every),
+        ),
+        ("stripes", Json::from(manager.stripes())),
+        ("role", Json::from(manager.role().as_str())),
+        (
+            "recovered",
+            Json::arr(recovered.into_iter().map(|t| t.to_json())),
+        ),
+        ("ship", Json::Arr(ship_rows)),
+        ("sessions", Json::arr(rows.into_iter().map(|s| s.to_json()))),
+    ];
+    if let Some(state) = manager.follow_state() {
+        fields.push((
+            "cursor",
+            Json::arr(state.applied_seqs().into_iter().map(Json::from)),
+        ));
+    }
+    Ok(Response::json(200, &Json::obj(fields)))
 }
 
 /// `POST /api/sessions/{id}/checkpoint`: compact the session's op-log

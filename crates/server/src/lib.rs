@@ -54,6 +54,7 @@ pub mod conn;
 pub mod http;
 pub mod manager;
 pub mod poller;
+pub mod replication;
 
 use manager::{SessionManager, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_SESSIONS};
 use sider_par::ThreadPool;
@@ -79,6 +80,12 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:8080";
 
 /// Environment variable selecting the accept loop (`events` | `threads`).
 pub const ACCEPT_ENV_VAR: &str = "SIDER_ACCEPT";
+
+/// Environment variable with the replication listen address (leader).
+pub const SHIP_ADDR_ENV_VAR: &str = "SIDER_SHIP_ADDR";
+
+/// Environment variable with the leader to replicate from (follower).
+pub const FOLLOW_ENV_VAR: &str = "SIDER_FOLLOW";
 
 /// Which accept loop fronts the server.
 ///
@@ -144,6 +151,18 @@ pub struct ServerConfig {
     /// Which accept loop serves connections (default [`AcceptMode::Events`];
     /// `SIDER_ACCEPT=threads` selects the legacy blocking loop).
     pub accept: AcceptMode,
+    /// Replication listen address (`--ship-addr` / `SIDER_SHIP_ADDR`):
+    /// when set (and a store is configured) the server leads, streaming
+    /// its WAL to any follower that connects. Port `0` picks a port.
+    pub ship_addr: Option<String>,
+    /// Leader to replicate from (`--follow` / `SIDER_FOLLOW`): when set
+    /// the server is a read-only follower of that address.
+    pub follow: Option<String>,
+    /// Allow serving a data dir marked as a replica (`--promote`):
+    /// clears the marker and leads from the replicated state.
+    pub promote: bool,
+    /// Leader heartbeat interval on idle replication links.
+    pub ship_heartbeat: Duration,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +175,10 @@ impl Default for ServerConfig {
             stripes: 1,
             store: None,
             accept: AcceptMode::default(),
+            ship_addr: None,
+            follow: None,
+            promote: false,
+            ship_heartbeat: Duration::from_millis(sider_store::ship::DEFAULT_HEARTBEAT_MS),
         }
     }
 }
@@ -202,6 +225,16 @@ impl ServerConfig {
             if !raw.is_empty() {
                 config.accept =
                     AcceptMode::parse(&raw).map_err(|e| format!("{ACCEPT_ENV_VAR}: {e}"))?;
+            }
+        }
+        if let Ok(addr) = std::env::var(SHIP_ADDR_ENV_VAR) {
+            if !addr.is_empty() {
+                config.ship_addr = Some(addr);
+            }
+        }
+        if let Ok(addr) = std::env::var(FOLLOW_ENV_VAR) {
+            if !addr.is_empty() {
+                config.follow = Some(addr);
             }
         }
         Ok(config)
@@ -257,6 +290,10 @@ pub struct Server {
     gate: Arc<Gate>,
     stop: Arc<AtomicBool>,
     accept: AcceptMode,
+    /// Bound replication listener (leader with `--ship-addr`); taken by
+    /// [`Server::run`] when the ship accept thread starts.
+    ship_listener: Option<TcpListener>,
+    ship_heartbeat: Duration,
 }
 
 /// Handle for stopping a running [`Server`] from another thread.
@@ -293,6 +330,32 @@ impl Server {
     /// reopening a striped dir with a different count is refused.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let accept = config.accept;
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        // Replication preconditions. The replica marker is honored
+        // *before* anything is opened: serving a replica dir as a leader
+        // without --promote would fork the history it was replaying.
+        if config.follow.is_some() && config.ship_addr.is_some() {
+            return Err(invalid(
+                "--follow and --ship-addr are mutually exclusive (no chained replication)".into(),
+            ));
+        }
+        if (config.follow.is_some() || config.ship_addr.is_some()) && config.store.is_none() {
+            return Err(invalid(
+                "replication requires a durable store (--data-dir)".into(),
+            ));
+        }
+        let data_root = config.store.as_ref().map(|s| s.dir.clone());
+        if let Some(root) = &data_root {
+            if let Some(leader) = sider_store::ship::read_marker(root) {
+                if config.follow.is_none() && !config.promote {
+                    return Err(invalid(format!(
+                        "{} is a replica of {leader}: serve with --follow {leader}, \
+                         or --promote to take over as leader",
+                        root.display()
+                    )));
+                }
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let pools: Vec<Arc<ThreadPool>> = (0..config.stripes.max(1))
             .map(|_| {
@@ -342,18 +405,70 @@ impl Server {
             }
         };
         manager.set_accept_loop(accept.as_str());
+        // Torn-tail report: recovery truncated these WAL tails (the op
+        // that never finished being acknowledged). Printed at bind so an
+        // operator sees data loss before the first connection; the same
+        // events are in `GET /api/store` and `sider store inspect`.
+        for store in manager.stores() {
+            for tail in store.recovery_report() {
+                eprintln!(
+                    "sider_server: recovery truncated a torn WAL tail: session s{} at byte {} ({} bytes lost)",
+                    tail.session, tail.offset, tail.lost_bytes
+                );
+            }
+        }
+        if let Some(root) = &data_root {
+            match &config.follow {
+                Some(leader) => {
+                    // (Re)write the role marker, then arm the link state
+                    // with the persisted per-stripe resume cursors.
+                    sider_store::ship::write_marker(root, leader)?;
+                    let cursors: Vec<u64> = manager
+                        .stores()
+                        .iter()
+                        .map(|s| sider_store::ship::read_cursor(&s.config().dir))
+                        .collect();
+                    manager.set_follower(Arc::new(replication::FollowState::new(
+                        leader.clone(),
+                        &cursors,
+                    )));
+                }
+                None => {
+                    if config.promote {
+                        let marker = sider_store::ship::marker_path(root);
+                        if marker.exists() {
+                            std::fs::remove_file(&marker)?;
+                        }
+                    }
+                }
+            }
+        }
+        let ship_listener = match &config.ship_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             manager: Arc::new(manager),
             gate,
             stop: Arc::new(AtomicBool::new(false)),
             accept,
+            ship_listener,
+            ship_heartbeat: config.ship_heartbeat,
         })
     }
 
     /// The bound address (useful with port `0`).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The bound replication address, when leading with `--ship-addr`
+    /// (useful with port `0`).
+    pub fn ship_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ship_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The session registry (shared with all handler threads).
@@ -377,14 +492,25 @@ impl Server {
     /// responses are byte-identical regardless of mode — the e2e suite
     /// pins exactly that. On non-unix platforms `Events` falls back to
     /// the portable threaded loop.
-    pub fn run(self) -> std::io::Result<()> {
-        match self.accept {
+    pub fn run(mut self) -> std::io::Result<()> {
+        // Replication threads (the ship accept loop and/or the follower
+        // link) start before the client accept loop and are joined after
+        // it exits; they share the same stop flag.
+        let repl = replication::start(
+            self.ship_listener.take(),
+            &self.manager,
+            &self.stop,
+            self.ship_heartbeat,
+        );
+        let result = match self.accept {
             AcceptMode::Threads => self.run_threads(),
             #[cfg(unix)]
             AcceptMode::Events => self.run_events(),
             #[cfg(not(unix))]
             AcceptMode::Events => self.run_threads(),
-        }
+        };
+        repl.join();
+        result
     }
 
     /// The low-frequency housekeeping thread both accept loops run:

@@ -47,10 +47,11 @@
 //! evicting a session removes its on-disk history too — eviction *is*
 //! expiry, not a cache miss.
 
+use crate::replication::{FollowState, Role, ShipHub, PROMOTE_STOP_TIMEOUT};
 use sider_core::EdaSession;
 use sider_par::ThreadPool;
 use sider_store::stripes::{open_striped, stripe_of};
-use sider_store::{Store, StoreConfig, StoreError};
+use sider_store::{ops, ship, Store, StoreConfig, StoreError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
@@ -187,6 +188,28 @@ pub struct SessionManager {
     /// with the union of the stripe maps by pairing every insert/remove
     /// with an increment/decrement.
     live: AtomicUsize,
+    /// Replication role + link state. A follower is read-only (mutating
+    /// endpoints 409) until promoted; a leader with a ship listener
+    /// carries the hub its `/health` lag report reads.
+    replication: Mutex<Replication>,
+}
+
+/// The manager's replication cell (see [`crate::replication`]).
+#[derive(Debug)]
+struct Replication {
+    role: Role,
+    follow: Option<Arc<FollowState>>,
+    hub: Option<Arc<ShipHub>>,
+}
+
+impl Replication {
+    fn leader() -> Self {
+        Replication {
+            role: Role::Leader,
+            follow: None,
+            hub: None,
+        }
+    }
 }
 
 impl SessionManager {
@@ -220,6 +243,7 @@ impl SessionManager {
             accept_loop: Mutex::new("threads"),
             open_conns: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
+            replication: Mutex::new(Replication::leader()),
         }
     }
 
@@ -293,7 +317,159 @@ impl SessionManager {
             accept_loop: Mutex::new("threads"),
             open_conns: AtomicUsize::new(0),
             live: AtomicUsize::new(live),
+            replication: Mutex::new(Replication::leader()),
         })
+    }
+
+    // -- replication ------------------------------------------------------
+
+    /// Current replication role.
+    pub fn role(&self) -> Role {
+        self.replication.lock().expect("replication lock").role
+    }
+
+    /// Whether this manager serves a read-only replica: mutating
+    /// endpoints are refused with `409` and idle eviction is disabled
+    /// (the leader's deletes and evictions arrive as shipped `remove`s).
+    pub fn read_only(&self) -> bool {
+        self.role() == Role::Follower
+    }
+
+    /// Mark this manager a follower of `state.leader` (set at bind, so
+    /// `/health` reports the role before the link thread even starts).
+    pub fn set_follower(&self, state: Arc<FollowState>) {
+        let mut repl = self.replication.lock().expect("replication lock");
+        repl.role = Role::Follower;
+        repl.follow = Some(state);
+    }
+
+    /// The follower link state, when following.
+    pub fn follow_state(&self) -> Option<Arc<FollowState>> {
+        self.replication
+            .lock()
+            .expect("replication lock")
+            .follow
+            .clone()
+    }
+
+    /// Attach the leader-side follower-connection registry.
+    pub fn set_ship_hub(&self, hub: Arc<ShipHub>) {
+        self.replication.lock().expect("replication lock").hub = Some(hub);
+    }
+
+    /// The leader's follower-connection registry, when shipping.
+    pub fn ship_hub(&self) -> Option<Arc<ShipHub>> {
+        self.replication
+            .lock()
+            .expect("replication lock")
+            .hub
+            .clone()
+    }
+
+    /// Promote a follower to leader: stop the link thread (bounded
+    /// wait), clear the replica marker, and flip the role — from the
+    /// first mutating request on, this process serves exactly like a
+    /// leader restarted from the same data dir. Returns the per-stripe
+    /// applied seqs at promotion. `Err` when not following.
+    pub fn promote(&self) -> Result<Vec<u64>, String> {
+        let state = {
+            let mut repl = self.replication.lock().expect("replication lock");
+            let Some(state) = repl.follow.take() else {
+                return Err("not a follower (already the leader)".into());
+            };
+            repl.role = Role::Leader;
+            state
+        };
+        state.request_stop();
+        let deadline = Instant::now() + PROMOTE_STOP_TIMEOUT;
+        while !state.is_stopped() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if !state.is_stopped() {
+            eprintln!(
+                "sider_server: promote: link thread still draining after {:?}; proceeding",
+                PROMOTE_STOP_TIMEOUT
+            );
+        }
+        if let Some(root) = self.data_root() {
+            let marker = ship::marker_path(&root);
+            if marker.exists() {
+                if let Err(e) = std::fs::remove_file(&marker) {
+                    eprintln!("sider_server: promote: cannot remove replica marker: {e}");
+                }
+            }
+        }
+        Ok(state.applied_seqs())
+    }
+
+    /// The data-dir *root* (where the replica marker lives): stripe 0's
+    /// store directory, stepping out of its `stripe-0/` subdirectory
+    /// when the layout is striped.
+    pub fn data_root(&self) -> Option<std::path::PathBuf> {
+        let dir = &self.store()?.config().dir;
+        let striped = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("stripe-"));
+        Some(match (striped, dir.parent()) {
+            (true, Some(parent)) => parent.to_path_buf(),
+            _ => dir.clone(),
+        })
+    }
+
+    /// Replay a shipped `create` into this replica: build the session
+    /// through the same `ops` path the API uses, under the **leader's**
+    /// ID (IDs must match for the transcripts to), and start its local
+    /// op-log. Bypasses the capacity cap — the leader already enforced
+    /// it when the op was first acknowledged.
+    pub fn adopt_logged(&self, id: u64, body: &sider_json::Json) -> Result<(), String> {
+        let stripe = self.stripe(id);
+        let session = ops::create_session(body, Arc::clone(&stripe.pool), &ops::resolve_dataset)
+            .map_err(|e| e.to_string())?;
+        if let Some(store) = stripe.store.as_ref() {
+            store.create_session(id, body).map_err(|e| e.to_string())?;
+        }
+        let slot = Slot::new(id, session);
+        let replaced = stripe
+            .slots
+            .lock()
+            .expect("slots lock")
+            .insert(id, slot)
+            .is_some();
+        if !replaced {
+            self.live.fetch_add(1, Ordering::AcqRel);
+        }
+        self.next_id.fetch_max(id + 1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Replay a shipped `checkpoint` bootstrap record: install the
+    /// checkpoint document as the session's entire on-disk history, then
+    /// rebuild the in-memory session from it (the same replay recovery
+    /// uses). Ships when the leader compacted below this replica's
+    /// cursor — the individual ops no longer exist.
+    pub fn adopt_checkpoint(&self, id: u64, doc: &sider_json::Json) -> Result<(), String> {
+        let stripe = self.stripe(id);
+        let store = stripe
+            .store
+            .as_ref()
+            .ok_or_else(|| "follower has no store".to_string())?;
+        store.adopt_checkpoint(id, doc).map_err(|e| e.to_string())?;
+        let session = store
+            .recover_session(id, Arc::clone(&stripe.pool))
+            .map_err(|e| e.to_string())?;
+        let slot = Slot::new(id, session);
+        let replaced = stripe
+            .slots
+            .lock()
+            .expect("slots lock")
+            .insert(id, slot)
+            .is_some();
+        if !replaced {
+            self.live.fetch_add(1, Ordering::AcqRel);
+        }
+        self.next_id.fetch_max(id + 1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// The stripe a session ID lives on.
@@ -554,6 +730,12 @@ impl SessionManager {
     /// however stale its idle clock looks. Stripes are swept one at a
     /// time — the sweep never holds two stripe locks at once.
     pub fn evict_idle(&self) -> usize {
+        // A replica must not expire sessions on its own clock: nobody
+        // touches its slots, so everything would look idle. The leader's
+        // evictions arrive as shipped `remove` records instead.
+        if self.read_only() {
+            return 0;
+        }
         let mut evicted = Vec::new();
         for stripe in &self.stripes {
             let mut slots = stripe.slots.lock().expect("slots lock");

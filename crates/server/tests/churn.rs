@@ -34,6 +34,7 @@ fn start(threads: usize, accept: AcceptMode) -> RunningServer {
         stripes: 4,
         store: None,
         accept,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();

@@ -31,6 +31,7 @@ fn start_with(
         stripes,
         store: None,
         accept,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();

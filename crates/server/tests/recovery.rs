@@ -45,6 +45,7 @@ fn start_with(
         stripes,
         store: data_dir.map(StoreConfig::new),
         accept,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();

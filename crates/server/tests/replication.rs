@@ -1,0 +1,676 @@
+//! WAL-shipping replication battery: leader→follower streaming under
+//! clean links, flaky links, follower kills, leader kills, and network
+//! partitions — every scenario ends with a **byte-identical** transcript
+//! between the surviving (promoted) follower and a never-failed twin.
+//!
+//! The comparison discipline mirrors `recovery.rs`: the reference is a
+//! store-less, **unstriped** server that never replicated anything, so
+//! these tests simultaneously pin that replication, striping, and
+//! durability are all invisible on the wire.
+
+use sider_loadgen::fault::{FaultSchedule, FlakyProxy};
+use sider_server::{Server, ServerConfig, ShutdownHandle};
+use sider_store::StoreConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct RunningServer {
+    addr: SocketAddr,
+    ship: Option<SocketAddr>,
+    handle: ShutdownHandle,
+    joiner: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// A replication node: optionally durable, optionally a shipping leader
+/// (`ship` = true binds an ephemeral ship port), optionally a follower
+/// of `follow`.
+fn start_node(
+    stripes: usize,
+    data_dir: Option<&Path>,
+    ship: bool,
+    follow: Option<String>,
+) -> RunningServer {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 16,
+        idle_timeout: Duration::from_secs(3600),
+        threads: Some(1),
+        stripes,
+        store: data_dir.map(StoreConfig::new),
+        ship_addr: ship.then(|| "127.0.0.1:0".to_string()),
+        follow,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let ship = server.ship_addr();
+    let handle = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+    RunningServer {
+        addr,
+        ship,
+        handle,
+        joiner,
+    }
+}
+
+impl RunningServer {
+    fn ship_addr(&self) -> SocketAddr {
+        self.ship.expect("node has no ship listener")
+    }
+
+    fn kill(self) {
+        self.handle.shutdown();
+        self.joiner.join().unwrap().unwrap();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sider_replication_test_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sider\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    response
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    let text = std::str::from_utf8(&raw[..raw.len().min(64)]).unwrap();
+    text.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+fn body_of(raw: &[u8]) -> &str {
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    std::str::from_utf8(&raw[pos + 4..]).expect("utf-8 body")
+}
+
+fn rows(range: std::ops::Range<usize>) -> String {
+    range.map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// The exploration script, split at the failover point: the prefix runs
+/// on the original leader, the suffix on whoever survives. Identical to
+/// the recovery battery's script, so a promoted follower is held to the
+/// exact standard of a recovered leader.
+fn script_prefix() -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        (
+            "POST",
+            "/api/sessions",
+            r#"{"dataset":"fig2","seed":7}"#.into(),
+        ),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+        (
+            "POST",
+            "/api/sessions/s1/knowledge",
+            format!(r#"{{"kind":"cluster","rows":[{}]}}"#, rows(0..40)),
+        ),
+        ("POST", "/api/sessions/s1/update", "{}".into()),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+    ]
+}
+
+fn script_suffix() -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        (
+            "POST",
+            "/api/sessions/s1/knowledge",
+            format!(r#"{{"kind":"cluster","rows":[{}]}}"#, rows(50..90)),
+        ),
+        ("POST", "/api/sessions/s1/update", "{}".into()),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"pca"}"#.into(),
+        ),
+        ("POST", "/api/sessions/s1/undo", String::new()),
+        ("POST", "/api/sessions/s1/update", "{}".into()),
+        (
+            "POST",
+            "/api/sessions/s1/view",
+            r#"{"method":"ica","restarts":2}"#.into(),
+        ),
+        ("GET", "/api/sessions/s1/snapshot", String::new()),
+        ("GET", "/api/sessions/s1", String::new()),
+    ]
+}
+
+fn run_steps(addr: SocketAddr, steps: &[(&str, &str, String)]) -> Vec<Vec<u8>> {
+    steps
+        .iter()
+        .map(|(method, path, body)| raw_request(addr, method, path, body))
+        .collect()
+}
+
+fn assert_all_ok(tag: &str, transcript: &[Vec<u8>]) {
+    for (i, raw) in transcript.iter().enumerate() {
+        let status = status_of(raw);
+        assert!(
+            status == 200 || status == 201,
+            "{tag}: step {i} failed with {status}: {}",
+            body_of(raw)
+        );
+    }
+}
+
+fn assert_transcripts_equal(tag: &str, a: &[Vec<u8>], b: &[Vec<u8>]) {
+    assert_eq!(a.len(), b.len(), "{tag}: step count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x,
+            y,
+            "{tag}: step {i} differs:\n{}\nvs\n{}",
+            body_of(x),
+            body_of(y)
+        );
+    }
+}
+
+/// Extract a `"key":[1,2,…]` seq array from a health body.
+fn seqs_of(body: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":[");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + needle.len();
+    let end = start + body[start..].find(']').expect("unterminated seq array");
+    body[start..end]
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().expect("seq"))
+        .collect()
+}
+
+/// Wait until the follower has applied everything the **leader** says
+/// it has shipped. The follower's own lag estimate is not enough: right
+/// after a leader-side op commits, the follower may not yet know the
+/// seq advanced (heartbeats are periodic), so its lag reads zero
+/// against stale knowledge. The leader's `/health` is the ground truth
+/// — every acknowledged client op is in the ship log before its
+/// response is sent. `/health` is the one endpoint outside the
+/// determinism contract, so string-matching it here is fair game.
+fn wait_caught_up(tag: &str, leader: SocketAddr, follower: SocketAddr, stripes: usize) {
+    let raw = raw_request(leader, "GET", "/health", "");
+    let shipped = seqs_of(body_of(&raw), "shipped");
+    assert_eq!(shipped.len(), stripes, "{tag}: {}", body_of(&raw));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        let raw = raw_request(follower, "GET", "/health", "");
+        let body = body_of(&raw);
+        let applied = seqs_of(body, "applied");
+        if body.contains("\"connected\":true")
+            && applied.len() == shipped.len()
+            && applied.iter().zip(&shipped).all(|(a, s)| a >= s)
+        {
+            return;
+        }
+        last = body.to_string();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    panic!("{tag}: follower never caught up to {shipped:?}; last health: {last}");
+}
+
+/// Promote the follower over HTTP and check the role flips.
+fn promote(tag: &str, follower: SocketAddr) {
+    let raw = raw_request(follower, "POST", "/api/promote", "");
+    assert_eq!(status_of(&raw), 200, "{tag}: {}", body_of(&raw));
+    assert!(
+        body_of(&raw).contains("\"promoted\":true"),
+        "{tag}: {}",
+        body_of(&raw)
+    );
+    let health = raw_request(follower, "GET", "/health", "");
+    assert!(
+        body_of(&health).contains("\"role\":\"leader\""),
+        "{tag}: {}",
+        body_of(&health)
+    );
+}
+
+/// The never-failed reference: a store-less, unstriped server runs the
+/// whole script in one life.
+fn twin_transcript() -> Vec<Vec<u8>> {
+    let twin = start_node(1, None, false, None);
+    let mut expected = run_steps(twin.addr, &script_prefix());
+    expected.extend(run_steps(twin.addr, &script_suffix()));
+    twin.kill();
+    expected
+}
+
+/// Clean-link failover: leader serves the prefix while a follower
+/// replicates it, the leader is killed, the follower is promoted and
+/// serves the suffix. Prefix + suffix must equal the twin byte for byte.
+fn replicate_and_promote(stripes: usize, tag: &str) -> Vec<Vec<u8>> {
+    let leader_dir = temp_dir(&format!("{tag}_leader"));
+    let follower_dir = temp_dir(&format!("{tag}_follower"));
+
+    let leader = start_node(stripes, Some(&leader_dir), true, None);
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    let mut transcript = run_steps(leader.addr, &script_prefix());
+    wait_caught_up(tag, leader.addr, follower.addr, stripes);
+
+    // Kill-leader-then-promote: the follower takes over mid-exploration.
+    leader.kill();
+    promote(tag, follower.addr);
+    transcript.extend(run_steps(follower.addr, &script_suffix()));
+    assert_all_ok(tag, &transcript);
+    follower.kill();
+
+    assert_transcripts_equal(tag, &transcript, &twin_transcript());
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    transcript
+}
+
+#[test]
+fn failover_is_byte_identical_at_stripes_1_and_4() {
+    let s1 = replicate_and_promote(1, "clean_s1");
+    let s4 = replicate_and_promote(4, "clean_s4");
+    // The twin comparison inside each run already pins correctness;
+    // comparing the runs pins that the stripe count is invisible even
+    // across a failover.
+    assert_transcripts_equal("clean 1-vs-4 stripes", &s1, &s4);
+}
+
+/// Flaky-link convergence: the follower reaches the leader only through
+/// a proxy that splits frames into shreds, injects stalls, and severs
+/// the connection on a seeded byte budget — so the stream dies mid-frame
+/// over and over, and every reconnect must resume from the follower's
+/// last durable LSN. Convergence to a byte-identical transcript *is* the
+/// proof that no record was lost, duplicated, or torn into the store.
+fn replicate_through_flaky_link(stripes: usize, tag: &str) -> Vec<Vec<u8>> {
+    let leader_dir = temp_dir(&format!("{tag}_leader"));
+    let follower_dir = temp_dir(&format!("{tag}_follower"));
+
+    let leader = start_node(stripes, Some(&leader_dir), true, None);
+    let schedule = FaultSchedule {
+        // A small drop budget: the whole script ships only ~1 KiB of
+        // records, so the budget must be tiny for the link to actually
+        // die mid-stream — and more than once.
+        drop_after: 600,
+        ..FaultSchedule::flaky()
+    };
+    let proxy = FlakyProxy::start(leader.ship_addr(), schedule).expect("proxy");
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(proxy.local_addr().to_string()),
+    );
+
+    let mut transcript = run_steps(leader.addr, &script_prefix());
+    wait_caught_up(
+        &format!("{tag} (prefix)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+    transcript.extend(run_steps(leader.addr, &script_suffix()));
+    wait_caught_up(
+        &format!("{tag} (suffix)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+    assert_all_ok(tag, &transcript);
+    assert!(
+        proxy.drops() >= 1,
+        "{tag}: the schedule must actually sever connections (conns={}, bytes={})",
+        proxy.conns(),
+        proxy.bytes()
+    );
+
+    // The follower survived the flaky link; now survive the leader too.
+    leader.kill();
+    proxy.stop();
+    promote(tag, follower.addr);
+    let verification = [
+        ("GET", "/api/sessions/s1/snapshot", String::new()),
+        ("GET", "/api/sessions/s1", String::new()),
+    ];
+    let got = run_steps(follower.addr, &verification);
+    follower.kill();
+
+    let twin = start_node(1, None, false, None);
+    let mut expected = run_steps(twin.addr, &script_prefix());
+    expected.extend(run_steps(twin.addr, &script_suffix()));
+    let expected_tail = run_steps(twin.addr, &verification);
+    twin.kill();
+    assert_transcripts_equal(tag, &transcript, &expected);
+    assert_transcripts_equal(&format!("{tag} (promoted reads)"), &got, &expected_tail);
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    transcript
+}
+
+#[test]
+fn flaky_link_converges_at_stripes_1_and_4() {
+    replicate_through_flaky_link(1, "flaky_s1");
+    replicate_through_flaky_link(4, "flaky_s4");
+}
+
+/// Kill-follower-mid-stream: the follower dies while records are still
+/// flowing, restarts from its data dir, and must resume from its
+/// persisted per-stripe cursor — not from zero, and not skipping ahead.
+fn kill_follower_mid_stream(stripes: usize, tag: &str) -> Vec<Vec<u8>> {
+    let leader_dir = temp_dir(&format!("{tag}_leader"));
+    let follower_dir = temp_dir(&format!("{tag}_follower"));
+
+    let leader = start_node(stripes, Some(&leader_dir), true, None);
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    let mut transcript = run_steps(leader.addr, &script_prefix());
+    wait_caught_up(
+        &format!("{tag} (first life)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+    // Die mid-stream, then the leader keeps exploring without a
+    // follower attached (the ship log retains everything on disk).
+    follower.kill();
+    transcript.extend(run_steps(leader.addr, &script_suffix()));
+
+    // Second life: same data dir, same leader. The hello carries the
+    // persisted cursor; the leader re-ships only what is missing.
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    wait_caught_up(
+        &format!("{tag} (second life)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+    leader.kill();
+    promote(tag, follower.addr);
+
+    let verification = [
+        ("GET", "/api/sessions/s1/snapshot", String::new()),
+        ("GET", "/api/sessions/s1", String::new()),
+    ];
+    let got = run_steps(follower.addr, &verification);
+    follower.kill();
+    assert_all_ok(tag, &transcript);
+
+    let twin = start_node(1, None, false, None);
+    let mut expected = run_steps(twin.addr, &script_prefix());
+    expected.extend(run_steps(twin.addr, &script_suffix()));
+    let expected_tail = run_steps(twin.addr, &verification);
+    twin.kill();
+    assert_transcripts_equal(tag, &transcript, &expected);
+    assert_transcripts_equal(&format!("{tag} (promoted reads)"), &got, &expected_tail);
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    transcript
+}
+
+#[test]
+fn killed_follower_resumes_from_durable_cursor_at_stripes_1_and_4() {
+    kill_follower_mid_stream(1, "resume_s1");
+    kill_follower_mid_stream(4, "resume_s4");
+}
+
+/// Network partition: the link drops entirely while the leader keeps
+/// serving clients (it must never block on a dead follower), then heals;
+/// the follower reconnects through its backoff loop and converges.
+fn partition_and_heal(stripes: usize, tag: &str) {
+    let leader_dir = temp_dir(&format!("{tag}_leader"));
+    let follower_dir = temp_dir(&format!("{tag}_follower"));
+
+    let leader = start_node(stripes, Some(&leader_dir), true, None);
+    let proxy = FlakyProxy::start(leader.ship_addr(), FaultSchedule::clean()).expect("proxy");
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(proxy.local_addr().to_string()),
+    );
+    let mut transcript = run_steps(leader.addr, &script_prefix());
+    wait_caught_up(
+        &format!("{tag} (pre-partition)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+
+    // Partition. The leader serves the whole suffix with the follower
+    // unreachable — every response must still arrive promptly.
+    proxy.partition();
+    transcript.extend(run_steps(leader.addr, &script_suffix()));
+    assert_all_ok(&format!("{tag} (during partition)"), &transcript);
+    // Give the follower time to hit the dead link and start backing off.
+    std::thread::sleep(Duration::from_millis(200));
+
+    proxy.heal();
+    wait_caught_up(
+        &format!("{tag} (healed)"),
+        leader.addr,
+        follower.addr,
+        stripes,
+    );
+    leader.kill();
+    proxy.stop();
+    promote(tag, follower.addr);
+    let verification = [
+        ("GET", "/api/sessions/s1/snapshot", String::new()),
+        ("GET", "/api/sessions/s1", String::new()),
+    ];
+    let got = run_steps(follower.addr, &verification);
+    follower.kill();
+
+    let twin = start_node(1, None, false, None);
+    let mut expected = run_steps(twin.addr, &script_prefix());
+    expected.extend(run_steps(twin.addr, &script_suffix()));
+    let expected_tail = run_steps(twin.addr, &verification);
+    twin.kill();
+    assert_transcripts_equal(tag, &transcript, &expected);
+    assert_transcripts_equal(&format!("{tag} (promoted reads)"), &got, &expected_tail);
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+#[test]
+fn partition_heals_and_leader_never_blocks_at_stripes_1_and_4() {
+    partition_and_heal(1, "partition_s1");
+    partition_and_heal(4, "partition_s4");
+}
+
+#[test]
+fn follower_is_read_only_until_promoted() {
+    let leader_dir = temp_dir("ro_leader");
+    let follower_dir = temp_dir("ro_follower");
+    let leader = start_node(1, Some(&leader_dir), true, None);
+    let follower = start_node(
+        1,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    run_steps(leader.addr, &script_prefix());
+    wait_caught_up("read-only", leader.addr, follower.addr, 1);
+
+    // Mutations are refused with 409 and a pointer at the leader…
+    for (method, path, body) in [
+        ("POST", "/api/sessions", r#"{"dataset":"fig2","seed":1}"#),
+        ("POST", "/api/sessions/s1/update", "{}"),
+        ("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        ("POST", "/api/sessions/s1/checkpoint", ""),
+        ("DELETE", "/api/sessions/s1", ""),
+    ] {
+        let raw = raw_request(follower.addr, method, path, body);
+        assert_eq!(status_of(&raw), 409, "{method} {path}: {}", body_of(&raw));
+        assert!(
+            body_of(&raw).contains("read-only follower"),
+            "{method} {path}: {}",
+            body_of(&raw)
+        );
+    }
+
+    // …while reads — including the *computed* next-view, served from a
+    // scratch clone so the real session's RNG never advances — match the
+    // leader's state exactly.
+    let leader_snapshot = raw_request(leader.addr, "GET", "/api/sessions/s1/snapshot", "");
+    let follower_snapshot = raw_request(follower.addr, "GET", "/api/sessions/s1/snapshot", "");
+    assert_transcripts_equal(
+        "follower snapshot",
+        std::slice::from_ref(&leader_snapshot),
+        &[follower_snapshot],
+    );
+    let view_a = raw_request(
+        follower.addr,
+        "POST",
+        "/api/sessions/s1/view",
+        r#"{"method":"pca"}"#,
+    );
+    assert_eq!(status_of(&view_a), 200, "{}", body_of(&view_a));
+    // Served twice, the scratch-clone view is identical — proof the
+    // follower session did not mutate.
+    let view_b = raw_request(
+        follower.addr,
+        "POST",
+        "/api/sessions/s1/view",
+        r#"{"method":"pca"}"#,
+    );
+    assert_transcripts_equal("idempotent follower view", &[view_a], &[view_b]);
+    let after = raw_request(follower.addr, "GET", "/api/sessions/s1/snapshot", "");
+    assert_transcripts_equal("snapshot unchanged", &[leader_snapshot], &[after]);
+
+    // The health and store reports expose the follower role and cursor.
+    let health = raw_request(follower.addr, "GET", "/health", "");
+    let health_body = body_of(&health);
+    assert!(
+        health_body.contains("\"role\":\"follower\""),
+        "{health_body}"
+    );
+    assert!(health_body.contains("\"leader\":"), "{health_body}");
+    let store = raw_request(follower.addr, "GET", "/api/store", "");
+    assert!(
+        body_of(&store).contains("\"cursor\":"),
+        "{}",
+        body_of(&store)
+    );
+    // The leader's health names its follower.
+    let leader_health = raw_request(leader.addr, "GET", "/health", "");
+    assert!(
+        body_of(&leader_health).contains("\"role\":\"leader\""),
+        "{}",
+        body_of(&leader_health)
+    );
+    assert!(
+        body_of(&leader_health).contains("\"followers\":[{"),
+        "{}",
+        body_of(&leader_health)
+    );
+
+    leader.kill();
+    promote("read-only", follower.addr);
+    // Writes flow after promotion.
+    let raw = raw_request(follower.addr, "POST", "/api/sessions/s1/update", "{}");
+    assert_eq!(status_of(&raw), 200, "{}", body_of(&raw));
+    // A second promote is a 409: already the leader.
+    let raw = raw_request(follower.addr, "POST", "/api/promote", "");
+    assert_eq!(status_of(&raw), 409, "{}", body_of(&raw));
+    follower.kill();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+#[test]
+fn replica_marker_blocks_plain_restart() {
+    let leader_dir = temp_dir("marker_leader");
+    let follower_dir = temp_dir("marker_follower");
+    let leader = start_node(1, Some(&leader_dir), true, None);
+    let follower = start_node(
+        1,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    run_steps(leader.addr, &script_prefix());
+    wait_caught_up("marker", leader.addr, follower.addr, 1);
+    follower.kill();
+
+    // A replica data dir refuses to serve as a plain leader: silently
+    // coming up writable would fork history from the real leader.
+    let err = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store: Some(StoreConfig::new(&follower_dir)),
+        ..ServerConfig::default()
+    })
+    .expect_err("replica dir must not bind as a plain leader");
+    assert!(err.to_string().contains("replica"), "{err}");
+
+    // --promote at bind time clears the marker and takes over.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 16,
+        store: Some(StoreConfig::new(&follower_dir)),
+        promote: true,
+        ..ServerConfig::default()
+    })
+    .expect("promote at bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let joiner = std::thread::spawn(move || server.run());
+    let raw = raw_request(addr, "POST", "/api/sessions/s1/update", "{}");
+    assert_eq!(status_of(&raw), 200, "{}", body_of(&raw));
+    handle.shutdown();
+    joiner.join().unwrap().unwrap();
+
+    // The marker is gone: a plain restart now works.
+    let plain = start_node(1, Some(&follower_dir), false, None);
+    let raw = raw_request(plain.addr, "GET", "/health", "");
+    assert!(
+        body_of(&raw).contains("\"role\":\"leader\""),
+        "{}",
+        body_of(&raw)
+    );
+    plain.kill();
+
+    leader.kill();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}

@@ -37,6 +37,7 @@
 
 pub mod checkpoint;
 pub mod ops;
+pub mod ship;
 pub mod stripes;
 pub mod wal;
 
@@ -211,6 +212,32 @@ impl SessionStatus {
     }
 }
 
+/// A torn WAL tail truncated during recovery — the record (or records)
+/// that were mid-write when the process died. Recovery reports these so
+/// operators can see exactly where and how much was cut, instead of the
+/// loss being visible only in a transient log line.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// Session whose WAL was truncated.
+    pub session: u64,
+    /// Byte offset the WAL was truncated to (end of the last valid
+    /// record).
+    pub offset: u64,
+    /// Bytes dropped past the truncation point.
+    pub lost_bytes: u64,
+}
+
+impl TornTail {
+    /// JSON row for the bind-time report and `GET /api/store`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("lost_bytes", Json::from(self.lost_bytes)),
+            ("offset", Json::from(self.offset)),
+            ("session", Json::from(format!("s{}", self.session))),
+        ])
+    }
+}
+
 /// One session's open log: the WAL file handle plus bookkeeping.
 #[derive(Debug)]
 struct SessionLog {
@@ -350,6 +377,14 @@ pub struct Store {
     /// Highest ID ever handed out + 1, persisted in `meta.json`.
     next_id: Mutex<u64>,
     logs: Mutex<BTreeMap<u64, Arc<Mutex<SessionLog>>>>,
+    /// The replication op stream: every acknowledged mutation is also
+    /// appended here (ship module) so followers can tail it.
+    ship: Mutex<ship::ShipLog>,
+    /// Bounded in-memory tail of `ship`, the fast path for followers
+    /// that are keeping up.
+    ship_buf: ship::ShipBuffer,
+    /// Torn WAL tails truncated by recovery since this handle opened.
+    recovered: Mutex<Vec<TornTail>>,
 }
 
 impl Store {
@@ -357,6 +392,8 @@ impl Store {
     pub fn open(config: StoreConfig) -> Result<Store, StoreError> {
         let sessions_dir = config.dir.join("sessions");
         std::fs::create_dir_all(&sessions_dir)?;
+        let ship_log = ship::ShipLog::open(&config.dir)?;
+        let ship_buf = ship::ShipBuffer::new(ship::SHIP_BUFFER_MAX_BYTES, ship_log.last_seq());
         let meta_path = config.dir.join("meta.json");
         let next_id = match std::fs::read_to_string(&meta_path) {
             Ok(text) => {
@@ -382,6 +419,9 @@ impl Store {
             meta_path,
             next_id: Mutex::new(next_id),
             logs: Mutex::new(BTreeMap::new()),
+            ship: Mutex::new(ship_log),
+            ship_buf,
+            recovered: Mutex::new(Vec::new()),
         })
     }
 
@@ -469,6 +509,7 @@ impl Store {
             .lock()
             .expect("logs lock")
             .insert(id, Arc::new(Mutex::new(log)));
+        self.ship_append(id, OpKind::Create.as_str(), 1, body)?;
         Ok(())
     }
 
@@ -478,7 +519,20 @@ impl Store {
         let mut log = log.lock().expect("session log lock");
         let lsn = log.last_lsn + 1;
         log.append(lsn, kind, body, self.config.fsync)?;
+        self.ship_append(id, kind.as_str(), lsn, body)?;
         Ok(lsn)
+    }
+
+    /// Mirror one committed op into the ship log and its in-memory
+    /// buffer. Failure is an error for ops (the caller unloads and
+    /// recovery re-ships via reconciliation), best-effort for callers
+    /// that pass ship-only kinds with nothing to roll back.
+    fn ship_append(&self, id: u64, op: &str, lsn: u64, body: &Json) -> Result<(), StoreError> {
+        let mut log = self.ship.lock().expect("ship log lock");
+        let (seq, payload) = log.append(id, op, lsn, body)?;
+        // Push under the ship lock so the buffer observes commit order.
+        self.ship_buf.push(seq, payload);
+        Ok(())
     }
 
     /// Ops accumulated in a session's WAL since its last checkpoint —
@@ -532,10 +586,16 @@ impl Store {
     pub fn remove_session(&self, id: u64) -> Result<(), StoreError> {
         self.logs.lock().expect("logs lock").remove(&id);
         match std::fs::remove_dir_all(self.session_dir(id)) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e.into()),
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
         }
+        // Best-effort: the dir is gone, so reconciliation at next open
+        // re-ships the remove even if this append fails.
+        if let Err(e) = self.ship_append(id, "remove", 0, &Json::Null) {
+            eprintln!("sider_store: ship remove s{id}: {e}");
+        }
+        Ok(())
     }
 
     /// Rebuild one session from disk with the default dataset resolver.
@@ -564,10 +624,22 @@ impl Store {
         if scan.torn {
             // The tear is the op that never finished being acknowledged;
             // cut it (and anything after it) away so appends resume from
-            // a clean frame boundary.
+            // a clean frame boundary. Record the cut so the bind-time
+            // report and `GET /api/store` can surface the loss.
+            let file_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
             let file = OpenOptions::new().write(true).open(&wal_path)?;
             file.set_len(scan.valid_len)?;
             file.sync_data()?;
+            let event = TornTail {
+                session: id,
+                offset: scan.valid_len,
+                lost_bytes: file_len.saturating_sub(scan.valid_len),
+            };
+            eprintln!(
+                "sider_store: session s{id}: torn WAL tail truncated at byte {} ({} bytes lost)",
+                event.offset, event.lost_bytes
+            );
+            self.recovered.lock().expect("recovered lock").push(event);
         }
         let tail = parse_wal_ops(&dir, &scan.payloads)?;
         let checkpoint_lsn = prior.as_ref().map(|cp| cp.last_lsn);
@@ -649,7 +721,121 @@ impl Store {
             let session = self.recover_session(id, Arc::clone(pool))?;
             out.push((id, session));
         }
+        self.ship_reconcile()?;
         Ok(out)
+    }
+
+    /// Bring the ship log back in line with the authoritative WALs and
+    /// checkpoints. The ship log is derived and never fsynced, so after
+    /// a crash (or on a pre-replication data dir) it may be missing
+    /// committed history:
+    ///
+    /// - a session whose durable LSN exceeds its shipped horizon gets
+    ///   its WAL-tail ops re-shipped;
+    /// - a session compacted below the shipped horizon gets a
+    ///   `checkpoint` bootstrap record (the ops no longer exist
+    ///   individually — the checkpoint document *is* the state);
+    /// - a session present in the ship log but gone from disk gets a
+    ///   `remove`.
+    ///
+    /// Runs as part of [`Store::recover_all`], i.e. before a server
+    /// starts streaming to followers.
+    fn ship_reconcile(&self) -> Result<(), StoreError> {
+        let state = ship::scan_state(&self.config.dir)?;
+        let on_disk = self.session_ids()?;
+        for &id in &on_disk {
+            let dir = self.session_dir(id);
+            let shipped = state.get(&id).copied().flatten().unwrap_or(0);
+            let cp = read_checkpoint(&dir)?;
+            let scan = wal::scan(&SessionLog::wal_path(&dir))?;
+            let tail = parse_wal_ops(&dir, &scan.payloads)?;
+            let durable = tail
+                .last()
+                .map(|op| op.lsn)
+                .unwrap_or(0)
+                .max(cp.as_ref().map(|c| c.last_lsn).unwrap_or(0));
+            if shipped >= durable {
+                continue;
+            }
+            let mut from = shipped;
+            if let Some(cp) = cp {
+                // History at or below the checkpoint LSN only exists
+                // folded; if the follower horizon is below it, ship the
+                // fold itself.
+                if cp.last_lsn > from {
+                    self.ship_append(id, "checkpoint", cp.last_lsn, &cp.to_json())?;
+                    from = cp.last_lsn;
+                }
+            }
+            for op in tail.iter().filter(|op| op.lsn > from) {
+                self.ship_append(id, op.kind.as_str(), op.lsn, &op.body)?;
+            }
+        }
+        for (&id, horizon) in &state {
+            if horizon.is_some() && !on_disk.contains(&id) {
+                self.ship_append(id, "remove", 0, &Json::Null)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Torn WAL tails truncated by recovery since this handle opened —
+    /// the bind-time data-loss report.
+    pub fn recovery_report(&self) -> Vec<TornTail> {
+        self.recovered.lock().expect("recovered lock").clone()
+    }
+
+    /// Sequence number of the last record in the ship log (0 = empty).
+    pub fn ship_seq(&self) -> u64 {
+        self.ship.lock().expect("ship log lock").last_seq()
+    }
+
+    /// Current size of the on-disk ship log in bytes.
+    pub fn ship_bytes(&self) -> u64 {
+        std::fs::metadata(ship::ShipLog::log_path(&self.config.dir))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Up to `limit` ship records with `seq >= from`: served from the
+    /// in-memory buffer when the follower is keeping up, degrading to a
+    /// linear tail of the on-disk `ship.log` when `from` has been
+    /// evicted (a lagging or freshly resumed follower).
+    pub fn ship_fetch(&self, from: u64, limit: usize) -> Result<Vec<ship::ShipRecord>, StoreError> {
+        if let Some(payloads) = self.ship_buf.collect_from(from, limit) {
+            return payloads
+                .iter()
+                .map(|p| ship::ShipRecord::from_payload(p).map_err(StoreError::Corrupt))
+                .collect();
+        }
+        ship::read_records(&self.config.dir, from, limit)
+    }
+
+    /// Install a replicated checkpoint as a session's entire on-disk
+    /// history: write the checkpoint document, clear the WAL, and ship
+    /// it onward (for chained promotion). The caller rebuilds the
+    /// in-memory session with [`Store::recover_session`] afterwards.
+    /// Used by a follower when the leader compacted history below the
+    /// follower's cursor — the individual ops no longer exist.
+    pub fn adopt_checkpoint(&self, id: u64, doc: &Json) -> Result<(), StoreError> {
+        let cp = Checkpoint::from_json(doc)
+            .map_err(|e| StoreError::Corrupt(format!("session s{id}: shipped checkpoint: {e}")))?;
+        let dir = self.session_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        write_atomic(
+            &SessionLog::checkpoint_path(&dir),
+            format!("{}\n", doc.dump()).as_bytes(),
+        )?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(SessionLog::wal_path(&dir))?;
+        wal.sync_data()?;
+        self.logs.lock().expect("logs lock").remove(&id);
+        self.persist_next_id(id + 1)?;
+        self.ship_append(id, "checkpoint", cp.last_lsn, doc)?;
+        Ok(())
     }
 
     /// Persistence status of every open session, in ID order.
@@ -714,6 +900,8 @@ fn inspect_striped(dir: &Path, n: usize) -> Result<Json, String> {
             ("wal_records", Json::from(total("wal_records"))),
             ("wal_bytes", Json::from(total("wal_bytes"))),
             ("checkpoint_bytes", Json::from(total("checkpoint_bytes"))),
+            ("ship_seq", Json::from(inspect_ship_seq(&sdir))),
+            ("cursor", Json::from(ship::read_cursor(&sdir))),
         ]));
         for mut row in rows {
             if let Json::Obj(map) = &mut row {
@@ -743,7 +931,36 @@ fn inspect_striped(dir: &Path, n: usize) -> Result<Json, String> {
         ("next_id", Json::from(next_id)),
         ("per_stripe", Json::Arr(per_stripe)),
         ("sessions", Json::Arr(sessions)),
+        ("replica", inspect_replica(dir)),
     ]))
+}
+
+/// Replication state readable offline: the follower role marker (if the
+/// dir is a replica) — `{"leader":addr}` or null.
+fn inspect_replica(dir: &Path) -> Json {
+    match ship::read_marker(dir) {
+        Some(leader) => Json::obj([("leader", Json::from(leader))]),
+        None => Json::Null,
+    }
+}
+
+/// Last ship-log sequence number of a stripe dir, read without opening
+/// the store (0 when the log is absent or unreadable).
+fn inspect_ship_seq(dir: &Path) -> u64 {
+    wal::scan(&ship::ShipLog::log_path(dir))
+        .ok()
+        .and_then(|scan| {
+            scan.payloads
+                .iter()
+                .filter_map(|p| {
+                    std::str::from_utf8(p)
+                        .ok()
+                        .and_then(|t| ship::ShipRecord::from_payload(t).ok())
+                })
+                .map(|r| r.seq)
+                .max()
+        })
+        .unwrap_or(0)
 }
 
 /// `inspect` over a flat (legacy or single-stripe) store directory.
@@ -766,6 +983,9 @@ fn inspect_flat(dir: &Path) -> Result<Json, String> {
             meta.get("next_id").cloned().unwrap_or(Json::Null),
         ),
         ("sessions", Json::Arr(sessions)),
+        ("ship_seq", Json::from(inspect_ship_seq(dir))),
+        ("cursor", Json::from(ship::read_cursor(dir))),
+        ("replica", inspect_replica(dir)),
     ]))
 }
 
@@ -817,6 +1037,20 @@ fn inspect_sessions(sessions_dir: &Path) -> Result<Vec<Json>, String> {
         let mut row = status.to_json();
         if let Json::Obj(map) = &mut row {
             map.insert("torn_tail".into(), Json::from(scan.torn));
+            if scan.torn {
+                // Where recovery will cut, and how much it will drop —
+                // visible before any server touches the dir.
+                map.insert("torn_tail_offset".into(), Json::from(scan.valid_len));
+                map.insert(
+                    "torn_tail_lost_bytes".into(),
+                    Json::from(
+                        std::fs::metadata(SessionLog::wal_path(&sdir))
+                            .map(|m| m.len())
+                            .unwrap_or(scan.valid_len)
+                            .saturating_sub(scan.valid_len),
+                    ),
+                );
+            }
         }
         sessions.push(row);
     }
@@ -1086,6 +1320,150 @@ mod tests {
         assert_eq!(sessions[0].require_num("wal_records").unwrap(), 1.0);
         assert_eq!(sessions[0].get("torn_tail").unwrap().as_bool(), Some(false));
         assert!(inspect(&dir.join("missing")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_acknowledged_op_is_shipped_in_commit_order() {
+        let config = temp_store("shiporder");
+        let dir = config.dir.clone();
+        let store = Store::open(config).unwrap();
+        scripted_history(&store, 1);
+        assert_eq!(store.ship_seq(), 5);
+        let recs = store.ship_fetch(1, 64).unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[0].op, "create");
+        assert_eq!(recs[0].lsn, 1);
+        assert_eq!(recs[4].op, "view");
+        assert_eq!(recs[4].lsn, 5);
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        // Removes are shipped too.
+        store.remove_session(1).unwrap();
+        let recs = store.ship_fetch(6, 64).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].op, "remove");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reconcile_backfills_a_missing_ship_log() {
+        let config = temp_store("shipbackfill");
+        let dir = config.dir.clone();
+        {
+            let store = Store::open(config.clone()).unwrap();
+            scripted_history(&store, 1);
+        }
+        // Simulate a pre-replication dir / crash-lost derived log.
+        std::fs::remove_file(dir.join(ship::SHIP_LOG_FILE)).unwrap();
+        let store = Store::open(config).unwrap();
+        assert_eq!(store.ship_seq(), 0);
+        store.recover_all(&pool()).unwrap();
+        let recs = store.ship_fetch(1, 64).unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(
+            recs.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reconcile_ships_checkpoint_when_history_is_compacted() {
+        let config = temp_store("shipcp");
+        let dir = config.dir.clone();
+        {
+            let store = Store::open(config.clone()).unwrap();
+            scripted_history(&store, 1);
+            store
+                .checkpoint(1, "three-d-four-clusters", 150, 3)
+                .unwrap();
+            store.append(1, OpKind::Update, &body("{}")).unwrap();
+        }
+        // The ops below LSN 5 now exist only folded; a follower starting
+        // from scratch must get the fold, then the tail.
+        std::fs::remove_file(dir.join(ship::SHIP_LOG_FILE)).unwrap();
+        let store = Store::open(config).unwrap();
+        store.recover_all(&pool()).unwrap();
+        let recs = store.ship_fetch(1, 64).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].op, "checkpoint");
+        assert_eq!(recs[0].lsn, 5);
+        assert_eq!(recs[1].op, "update");
+        assert_eq!(recs[1].lsn, 6);
+
+        // A second store adopts the shipped checkpoint and recovers to a
+        // byte-identical session.
+        let follower_cfg = temp_store("shipcp_follower");
+        let fdir = follower_cfg.dir.clone();
+        let follower = Store::open(follower_cfg).unwrap();
+        follower.adopt_checkpoint(1, &recs[0].body).unwrap();
+        let mut session = follower.recover_session(1, pool()).unwrap();
+        ops::apply(&mut session, OpKind::Update, &recs[1].body).unwrap();
+        let lsn = follower.append(1, OpKind::Update, &recs[1].body).unwrap();
+        assert_eq!(lsn, 6);
+        let mut twin = live_twin();
+        ops::apply(&mut twin, OpKind::Update, &body("{}")).unwrap();
+        assert_eq!(fingerprint(&mut session), fingerprint(&mut twin));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn reconcile_ships_removes_for_vanished_sessions() {
+        let config = temp_store("shiprm");
+        let dir = config.dir.clone();
+        {
+            let store = Store::open(config.clone()).unwrap();
+            scripted_history(&store, 1);
+        }
+        // The session dir vanishes while the ship log still names it
+        // (e.g. the remove's ship append failed).
+        std::fs::remove_dir_all(dir.join("sessions/s1")).unwrap();
+        let store = Store::open(config).unwrap();
+        store.recover_all(&pool()).unwrap();
+        let last = store.ship_seq();
+        let recs = store.ship_fetch(last, 8).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].op, "remove");
+        assert_eq!(recs[0].session, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncation_is_reported_not_just_logged() {
+        let config = temp_store("tornreport");
+        let dir = config.dir.clone();
+        {
+            let store = Store::open(config.clone()).unwrap();
+            scripted_history(&store, 1);
+        }
+        let wal = dir.join("sessions/s1/wal.log");
+        let good_len = std::fs::metadata(&wal).unwrap().len();
+        let torn = wal::frame(br#"{"lsn":6,"op":"update","body":{}}"#);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() - 7]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        // Offline inspect sees the tear before any recovery runs.
+        let report = inspect(&dir).unwrap();
+        let row = &report.require_arr("sessions").unwrap()[0];
+        assert_eq!(row.get("torn_tail").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            row.require_num("torn_tail_offset").unwrap(),
+            good_len as f64
+        );
+        assert_eq!(
+            row.require_num("torn_tail_lost_bytes").unwrap(),
+            (torn.len() - 7) as f64
+        );
+
+        let store = Store::open(config).unwrap();
+        store.recover_all(&pool()).unwrap();
+        let events = store.recovery_report();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].session, 1);
+        assert_eq!(events[0].offset, good_len);
+        assert_eq!(events[0].lost_bytes, (torn.len() - 7) as u64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

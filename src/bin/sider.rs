@@ -20,6 +20,7 @@
 //! sider serve [--addr HOST:PORT] [--max-sessions N] [--threads K]
 //!             [--stripes S] [--accept events|threads] [--data-dir DIR]
 //!             [--fsync always|never|N] [--checkpoint-every N]
+//!             [--ship-addr HOST:PORT] [--follow HOST:PORT] [--promote]
 //!     Run the HTTP/1.1 + JSON exploration service: many concurrent
 //!     sessions over S independent session-manager stripes, each with
 //!     its own execution pool of K threads, each session driving the
@@ -34,18 +35,28 @@
 //!     Defaults honor SIDER_ADDR / SIDER_MAX_SESSIONS / SIDER_THREADS /
 //!     SIDER_STRIPES / SIDER_ACCEPT / SIDER_DATA_DIR / SIDER_FSYNC /
 //!     SIDER_CHECKPOINT_EVERY; see docs/ARCHITECTURE.md for the wire
-//!     protocol and on-disk format.
+//!     protocol and on-disk format. With --ship-addr the (durable)
+//!     server is a replication leader: it streams every stripe's WAL
+//!     records to connected followers. With --follow it is a read-only
+//!     follower replaying a leader's op-log (mutating endpoints answer
+//!     409; POST /api/promote or --promote turns it into a serving
+//!     leader). Defaults honor SIDER_SHIP_ADDR / SIDER_FOLLOW.
 //!
 //! sider loadgen --addr HOST:PORT [--sessions N] [--requests N]
 //!               [--rps R] [--workers K] [--seed S] [--churn]
-//!               [--out FILE.json]
+//!               [--fault SPEC] [--out FILE.json]
 //!     Replay a fixed-seed open-loop mixed workload (create / knowledge /
 //!     warm update / view / snapshot) against a running server and print
 //!     the per-endpoint p50/p99/p999 latency + throughput report as
 //!     JSON. --churn additionally opens a short-lived aborted or empty
 //!     connection alongside every scheduled request, stressing the
-//!     server's accept/teardown path. Defaults are the full BENCH_serve
-//!     workload, or the smoke workload when SIDER_BENCH_SMOKE=1.
+//!     server's accept/teardown path. --fault routes the mixed phase
+//!     through a seeded flaky TCP proxy (SPEC is `flaky` or
+//!     comma-separated `split`, `delay=MS`, `delay_every=N`,
+//!     `drop=BYTES`, `seed=N` terms) so the digests measure the server
+//!     through a link that splits, delays, and severs connections.
+//!     Defaults are the full BENCH_serve workload, or the smoke
+//!     workload when SIDER_BENCH_SMOKE=1.
 //!
 //! sider store inspect <DIR>
 //!     Print a JSON report over a data dir — flat or striped
@@ -137,8 +148,10 @@ const USAGE: &str = "usage:
   sider serve    [--addr HOST:PORT] [--max-sessions N] [--threads K]
                  [--stripes S] [--accept events|threads] [--data-dir DIR]
                  [--fsync always|never|N] [--checkpoint-every N]
+                 [--ship-addr HOST:PORT] [--follow HOST:PORT] [--promote]
   sider loadgen  --addr HOST:PORT [--sessions N] [--requests N] [--rps R]
-                 [--workers K] [--seed S] [--churn] [--out FILE.json]
+                 [--workers K] [--seed S] [--churn] [--fault SPEC]
+                 [--out FILE.json]
   sider store    inspect <DIR>";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
@@ -332,6 +345,25 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
             .filter(|n| *n >= 1)
             .ok_or_else(|| format!("invalid value for --checkpoint-every: {every}"))?;
     }
+    if let Some(ship) = cli.get("ship-addr") {
+        config.ship_addr = Some(ship.to_string());
+    }
+    if let Some(leader) = cli.get("follow") {
+        config.follow = Some(leader.to_string());
+    }
+    if cli.flag("promote") {
+        config.promote = true;
+    }
+    let replication = if let Some(leader) = &config.follow {
+        Some(format!(
+            "read-only follower replicating from {leader} (POST /api/promote to take over)"
+        ))
+    } else {
+        config
+            .ship_addr
+            .as_ref()
+            .map(|_| "leader shipping WAL records to followers".to_string())
+    };
     let durability = config.store.as_ref().map(|s| {
         format!(
             "durable in {} (fsync {}, checkpoint every {} ops)",
@@ -354,6 +386,12 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         Some(line) => println!("sider serve: {line}"),
         None => println!("sider serve: in-memory sessions only (pass --data-dir to persist)"),
     }
+    if let Some(line) = replication {
+        match server.ship_addr() {
+            Some(addr) => println!("sider serve: {line} (shipping on {addr})"),
+            None => println!("sider serve: {line}"),
+        }
+    }
     println!("try: curl -s http://{}/health", server.local_addr());
     server.run().map_err(|e| format!("server error: {e}"))
 }
@@ -367,6 +405,9 @@ fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
     config.workers = cli.get_or("workers", config.workers)?;
     config.seed = cli.get_or("seed", config.seed)?;
     config.churn = cli.flag("churn");
+    if let Some(spec) = cli.get("fault") {
+        config.fault = Some(sider::loadgen::fault::FaultSchedule::parse(spec)?);
+    }
     if config.sessions == 0 || config.rps <= 0.0 {
         return Err("loadgen needs --sessions >= 1 and --rps > 0".into());
     }
@@ -378,6 +419,8 @@ fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
         config.seed,
         if config.churn {
             ", with connection churn"
+        } else if config.fault.is_some() {
+            ", through a flaky proxy"
         } else {
             ""
         },
