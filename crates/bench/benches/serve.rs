@@ -33,18 +33,38 @@
 //! `check_bench_artifacts` gates on: a follower that never reaches zero
 //! lag fails CI.
 //!
+//! Since the guided-exploration tentpole the artifact also carries a
+//! `suggest` scenario: the striped workload with a quarter of the mixed
+//! phase redirected to `POST /api/sessions/{id}/suggest` — each call
+//! generates and scores a 64-candidate batch of projection planes
+//! against the session's background, so the row measures the serving
+//! edge under real recommendation load. The same row embeds a
+//! `scoring` block timing the engine in-process (identical batch at
+//! pool 1 vs pool 4) after asserting the two responses are
+//! byte-identical; `check_bench_artifacts` gates on both.
+//!
 //! Set `SIDER_BENCH_SMOKE=1` for the reduced CI workload (same JSON
 //! schema).
 
+use sider_core::wire::SuggestRequest;
+use sider_core::EdaSession;
 use sider_json::Json;
 use sider_loadgen::{http_exchange, run, smoke_mode, LoadConfig};
+use sider_par::ThreadPool;
 use sider_server::{AcceptMode, Server, ServerConfig};
 use sider_store::StoreConfig;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Stripe counts compared in the artifact (1 = the unstriped baseline).
 const STRIPE_COUNTS: [usize; 2] = [1, 4];
+
+/// Share of the mixed phase redirected to suggest calls in the
+/// `suggest` scenario — large enough that the row's digests reflect
+/// recommendation latency, small enough to keep the session-mutating
+/// traffic exercising the striped write path.
+const SUGGEST_SHARE: f64 = 0.25;
 
 fn main() {
     let smoke = smoke_mode();
@@ -61,7 +81,11 @@ fn main() {
     let scenarios: Vec<(usize, &str)> = STRIPE_COUNTS
         .iter()
         .map(|&s| (s, "mixed"))
-        .chain([(4usize, "churn"), (4usize, "replication")])
+        .chain([
+            (4usize, "churn"),
+            (4usize, "replication"),
+            (4usize, "suggest"),
+        ])
         .collect();
     for (stripes, scenario) in scenarios {
         let (report, config, follower) = run_against(stripes, smoke, scenario);
@@ -94,6 +118,17 @@ fn main() {
         ];
         if let Some(follower) = follower {
             fields.push(("follower", follower));
+        }
+        if scenario == "suggest" {
+            fields.push((
+                "suggest",
+                Json::obj([
+                    ("share", Json::from(SUGGEST_SHARE)),
+                    ("batch", Json::from(64usize)),
+                    ("k", Json::from(8usize)),
+                ]),
+            ));
+            fields.push(("scoring", score_in_process(smoke)));
         }
         runs.push(Json::obj(fields));
         workload = Some(config);
@@ -188,6 +223,11 @@ fn run_against(
 
     let mut config = LoadConfig::from_env(addr.to_string());
     config.churn = scenario == "churn";
+    config.suggest = if scenario == "suggest" {
+        SUGGEST_SHARE
+    } else {
+        0.0
+    };
     let report = match run(&config) {
         Ok(report) => report,
         Err(e) => {
@@ -211,6 +251,55 @@ fn run_against(
         let _ = std::fs::remove_dir_all(&bench_dir);
     }
     (report, config, follower_stats)
+}
+
+/// Time the recommendation engine in-process on the bench dataset:
+/// score the same 64-candidate batch with a 1-thread and a 4-thread
+/// pool, assert the two responses are byte-identical (the determinism
+/// contract the e2e tests pin over HTTP), and record the best-of-reps
+/// wall time of each. `speedup` is `pool1_ns / pool4_ns` — informative
+/// on a multi-core host, near 1 on a 1-CPU container, and gated only
+/// as `> 0` by `check_bench_artifacts` for that reason.
+fn score_in_process(smoke: bool) -> Json {
+    let request = SuggestRequest {
+        seed: 2018,
+        batch: 64,
+        k: 8,
+    };
+    let reps: usize = if smoke { 3 } else { 10 };
+    let mut times = [0u128; 2];
+    let mut dumps: Vec<String> = Vec::new();
+    for (slot, threads) in [(0usize, 1usize), (1usize, 4usize)] {
+        let session = EdaSession::with_pool(
+            sider_data::synthetic::three_d_four_clusters(2018),
+            7,
+            Arc::new(ThreadPool::new(threads)),
+        )
+        .expect("bench session");
+        // Warm once (first call pays one-off allocation), then best-of.
+        let warm = sider_suggest::recommend(&session, &request).expect("recommend");
+        dumps.push(sider_core::wire::suggest_response_to_json(&warm).dump());
+        let mut best = u128::MAX;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let response = sider_suggest::recommend(&session, &request).expect("recommend");
+            best = best.min(started.elapsed().as_nanos());
+            assert_eq!(response.suggestions.len(), 8);
+        }
+        times[slot] = best.max(1);
+    }
+    if dumps[0] != dumps[1] {
+        eprintln!("serve: suggest scoring diverged between pool 1 and pool 4");
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("batch", Json::from(64usize)),
+        ("k", Json::from(8usize)),
+        ("reps", Json::from(reps)),
+        ("pool1_ns", Json::from(times[0] as u64)),
+        ("pool4_ns", Json::from(times[1] as u64)),
+        ("speedup", Json::from(times[0] as f64 / times[1] as f64)),
+    ])
 }
 
 /// Per-stripe seq array from a `/health` replication block.

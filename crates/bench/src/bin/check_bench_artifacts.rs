@@ -226,11 +226,15 @@ fn check_serve(doc: &Json) -> Result<(), String> {
     // (short-lived aborted/empty connections alongside every request)
     // served with zero errors. Since WAL shipping, also a `replication`
     // run: the same workload against a leader streaming to a live
-    // follower, which must end caught up (zero lag).
+    // follower, which must end caught up (zero lag). Since guided
+    // exploration, also a `suggest` run: part of the mixed phase is
+    // recommendation traffic, and the row embeds an in-process scoring
+    // block over a full 64-candidate batch.
     let mut saw_unstriped = false;
     let mut saw_striped = false;
     let mut saw_churn = false;
     let mut saw_replication = false;
+    let mut saw_suggest = false;
     for (i, run) in runs.iter().enumerate() {
         let at = format!("runs[{i}]");
         let stripes = require_num_at(run, &at, "stripes")?;
@@ -272,6 +276,37 @@ fn check_serve(doc: &Json) -> Result<(), String> {
                         "JSON path '{f}.{key}' is all zeros — nothing was replicated"
                     ));
                 }
+            }
+        }
+        if scenario == Some("suggest") {
+            saw_suggest = true;
+            // The run must carry real recommendation traffic (gated via
+            // the endpoint stats below) and an in-process scoring block
+            // over a full batch. Speedup is gated only as positive —
+            // pool 4 beats pool 1 on multi-core hosts, but a 1-CPU CI
+            // container legitimately reports ~1.
+            if require_num_at(run, &at, "suggest.share")? <= 0.0 {
+                return Err(format!("JSON path '{at}.suggest.share' must be > 0"));
+            }
+            let scoring = format!("{at}.scoring");
+            if require_num_at(run, &at, "scoring.batch")? < 64.0 {
+                return Err(format!("JSON path '{scoring}.batch' must be >= 64"));
+            }
+            for key in ["scoring.pool1_ns", "scoring.pool4_ns"] {
+                if require_num_at(run, &at, key)? < 1.0 {
+                    return Err(format!(
+                        "JSON path '{at}.{key}' is zero — scoring was not timed"
+                    ));
+                }
+            }
+            if require_num_at(run, &at, "scoring.speedup")? <= 0.0 {
+                return Err(format!("JSON path '{scoring}.speedup' must be > 0"));
+            }
+            let requests = require_num_at(run, &at, "report.endpoints.suggest.requests")?;
+            if requests < 1.0 {
+                return Err(format!(
+                    "JSON path '{at}.report.endpoints.suggest.requests' must be >= 1 in the suggest scenario"
+                ));
             }
         }
         let at = format!("{at}.report");
@@ -355,6 +390,12 @@ fn check_serve(doc: &Json) -> Result<(), String> {
     if !saw_replication {
         return Err(
             "no 'runs' entry with scenario == \"replication\" (leader under active WAL shipping)"
+                .into(),
+        );
+    }
+    if !saw_suggest {
+        return Err(
+            "no 'runs' entry with scenario == \"suggest\" (guided-exploration recommendation load)"
                 .into(),
         );
     }

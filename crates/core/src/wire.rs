@@ -15,7 +15,12 @@
 //!   every field optional, missing fields take [`FitOpts::default`];
 //! * **session snapshots** ([`snapshot_to_json`] / [`snapshot_from_json`])
 //!   — the JSON twin of the line-oriented [`crate::snapshot`] text format:
-//!   knowledge statements only, replayable against the same dataset.
+//!   knowledge statements only, replayable against the same dataset;
+//! * **suggestions** ([`suggest_request_to_json`] /
+//!   [`suggest_request_from_json`], [`suggest_response_to_json`] /
+//!   [`suggest_response_from_json`]) — the guided-exploration vocabulary:
+//!   a candidate-batch spec (request seed, batch size, top-k) and the
+//!   ranked scored candidates the `sider_suggest` engine returns.
 //!
 //! Serialization is **deterministic**: object keys are emitted sorted
 //! (`sider_json` stores objects in a `BTreeMap`) and every number is
@@ -360,6 +365,218 @@ pub fn refresh_stats_from_json(v: &Json) -> Result<RefreshStats> {
         cloned_from_parent: count("cloned_from_parent")?,
         eigen_rank_updated: count("eigen_rank_updated")?,
         rank1_directions_applied: count("rank1_directions_applied")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Suggestions (guided exploration)
+// ---------------------------------------------------------------------------
+
+/// Default candidate-batch size for a suggest request.
+pub const DEFAULT_SUGGEST_BATCH: usize = 64;
+/// Default number of ranked suggestions returned.
+pub const DEFAULT_SUGGEST_K: usize = 8;
+/// Upper bound on the candidate batch a single request may ask for.
+pub const MAX_SUGGEST_BATCH: usize = 4096;
+
+/// A guided-exploration request: score a deterministic batch of candidate
+/// 2-D projections against the session's current background model and
+/// return the `k` most informative ones.
+///
+/// The `seed` drives only the *request-local* random candidates (via
+/// counter-seeded [`sider_stats::Rng::substream`] streams) — never the
+/// session RNG — so evaluating a request mutates nothing and replication
+/// followers can serve it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuggestRequest {
+    /// Seed for the request-local random candidate directions.
+    pub seed: u64,
+    /// Number of candidates generated and scored.
+    pub batch: usize,
+    /// Number of top-ranked suggestions returned (`1..=batch`).
+    pub k: usize,
+}
+
+impl Default for SuggestRequest {
+    fn default() -> Self {
+        SuggestRequest {
+            seed: 7,
+            batch: DEFAULT_SUGGEST_BATCH,
+            k: DEFAULT_SUGGEST_K,
+        }
+    }
+}
+
+/// One scored candidate projection in a [`SuggestResponse`].
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// Index of this candidate in deterministic generation order.
+    pub candidate: usize,
+    /// Candidate family: `"pca"`, `"ica"`, `"attr"`, or `"random"`.
+    pub source: &'static str,
+    /// Human-readable caption (axis-label style for fitted directions,
+    /// attribute names for axis pairs).
+    pub label: String,
+    /// The projection plane as a `2 × d` matrix of unit rows.
+    pub axes: Matrix,
+    /// Total information gain of the projected data vs the background
+    /// (sum of the per-axis gains).
+    pub gain: f64,
+    /// Per-axis information gain `(σ² − log σ² − 1)/2` in whitened space.
+    pub axis_gains: [f64; 2],
+}
+
+/// The ranked result of a suggest request: the echoed spec plus the top-k
+/// candidates sorted by descending gain (candidate index breaks ties).
+#[derive(Debug, Clone)]
+pub struct SuggestResponse {
+    /// Seed the candidates were generated from (echoed from the request).
+    pub seed: u64,
+    /// Total number of candidates generated and scored.
+    pub batch: usize,
+    /// Number of suggestions returned.
+    pub k: usize,
+    /// The ranked suggestions, best first.
+    pub suggestions: Vec<Suggestion>,
+}
+
+fn seed_from_json(v: &Json, what: &str) -> Result<u64> {
+    let x = v
+        .as_num()
+        .ok_or_else(|| bad(format!("'{what}' is not a number")))?;
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x < u64::MAX as f64 {
+        Ok(x as u64)
+    } else {
+        Err(bad(format!("'{what}' is not a valid seed: {x}")))
+    }
+}
+
+/// Serialize a [`SuggestRequest`].
+pub fn suggest_request_to_json(r: &SuggestRequest) -> Json {
+    Json::obj([
+        ("seed", Json::from(r.seed)),
+        ("batch", Json::from(r.batch)),
+        ("k", Json::from(r.k)),
+    ])
+}
+
+/// Parse a [`SuggestRequest`] from a (possibly partial) object: every
+/// missing field takes its [`SuggestRequest::default`] value, so `{}` is a
+/// valid request. The batch is capped at [`MAX_SUGGEST_BATCH`] and `k`
+/// must fit inside it.
+pub fn suggest_request_from_json(v: &Json) -> Result<SuggestRequest> {
+    if v.as_obj().is_none() {
+        return Err(bad("suggest request must be an object"));
+    }
+    let defaults = SuggestRequest::default();
+    let seed = match v.get("seed") {
+        None => defaults.seed,
+        Some(s) => seed_from_json(s, "seed")?,
+    };
+    let count = |key: &str, dflt: usize| -> Result<usize> {
+        match v.get(key) {
+            None => Ok(dflt),
+            Some(_) => as_index(v.require_num(key).map_err(bad)?, key),
+        }
+    };
+    let batch = count("batch", defaults.batch)?;
+    let k = count("k", defaults.k)?;
+    if batch == 0 || batch > MAX_SUGGEST_BATCH {
+        return Err(bad(format!("'batch' must be in 1..={MAX_SUGGEST_BATCH}")));
+    }
+    if k == 0 || k > batch {
+        return Err(bad("'k' must be in 1..=batch"));
+    }
+    Ok(SuggestRequest { seed, batch, k })
+}
+
+fn suggestion_to_json(s: &Suggestion) -> Json {
+    Json::obj([
+        ("candidate", Json::from(s.candidate)),
+        ("source", Json::from(s.source)),
+        ("label", Json::from(s.label.as_str())),
+        ("axes", matrix_to_json(&s.axes)),
+        ("gain", Json::from(s.gain)),
+        ("axis_gains", Json::from(s.axis_gains.to_vec())),
+    ])
+}
+
+fn suggestion_from_json(v: &Json, i: usize) -> Result<Suggestion> {
+    let source = match v.require_str("source").map_err(bad)? {
+        "pca" => "pca",
+        "ica" => "ica",
+        "attr" => "attr",
+        "random" => "random",
+        other => {
+            return Err(bad(format!(
+                "suggestions[{i}]: unknown candidate source '{other}'"
+            )))
+        }
+    };
+    let candidate = as_index(
+        v.require_num("candidate").map_err(bad)?,
+        &format!("suggestions[{i}].candidate"),
+    )?;
+    let label = v.require_str("label").map_err(bad)?.to_string();
+    let axes = matrix_from_json(
+        v.get("axes")
+            .ok_or_else(|| bad(format!("suggestions[{i}]: missing 'axes'")))?,
+    )?;
+    if axes.rows() != 2 {
+        return Err(bad(format!("suggestions[{i}]: 'axes' must be 2 x d")));
+    }
+    let gain = v.require_num("gain").map_err(bad)?;
+    let axis_gains = v.require_num_arr("axis_gains").map_err(bad)?;
+    if axis_gains.len() != 2 {
+        return Err(bad(format!(
+            "suggestions[{i}]: 'axis_gains' must have exactly 2 elements"
+        )));
+    }
+    Ok(Suggestion {
+        candidate,
+        source,
+        label,
+        axes,
+        gain,
+        axis_gains: [axis_gains[0], axis_gains[1]],
+    })
+}
+
+/// Serialize a [`SuggestResponse`] — the echoed request spec plus the
+/// ranked suggestions.
+pub fn suggest_response_to_json(r: &SuggestResponse) -> Json {
+    Json::obj([
+        ("seed", Json::from(r.seed)),
+        ("batch", Json::from(r.batch)),
+        ("k", Json::from(r.k)),
+        (
+            "suggestions",
+            Json::arr(r.suggestions.iter().map(suggestion_to_json)),
+        ),
+    ])
+}
+
+/// Parse a [`SuggestResponse`] back from [`suggest_response_to_json`]
+/// output — for clients that post-process recommendations offline.
+pub fn suggest_response_from_json(v: &Json) -> Result<SuggestResponse> {
+    let seed = seed_from_json(v.get("seed").ok_or_else(|| bad("missing 'seed'"))?, "seed")?;
+    let batch = as_index(v.require_num("batch").map_err(bad)?, "batch")?;
+    let k = as_index(v.require_num("k").map_err(bad)?, "k")?;
+    let suggestions = v
+        .require_arr("suggestions")
+        .map_err(bad)?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| suggestion_from_json(s, i))
+        .collect::<Result<Vec<_>>>()?;
+    if suggestions.len() > k {
+        return Err(bad("more suggestions than 'k'"));
+    }
+    Ok(SuggestResponse {
+        seed,
+        batch,
+        k,
+        suggestions,
     })
 }
 

@@ -159,6 +159,93 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Suggest requests round-trip bitwise, and a full engine response
+    /// (candidate axes, gains, labels) survives
+    /// `from_json ∘ parse ∘ dump ∘ to_json` with the exact same bytes.
+    #[test]
+    fn suggest_payloads_roundtrip_bitwise(
+        seed in 0u64..1_000_000,
+        batch in 8usize..96,
+        k in 1usize..8,
+    ) {
+        let req = wire::SuggestRequest { seed, batch, k };
+        let text = wire::suggest_request_to_json(&req).dump();
+        let back = wire::suggest_request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, req.clone());
+
+        // A synthetic ranked response with awkward but finite floats: the
+        // serializer must reproduce every bit, not just pretty values.
+        let suggestions: Vec<wire::Suggestion> = (0..k.min(batch))
+            .map(|i| {
+                let base = (seed as f64 + 1.0).recip() * (i as f64 + 1.0);
+                let gains = [base * 1e-7, base.fract() * 3.0e4];
+                wire::Suggestion {
+                    candidate: i * 3,
+                    source: ["pca", "ica", "attr", "random"][i % 4],
+                    label: format!("candidate #{i} × {seed}"),
+                    axes: Matrix::from_rows(&[
+                        vec![base, -base, base * 0.5],
+                        vec![0.0, base * 1e3, -1.0],
+                    ]),
+                    gain: gains[0] + gains[1],
+                    axis_gains: gains,
+                }
+            })
+            .collect();
+        let resp = wire::SuggestResponse { seed, batch, k, suggestions };
+        let text = wire::suggest_response_to_json(&resp).dump();
+        let back = wire::suggest_response_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.seed, resp.seed);
+        prop_assert_eq!(back.batch, resp.batch);
+        prop_assert_eq!(back.k, resp.k);
+        prop_assert_eq!(back.suggestions.len(), resp.suggestions.len());
+        for (a, b) in back.suggestions.iter().zip(&resp.suggestions) {
+            prop_assert_eq!(a.candidate, b.candidate);
+            prop_assert_eq!(a.source, b.source);
+            prop_assert_eq!(a.label.clone(), b.label.clone());
+            prop_assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+            for (x, y) in a.axes.as_slice().iter().zip(b.axes.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.axis_gains.iter().zip(&b.axis_gains) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Serializing the reconstruction reproduces the exact bytes.
+        prop_assert_eq!(wire::suggest_response_to_json(&back).dump(), text);
+    }
+}
+
+#[test]
+fn suggest_request_defaults_and_validation() {
+    let parsed = wire::suggest_request_from_json(&Json::parse("{}").unwrap()).unwrap();
+    assert_eq!(parsed, wire::SuggestRequest::default());
+    assert_eq!(parsed.batch, wire::DEFAULT_SUGGEST_BATCH);
+    assert_eq!(parsed.k, wire::DEFAULT_SUGGEST_K);
+    for bad in [
+        "[]",
+        r#"{"batch":0}"#,
+        r#"{"batch":1000000}"#,
+        r#"{"k":0}"#,
+        r#"{"batch":8,"k":9}"#,
+        r#"{"seed":-1}"#,
+        r#"{"seed":1.5}"#,
+        r#"{"seed":"seven"}"#,
+    ] {
+        assert!(
+            wire::suggest_request_from_json(&Json::parse(bad).unwrap()).is_err(),
+            "suggest request {bad} must be rejected"
+        );
+    }
+    assert!(
+        wire::suggest_response_from_json(&Json::parse(r#"{"seed":1}"#).unwrap()).is_err(),
+        "truncated suggest response must be rejected"
+    );
+}
+
 #[test]
 fn refresh_stats_missing_fields_default_to_zero() {
     // A payload from a server predating incremental spectral maintenance

@@ -28,7 +28,9 @@
 //! The run has two phases: a sequential, closed-loop **create phase**
 //! (sessions must exist — and have deterministic dense IDs — before the
 //! mixed traffic references them) and the open-loop **mixed phase**
-//! (knowledge / warm update / view / snapshot across all sessions).
+//! (knowledge / warm update / view / snapshot across all sessions, plus
+//! an optional [`LoadConfig::suggest`] share of guided-exploration
+//! `suggest` calls).
 //! Per-endpoint latencies are reported as nearest-rank p50/p99/p999 with
 //! throughput and error counts ([`LoadReport`]), serialized via
 //! `sider_json` for the `BENCH_serve.json` artifact.
@@ -63,6 +65,9 @@ pub enum Endpoint {
     View,
     /// `GET /api/sessions/{id}/snapshot` — full session export.
     Snapshot,
+    /// `POST /api/sessions/{id}/suggest` — guided-exploration ranking of
+    /// a request-seeded candidate batch (a pure read).
+    Suggest,
 }
 
 impl Endpoint {
@@ -74,16 +79,18 @@ impl Endpoint {
             Endpoint::Update => "update",
             Endpoint::View => "view",
             Endpoint::Snapshot => "snapshot",
+            Endpoint::Suggest => "suggest",
         }
     }
 
     /// Every endpoint, in report order.
-    pub const ALL: [Endpoint; 5] = [
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Create,
         Endpoint::Knowledge,
         Endpoint::Update,
         Endpoint::View,
         Endpoint::Snapshot,
+        Endpoint::Suggest,
     ];
 }
 
@@ -129,6 +136,10 @@ pub struct LoadConfig {
     /// counted in [`LoadReport::churn_conns`] but never measured: the
     /// latency digests still describe only real requests.
     pub churn: bool,
+    /// Share of the mixed phase spent on `suggest` calls (`0.0..=1.0`).
+    /// The other endpoint weights shrink proportionally, so `0.0` leaves
+    /// the classic mix byte-identical and `1.0` is a suggest-only run.
+    pub suggest: f64,
     /// Fault-injection scenario: interpose a seeded [`FlakyProxy`]
     /// between the workers and the server for the mixed phase, so the
     /// latency digests measure the server as seen through a link that
@@ -153,6 +164,7 @@ impl LoadConfig {
             seed: 2018,
             dataset_rows: 150,
             churn: false,
+            suggest: 0.0,
             fault: None,
         }
     }
@@ -168,6 +180,7 @@ impl LoadConfig {
             seed: 2018,
             dataset_rows: 150,
             churn: false,
+            suggest: 0.0,
             fault: None,
         }
     }
@@ -197,13 +210,25 @@ pub fn build_schedule(config: &LoadConfig) -> Vec<ScheduledRequest> {
     let gap_ns = 1e9 / config.rps.max(1e-9);
     // warm-update 30%, view 30%, knowledge 25%, snapshot 15%: views and
     // updates dominate (the paper's inner loop), knowledge statements
-    // arrive steadily, snapshots model periodic client-side saves.
-    let weights = [0.25, 0.30, 0.30, 0.15];
+    // arrive steadily, snapshots model periodic client-side saves. A
+    // suggest share scales the classic weights down proportionally; at
+    // 0.0 the trailing zero weight is never drawn and the schedule stays
+    // byte-identical to the pre-suggest mix.
+    let share = config.suggest.clamp(0.0, 1.0);
+    let classic = 1.0 - share;
+    let weights = [
+        0.25 * classic,
+        0.30 * classic,
+        0.30 * classic,
+        0.15 * classic,
+        share,
+    ];
     let kinds = [
         Endpoint::Knowledge,
         Endpoint::Update,
         Endpoint::View,
         Endpoint::Snapshot,
+        Endpoint::Suggest,
     ];
     (0..config.requests)
         .map(|i| {
@@ -239,6 +264,18 @@ pub fn build_schedule(config: &LoadConfig) -> Vec<ScheduledRequest> {
                     format!("/api/sessions/s{session}/snapshot"),
                     String::new(),
                 ),
+                Endpoint::Suggest => {
+                    // Per-request candidate seed from the schedule stream:
+                    // distinct requests exercise distinct random planes,
+                    // while the whole mix stays a pure function of the
+                    // config seed.
+                    let suggest_seed = rng.below(u32::MAX as usize) as u64;
+                    (
+                        "POST",
+                        format!("/api/sessions/s{session}/suggest"),
+                        format!(r#"{{"batch":64,"k":8,"seed":{suggest_seed}}}"#),
+                    )
+                }
                 Endpoint::Create => unreachable!("creates are phase 1"),
             };
             ScheduledRequest {
@@ -586,6 +623,7 @@ mod tests {
             seed: 7,
             dataset_rows: 150,
             churn: false,
+            suggest: 0.0,
             fault: None,
         }
     }
@@ -630,6 +668,48 @@ mod tests {
             assert!((1..=5).contains(&session), "{}", req.path);
             assert_ne!(req.endpoint, Endpoint::Create);
         }
+    }
+
+    #[test]
+    fn suggest_share_mixes_suggest_requests_in() {
+        let mut with_share = config();
+        with_share.suggest = 0.25;
+        with_share.requests = 200;
+        let schedule = build_schedule(&with_share);
+        let suggests: Vec<&ScheduledRequest> = schedule
+            .iter()
+            .filter(|r| r.endpoint == Endpoint::Suggest)
+            .collect();
+        // 25% of 200 — allow generous sampling noise, but the class must
+        // neither vanish nor take over.
+        assert!(
+            (10..=100).contains(&suggests.len()),
+            "expected a ~25% suggest share, got {}/200",
+            suggests.len()
+        );
+        for req in &suggests {
+            assert_eq!(req.method, "POST");
+            assert!(req.path.ends_with("/suggest"), "{}", req.path);
+            assert!(req.body.contains(r#""batch":64"#), "{}", req.body);
+        }
+        // Distinct suggest requests carry distinct candidate seeds.
+        assert!(
+            suggests.windows(2).any(|w| w[0].body != w[1].body),
+            "per-request candidate seeds should differ"
+        );
+        // The share is part of the pure schedule function.
+        let again = build_schedule(&with_share);
+        for (x, y) in schedule.iter().zip(&again) {
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.body, y.body);
+        }
+        // Share 0.0 produces no suggest traffic at all.
+        assert!(
+            build_schedule(&config())
+                .iter()
+                .all(|r| r.endpoint != Endpoint::Suggest),
+            "share 0.0 must keep the classic mix"
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use error::ProjectionError;
 pub use ica::{fastica, fastica_with, ComponentOrder, IcaOpts, IcaResult};
 pub use mds::classical_mds;
 pub use pca::{
-    pca_classic, pca_directions, pca_directions_from_moment, pca_directions_with, PcaResult,
+    display_score, pca_classic, pca_directions, pca_directions_from_moment, pca_directions_with,
+    PcaResult,
 };
 pub use projector::{
     most_informative_projection, most_informative_projection_with, project, projection_from_pca,

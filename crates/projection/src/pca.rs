@@ -82,7 +82,15 @@ enum SortBy {
 /// though the raw KL score diverges.
 const COLLAPSED_VARIANCE: f64 = 1e-9;
 
-fn display_score(sigma2: f64) -> f64 {
+/// Information gain of a whitened direction with variance `sigma2`: the
+/// KL divergence `(σ² − log σ² − 1)/2` to the unit Gaussian the
+/// background model predicts there (paper footnote 1), clamped to zero
+/// for fully collapsed directions (variance below `1e-9`) whose raw
+/// score would diverge without carrying any visible spread.
+///
+/// This is the ranking functional shared by the PCA view ordering and
+/// the `sider_suggest` candidate scorer.
+pub fn display_score(sigma2: f64) -> f64 {
     if sigma2 < COLLAPSED_VARIANCE {
         0.0
     } else {

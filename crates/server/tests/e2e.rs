@@ -4,7 +4,9 @@
 //! **byte-identical** responses whether the server's pool has 1 thread or
 //! 4 (the HTTP twin of `session_bit_identical_across_pool_sizes`),
 //! whether the session manager runs 1 stripe or 4, and whether the
-//! serving edge is the event loop or the threaded loop.
+//! serving edge is the event loop or the threaded loop. The scripts
+//! include guided-exploration `suggest` calls, so the recommendation
+//! engine's chunk-ordered scoring is pinned under the same contract.
 
 use sider_server::{AcceptMode, Server, ServerConfig, ShutdownHandle};
 use std::io::{Read, Write};
@@ -92,7 +94,9 @@ fn body_of(raw: &[u8]) -> &str {
 
 /// The scripted client of the acceptance criteria: two full loop
 /// iterations — create session, `next_view`, post cluster knowledge,
-/// warm `update_background`, `next_view` — returning every raw response.
+/// warm `update_background`, `next_view` — plus a guided-exploration
+/// `suggest` call against each background (prior, then post-knowledge),
+/// returning every raw response.
 fn scripted_loop(addr: SocketAddr) -> Vec<Vec<u8>> {
     let steps: Vec<(&str, &str, String)> = vec![
         (
@@ -104,6 +108,13 @@ fn scripted_loop(addr: SocketAddr) -> Vec<Vec<u8>> {
             "POST",
             "/api/sessions/s1/view",
             r#"{"method":"pca"}"#.into(),
+        ),
+        // A recommendation against the prior background: a pure read,
+        // so it must not perturb any later response byte.
+        (
+            "POST",
+            "/api/sessions/s1/suggest",
+            r#"{"seed":11,"batch":64,"k":5}"#.into(),
         ),
         (
             "POST",
@@ -137,6 +148,14 @@ fn scripted_loop(addr: SocketAddr) -> Vec<Vec<u8>> {
             "/api/sessions/s1/view",
             r#"{"method":"pca"}"#.into(),
         ),
+        // Same request seed as before, now against the refit background:
+        // the recommendation must reflect the absorbed knowledge yet
+        // stay a pure read.
+        (
+            "POST",
+            "/api/sessions/s1/suggest",
+            r#"{"seed":11,"batch":64,"k":5}"#.into(),
+        ),
         ("GET", "/api/sessions/s1/snapshot", String::new()),
         ("GET", "/api/sessions/s1", String::new()),
     ];
@@ -167,14 +186,23 @@ fn two_loop_iterations_byte_identical_across_pool_sizes() {
         );
     }
     // …the warm path was actually exercised…
-    let second_update = body_of(&serial[6]);
+    let second_update = body_of(&serial[7]);
     assert!(
         second_update.contains("\"was_warm\":true"),
         "second update must warm-start: {second_update}"
     );
     assert!(second_update.contains("\"refresh\":"));
     // …both views carry a full projection payload…
-    assert!(body_of(&serial[4]).contains("\"projected_background\":"));
+    assert!(body_of(&serial[5]).contains("\"projected_background\":"));
+    // …both suggest calls return ranked candidates, and refitting the
+    // background changed the gains (same request seed, new scores)…
+    assert!(body_of(&serial[2]).contains("\"suggestions\":"));
+    assert!(body_of(&serial[9]).contains("\"suggestions\":"));
+    assert_ne!(
+        body_of(&serial[2]),
+        body_of(&serial[9]),
+        "suggest must score against the current background"
+    );
     // …and the whole transcript is byte-identical across pool sizes.
     assert_eq!(serial.len(), parallel.len());
     for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
@@ -214,6 +242,14 @@ fn multi_session_script(addr: SocketAddr) -> Vec<Vec<u8>> {
             "POST",
             format!("/api/sessions/s{id}/view"),
             r#"{"method":"pca"}"#.into(),
+        ));
+        // A per-session recommendation: pure read routed to whichever
+        // stripe owns the session, so the striped and unstriped
+        // transcripts must agree on these bytes too.
+        steps.push((
+            "POST",
+            format!("/api/sessions/s{id}/suggest"),
+            format!(r#"{{"seed":{id},"batch":32,"k":4}}"#),
         ));
     }
     // Cross-stripe reads: the listing and per-session details must

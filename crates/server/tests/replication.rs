@@ -618,6 +618,85 @@ fn follower_is_read_only_until_promoted() {
     let _ = std::fs::remove_dir_all(&follower_dir);
 }
 
+/// Guided exploration on a replicated pair: the recommendation engine is
+/// a pure read (request-seeded RNG, no session mutation, nothing in the
+/// WAL), so a caught-up follower must serve the **exact** suggest bytes
+/// the leader serves — while every mutating endpoint stays refused.
+/// Returns the leader's suggest response for cross-stripe comparison.
+fn suggest_on_pair(stripes: usize, tag: &str) -> Vec<u8> {
+    let leader_dir = temp_dir(&format!("{tag}_leader"));
+    let follower_dir = temp_dir(&format!("{tag}_follower"));
+    let leader = start_node(stripes, Some(&leader_dir), true, None);
+    let follower = start_node(
+        stripes,
+        Some(&follower_dir),
+        false,
+        Some(leader.ship_addr().to_string()),
+    );
+    let transcript = run_steps(leader.addr, &script_prefix());
+    assert_all_ok(tag, &transcript);
+    wait_caught_up(tag, leader.addr, follower.addr, stripes);
+
+    let request = r#"{"seed":2018,"batch":64,"k":8}"#;
+    let on_leader = raw_request(leader.addr, "POST", "/api/sessions/s1/suggest", request);
+    assert_eq!(status_of(&on_leader), 200, "{tag}: {}", body_of(&on_leader));
+    assert!(
+        body_of(&on_leader).contains("\"suggestions\":"),
+        "{tag}: {}",
+        body_of(&on_leader)
+    );
+    let on_follower = raw_request(follower.addr, "POST", "/api/sessions/s1/suggest", request);
+    assert_transcripts_equal(
+        tag,
+        std::slice::from_ref(&on_leader),
+        std::slice::from_ref(&on_follower),
+    );
+    // Served twice on the follower, the bytes repeat: the engine drew
+    // nothing from the session RNG and mutated nothing.
+    let again = raw_request(follower.addr, "POST", "/api/sessions/s1/suggest", request);
+    assert_transcripts_equal(
+        &format!("{tag} idempotent"),
+        std::slice::from_ref(&on_follower),
+        std::slice::from_ref(&again),
+    );
+    // Suggest did not crack the read-only door open: mutations are
+    // still refused after the follower served recommendations.
+    for (method, path, body) in [
+        ("POST", "/api/sessions", r#"{"dataset":"fig2","seed":1}"#),
+        ("POST", "/api/sessions/s1/update", "{}"),
+        ("POST", "/api/sessions/s1/knowledge", r#"{"kind":"margin"}"#),
+        ("DELETE", "/api/sessions/s1", ""),
+    ] {
+        let raw = raw_request(follower.addr, method, path, body);
+        assert_eq!(
+            status_of(&raw),
+            409,
+            "{tag}: {method} {path}: {}",
+            body_of(&raw)
+        );
+    }
+
+    follower.kill();
+    leader.kill();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    on_leader
+}
+
+#[test]
+fn suggest_byte_identical_on_leader_and_caught_up_follower() {
+    let s1 = suggest_on_pair(1, "suggest_s1");
+    let s4 = suggest_on_pair(4, "suggest_s4");
+    // Each run already pins leader == follower; comparing across runs
+    // pins that the stripe count is invisible to the recommendation
+    // bytes as well.
+    assert_transcripts_equal(
+        "suggest 1-vs-4 stripes",
+        std::slice::from_ref(&s1),
+        std::slice::from_ref(&s4),
+    );
+}
+
 #[test]
 fn replica_marker_blocks_plain_restart() {
     let leader_dir = temp_dir("marker_leader");

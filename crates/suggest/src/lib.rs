@@ -1,0 +1,473 @@
+//! Guided exploration: information-gain view recommendation.
+//!
+//! The SIDER loop (paper §II) always shows the user *the* maximally
+//! informative projection, but a real exploration session benefits from a
+//! shortlist: "here are the k views most worth looking at next". This
+//! crate turns that into a batch-scoring problem over the session's
+//! current background model, exactly as *Human-guided Data Exploration
+//! Using Randomisation* frames next-view selection:
+//!
+//! 1. **Generate** a deterministic candidate batch of 2-D projection
+//!    planes in *whitened* space ([`recommend`] with a
+//!    [`SuggestRequest`]): pairs of PCA directions of the current
+//!    whitened second moment, pairs of FastICA directions of the current
+//!    whitened data, pairs of attribute axes, and counter-seeded random
+//!    orthonormal planes filling the batch.
+//! 2. **Score** every candidate by the information gain of the projected
+//!    data against the background: per axis, the whitened variance `σ²`
+//!    maps to `(σ² − log σ² − 1)/2` — the KL divergence to the unit
+//!    Gaussian the background predicts (paper footnote 1), the same
+//!    functional the PCA view ordering uses
+//!    ([`sider_projection::display_score`]).
+//! 3. **Rank** by total gain (descending; candidate index breaks ties)
+//!    and return the top `k` as a [`SuggestResponse`].
+//!
+//! ## Purity
+//!
+//! A suggest call is a **pure read**. The random candidates draw from
+//! [`Rng::substream`] streams keyed by the *request-supplied* seed and
+//! the candidate counter — never from the session RNG — and the engine
+//! takes `&EdaSession`, so the compiler guarantees no session state
+//! changes. This is what lets `sider_server` serve suggest requests on
+//! read-only replication followers.
+//!
+//! ## Determinism
+//!
+//! The ranked list is byte-identical at any thread and stripe count:
+//! candidate generation reuses the fused
+//! `whiten_project_with`/`whitened_second_moment_with` kernels (both
+//! bit-identical at any pool size), FastICA runs on seeded substreams,
+//! and the batch fans over the session's pool with `par_map` — a
+//! placement-deterministic, order-preserving chunk map — while each
+//! candidate's row reduction is a fixed sequential sum. The server e2e
+//! and replication suites pin the resulting response bytes.
+
+use sider_core::session::EdaSession;
+use sider_core::wire::{SuggestRequest, SuggestResponse, Suggestion};
+use sider_core::{CoreError, Result};
+use sider_linalg::Matrix;
+use sider_par::ThreadPool;
+use sider_projection::{display_score, fastica_with, pca_directions_from_moment, IcaOpts};
+use sider_stats::Rng;
+
+/// Substream index reserved for the FastICA initialization draws.
+const ICA_SUBSTREAM: u64 = 0x1CA;
+/// Substream base for random candidates: candidate `c` draws from
+/// `Rng::substream(seed, RANDOM_SUBSTREAM_BASE + c)`.
+const RANDOM_SUBSTREAM_BASE: u64 = 1 << 32;
+/// PCA directions considered for pairing (caps the quadratic blow-up on
+/// wide datasets).
+const MAX_PCA_DIRECTIONS: usize = 8;
+/// ICA components considered for pairing.
+const MAX_ICA_COMPONENTS: usize = 4;
+/// Attribute axes considered for pairing.
+const MAX_ATTR_AXES: usize = 12;
+
+/// One generated candidate plane, before scoring.
+struct Candidate {
+    source: &'static str,
+    label: String,
+    /// `2 × d` plane in whitened space.
+    axes: Matrix,
+}
+
+/// Score a deterministic candidate batch against the session's current
+/// background model and return the `k` most informative planes, ranked.
+///
+/// Pure read: the session is untouched (see the crate docs for why that
+/// matters for replication followers). Deterministic: byte-identical
+/// output at any pool size for the same session state and request.
+pub fn recommend(session: &EdaSession, req: &SuggestRequest) -> Result<SuggestResponse> {
+    let d = session.dataset().d();
+    if d < 2 {
+        return Err(CoreError::BadDataset(
+            "suggest needs at least 2 columns to form a projection plane".into(),
+        ));
+    }
+    let candidates = generate_candidates(session, req.seed, req.batch)?;
+
+    let data = session.data();
+    let background = session.background();
+    let n = data.rows();
+    // Fan the batch over the session pool; every candidate's kernel runs
+    // on the serial singleton so the only dispatch level is the batch
+    // itself (`par_map` is placement-deterministic and order-preserving).
+    let pool = session
+        .pool()
+        .gated(candidates.len().saturating_mul(n * (d * d + 2 * d)));
+    let scored: Vec<Result<(f64, [f64; 2])>> = pool.par_map(&candidates, |c| {
+        let p = background.whiten_project_with(data, &c.axes, &ThreadPool::serial())?;
+        let mut sums = [0.0f64; 2];
+        for i in 0..n {
+            sums[0] += p[(i, 0)] * p[(i, 0)];
+            sums[1] += p[(i, 1)] * p[(i, 1)];
+        }
+        let gains = [
+            display_score(sums[0] / n as f64),
+            display_score(sums[1] / n as f64),
+        ];
+        Ok((gains[0] + gains[1], gains))
+    });
+
+    let mut suggestions: Vec<Suggestion> = candidates
+        .into_iter()
+        .zip(scored)
+        .enumerate()
+        .map(|(candidate, (c, score))| {
+            let (gain, axis_gains) = score?;
+            Ok(Suggestion {
+                candidate,
+                source: c.source,
+                label: c.label,
+                axes: c.axes,
+                gain,
+                axis_gains,
+            })
+        })
+        .collect::<Result<_>>()?;
+    let batch = suggestions.len();
+    // Descending gain; the deterministic generation index breaks ties, so
+    // the ranking never depends on sort internals.
+    suggestions.sort_by(|a, b| {
+        b.gain
+            .partial_cmp(&a.gain)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.candidate.cmp(&b.candidate))
+    });
+    suggestions.truncate(req.k);
+    Ok(SuggestResponse {
+        seed: req.seed,
+        batch,
+        k: req.k,
+        suggestions,
+    })
+}
+
+/// Build the deterministic candidate batch: PCA pairs, ICA pairs,
+/// attribute pairs, then counter-seeded random planes until `batch`
+/// candidates exist. Truncation (a small `batch`) keeps the prefix, so
+/// the candidate at a given index never depends on the batch size.
+fn generate_candidates(session: &EdaSession, seed: u64, batch: usize) -> Result<Vec<Candidate>> {
+    let d = session.dataset().d();
+    let data = session.data();
+    let background = session.background();
+    let pool = session.pool();
+    let mut out: Vec<Candidate> = Vec::with_capacity(batch);
+
+    // PCA directions of the current whitened second moment — the same
+    // spectrum the PCA view ranks, so the top pair reproduces the view
+    // the session would show next.
+    let moment = background.whitened_second_moment_with(data, pool)?;
+    let pca = pca_directions_from_moment(data.rows(), moment)?;
+    let take = pca.directions.rows().min(MAX_PCA_DIRECTIONS);
+    push_pairs(&mut out, batch, take, |i, j| Candidate {
+        source: "pca",
+        label: format!("PCA{} × PCA{}", i + 1, j + 1),
+        axes: plane(pca.directions.row(i), pca.directions.row(j)),
+    });
+
+    // ICA directions of the current whitened data: non-Gaussian structure
+    // that variance cannot see. The fixed-point iteration initializes
+    // from a request-local substream, and a session state where FastICA
+    // cannot run (e.g. a fully collapsed background) just contributes no
+    // candidates — the failure is deterministic too.
+    if out.len() < batch {
+        let whitened = session.whitened()?;
+        let mut rng = Rng::substream(seed, ICA_SUBSTREAM);
+        if let Ok(ica) = fastica_with(&whitened, &IcaOpts::default(), &mut rng, pool) {
+            let take = ica.directions.rows().min(MAX_ICA_COMPONENTS);
+            push_pairs(&mut out, batch, take, |i, j| Candidate {
+                source: "ica",
+                label: format!("ICA{} × ICA{}", i + 1, j + 1),
+                axes: plane(ica.directions.row(i), ica.directions.row(j)),
+            });
+        }
+    }
+
+    // Attribute axes as seen in whitened space: "what does the background
+    // still mispredict about (X_i, X_j)?" — labeled with column names.
+    let names = &session.dataset().column_names;
+    let take = d.min(MAX_ATTR_AXES);
+    push_pairs(&mut out, batch, take, |i, j| {
+        let mut axes = Matrix::zeros(2, d);
+        axes[(0, i)] = 1.0;
+        axes[(1, j)] = 1.0;
+        Candidate {
+            source: "attr",
+            label: format!("{} × {}", names[i], names[j]),
+            axes,
+        }
+    });
+
+    // Counter-seeded random planes fill the rest of the batch. Candidate
+    // `c` owns substream `RANDOM_SUBSTREAM_BASE + c`, so the plane at a
+    // given index is a pure function of (session state, seed, index) —
+    // independent of batch size and of every other candidate.
+    while out.len() < batch {
+        let c = out.len();
+        let mut rng = Rng::substream(seed, RANDOM_SUBSTREAM_BASE + c as u64);
+        out.push(Candidate {
+            source: "random",
+            label: format!("random#{c}"),
+            axes: random_plane(d, &mut rng),
+        });
+    }
+    out.truncate(batch);
+    Ok(out)
+}
+
+/// Push the `(i, j)` pairs (`i < j < take`) of a direction family until
+/// the batch is full.
+fn push_pairs(
+    out: &mut Vec<Candidate>,
+    batch: usize,
+    take: usize,
+    make: impl Fn(usize, usize) -> Candidate,
+) {
+    for i in 0..take {
+        for j in (i + 1)..take {
+            if out.len() >= batch {
+                return;
+            }
+            out.push(make(i, j));
+        }
+    }
+}
+
+/// Stack two direction slices into a `2 × d` plane.
+fn plane(a: &[f64], b: &[f64]) -> Matrix {
+    Matrix::from_rows(&[a.to_vec(), b.to_vec()])
+}
+
+/// Draw a uniformly random orthonormal 2-plane: two standard-normal
+/// vectors, Gram-Schmidt orthonormalized. Degenerate draws (numerically
+/// zero norm or near-collinear pair) redraw from the same stream, so the
+/// result is still a pure function of the stream.
+fn random_plane(d: usize, rng: &mut Rng) -> Matrix {
+    loop {
+        let v0 = rng.standard_normal_vec(d);
+        let n0 = norm(&v0);
+        if n0 < 1e-12 {
+            continue;
+        }
+        let u0: Vec<f64> = v0.iter().map(|x| x / n0).collect();
+        let v1 = rng.standard_normal_vec(d);
+        let dot: f64 = u0.iter().zip(&v1).map(|(a, b)| a * b).sum();
+        let w: Vec<f64> = v1.iter().zip(&u0).map(|(x, u)| x - dot * u).collect();
+        let n1 = norm(&w);
+        if n1 < 1e-9 {
+            continue;
+        }
+        let u1: Vec<f64> = w.iter().map(|x| x / n1).collect();
+        return Matrix::from_rows(&[u0, u1]);
+    }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sider_core::wire::suggest_response_to_json;
+    use sider_data::synthetic::three_d_four_clusters;
+    use sider_maxent::FitOpts;
+    use sider_projection::Method;
+    use std::sync::Arc;
+
+    fn session_with(threads: usize) -> EdaSession {
+        let mut s = EdaSession::with_pool(
+            three_d_four_clusters(2018),
+            7,
+            Arc::new(ThreadPool::new(threads)),
+        )
+        .unwrap();
+        s.add_margin_constraints().unwrap();
+        s.add_cluster_constraint(&(0..40).collect::<Vec<_>>())
+            .unwrap();
+        s.update_background(&FitOpts::default()).unwrap();
+        s
+    }
+
+    fn request() -> SuggestRequest {
+        SuggestRequest {
+            seed: 42,
+            batch: 64,
+            k: 8,
+        }
+    }
+
+    #[test]
+    fn top_k_is_byte_identical_across_pool_sizes() {
+        let serial = recommend(&session_with(1), &request()).unwrap();
+        let pooled = recommend(&session_with(4), &request()).unwrap();
+        assert_eq!(
+            suggest_response_to_json(&serial).dump(),
+            suggest_response_to_json(&pooled).dump(),
+            "suggest ranking must not depend on the pool size"
+        );
+    }
+
+    #[test]
+    fn suggest_is_a_pure_read() {
+        let mut touched = session_with(1);
+        let mut untouched = session_with(1);
+        let before = touched.knowledge().len();
+        recommend(&touched, &request()).unwrap();
+        recommend(
+            &touched,
+            &SuggestRequest {
+                seed: 9,
+                ..request()
+            },
+        )
+        .unwrap();
+        assert_eq!(touched.knowledge().len(), before);
+        assert!(!touched.is_dirty());
+        // The session RNG never advanced: the next view matches a twin
+        // session that never served a suggest call, byte for byte.
+        let a = sider_core::wire::view_to_json(
+            &touched.next_view(&Method::Ica(IcaOpts::default())).unwrap(),
+        );
+        let b = sider_core::wire::view_to_json(
+            &untouched
+                .next_view(&Method::Ica(IcaOpts::default()))
+                .unwrap(),
+        );
+        assert_eq!(a.dump(), b.dump());
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_echoes_the_request() {
+        let resp = recommend(&session_with(1), &request()).unwrap();
+        assert_eq!(resp.seed, 42);
+        assert_eq!(resp.batch, 64);
+        assert_eq!(resp.k, 8);
+        assert_eq!(resp.suggestions.len(), 8);
+        for pair in resp.suggestions.windows(2) {
+            assert!(
+                pair[0].gain >= pair[1].gain,
+                "suggestions must be ranked by descending gain"
+            );
+        }
+        for s in &resp.suggestions {
+            assert!(s.candidate < 64);
+            assert_eq!(s.axes.rows(), 2);
+            assert_eq!(s.axes.cols(), 3);
+            assert!(s.gain.is_finite() && s.gain >= 0.0);
+            assert!((s.gain - s.axis_gains[0] - s.axis_gains[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_mixes_all_candidate_families() {
+        // d = 3 yields 3 PCA pairs, ≤ 3 ICA pairs, and 3 attribute pairs;
+        // a batch of 64 is therefore mostly random planes. Ask for the
+        // full batch back to observe every family.
+        let req = SuggestRequest {
+            seed: 42,
+            batch: 64,
+            k: 64,
+        };
+        let resp = recommend(&session_with(1), &req).unwrap();
+        assert_eq!(resp.suggestions.len(), 64);
+        for family in ["pca", "attr", "random"] {
+            assert!(
+                resp.suggestions.iter().any(|s| s.source == family),
+                "batch should contain a '{family}' candidate"
+            );
+        }
+        // Attribute candidates carry the dataset's column names.
+        let attr = resp
+            .suggestions
+            .iter()
+            .find(|s| s.source == "attr")
+            .unwrap();
+        assert!(attr.label.contains('×'));
+    }
+
+    #[test]
+    fn request_seed_drives_the_random_candidates() {
+        let session = session_with(1);
+        let a = recommend(
+            &session,
+            &SuggestRequest {
+                seed: 1,
+                batch: 64,
+                k: 64,
+            },
+        )
+        .unwrap();
+        let b = recommend(
+            &session,
+            &SuggestRequest {
+                seed: 2,
+                batch: 64,
+                k: 64,
+            },
+        )
+        .unwrap();
+        let axes_of = |r: &SuggestResponse| -> Vec<Vec<u64>> {
+            let mut v: Vec<_> = r
+                .suggestions
+                .iter()
+                .filter(|s| s.source == "random")
+                .map(|s| s.axes.as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_ne!(
+            axes_of(&a),
+            axes_of(&b),
+            "seed must change the random planes"
+        );
+        // Same seed reproduces the response exactly.
+        let c = recommend(
+            &session,
+            &SuggestRequest {
+                seed: 1,
+                batch: 64,
+                k: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            suggest_response_to_json(&a).dump(),
+            suggest_response_to_json(&c).dump()
+        );
+    }
+
+    #[test]
+    fn candidate_prefix_is_stable_under_batch_growth() {
+        // The candidate at index c is a pure function of (state, seed, c):
+        // growing the batch must not re-seed or re-order the prefix.
+        let session = session_with(1);
+        let small = recommend(
+            &session,
+            &SuggestRequest {
+                seed: 3,
+                batch: 64,
+                k: 64,
+            },
+        )
+        .unwrap();
+        let large = recommend(
+            &session,
+            &SuggestRequest {
+                seed: 3,
+                batch: 96,
+                k: 96,
+            },
+        )
+        .unwrap();
+        let by_candidate = |r: &SuggestResponse, c: usize| -> Vec<u64> {
+            let s = r.suggestions.iter().find(|s| s.candidate == c).unwrap();
+            s.axes.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        for c in [0usize, 13, 40, 63] {
+            assert_eq!(by_candidate(&small, c), by_candidate(&large, c));
+        }
+    }
+}

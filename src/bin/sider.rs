@@ -42,15 +42,27 @@
 //!     409; POST /api/promote or --promote turns it into a serving
 //!     leader). Defaults honor SIDER_SHIP_ADDR / SIDER_FOLLOW.
 //!
+//! sider suggest (--data FILE.csv | --dataset fig2|xhat5|bnc|segmentation)
+//!               [--seed S] [--batch N] [--k K] [--margins] [--one-cluster]
+//!               [--json]
+//!     Guided exploration: generate a deterministic batch of candidate
+//!     2-D projections (PCA/ICA pairs of the current fit, attribute
+//!     pairs, seed-derived random planes), score each by the information
+//!     gain of its projected data against the background distribution,
+//!     and print the ranked top-k. The same engine backs
+//!     POST /api/sessions/{id}/suggest on a running server.
+//!
 //! sider loadgen --addr HOST:PORT [--sessions N] [--requests N]
 //!               [--rps R] [--workers K] [--seed S] [--churn]
-//!               [--fault SPEC] [--out FILE.json]
+//!               [--suggest SHARE] [--fault SPEC] [--out FILE.json]
 //!     Replay a fixed-seed open-loop mixed workload (create / knowledge /
 //!     warm update / view / snapshot) against a running server and print
 //!     the per-endpoint p50/p99/p999 latency + throughput report as
 //!     JSON. --churn additionally opens a short-lived aborted or empty
 //!     connection alongside every scheduled request, stressing the
-//!     server's accept/teardown path. --fault routes the mixed phase
+//!     server's accept/teardown path. --suggest dedicates SHARE
+//!     (0.0..=1.0) of the mixed phase to guided-exploration suggest
+//!     calls. --fault routes the mixed phase
 //!     through a seeded flaky TCP proxy (SPEC is `flaky` or
 //!     comma-separated `split`, `delay=MS`, `delay_every=N`,
 //!     `drop=BYTES`, `seed=N` terms) so the digests measure the server
@@ -149,9 +161,12 @@ const USAGE: &str = "usage:
                  [--stripes S] [--accept events|threads] [--data-dir DIR]
                  [--fsync always|never|N] [--checkpoint-every N]
                  [--ship-addr HOST:PORT] [--follow HOST:PORT] [--promote]
+  sider suggest  (--data FILE.csv | --dataset fig2|xhat5|bnc|segmentation)
+                 [--seed S] [--batch N] [--k K] [--margins] [--one-cluster]
+                 [--json]
   sider loadgen  --addr HOST:PORT [--sessions N] [--requests N] [--rps R]
-                 [--workers K] [--seed S] [--churn] [--fault SPEC]
-                 [--out FILE.json]
+                 [--workers K] [--seed S] [--churn] [--suggest SHARE]
+                 [--fault SPEC] [--out FILE.json]
   sider store    inspect <DIR>";
 
 fn load_csv(path: &str) -> Result<Dataset, String> {
@@ -405,11 +420,18 @@ fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
     config.workers = cli.get_or("workers", config.workers)?;
     config.seed = cli.get_or("seed", config.seed)?;
     config.churn = cli.flag("churn");
+    config.suggest = cli.get_or("suggest", config.suggest)?;
     if let Some(spec) = cli.get("fault") {
         config.fault = Some(sider::loadgen::fault::FaultSchedule::parse(spec)?);
     }
     if config.sessions == 0 || config.rps <= 0.0 {
         return Err("loadgen needs --sessions >= 1 and --rps > 0".into());
+    }
+    if !(0.0..=1.0).contains(&config.suggest) {
+        return Err(format!(
+            "--suggest must be a share in 0.0..=1.0, got {}",
+            config.suggest
+        ));
     }
     eprintln!(
         "sider loadgen: {} sessions, {} mixed requests at {} req/s (seed {}{}) against http://{}",
@@ -442,6 +464,89 @@ fn cmd_loadgen(cli: &Cli) -> Result<(), String> {
             report.total_errors, report.total_requests
         ));
     }
+    Ok(())
+}
+
+fn cmd_suggest(cli: &Cli) -> Result<(), String> {
+    let ds = match (cli.get("data"), cli.get("dataset")) {
+        (Some(path), None) => load_csv(path)?,
+        (None, Some(name)) => builtin(name)?,
+        _ => {
+            return Err(format!(
+                "suggest needs exactly one of --data or --dataset\n{USAGE}"
+            ))
+        }
+    };
+    let seed: u64 = cli.get_or("seed", 7u64)?;
+    let request = sider::core::wire::SuggestRequest {
+        seed,
+        batch: cli.get_or("batch", sider::core::wire::DEFAULT_SUGGEST_BATCH)?,
+        k: cli.get_or("k", sider::core::wire::DEFAULT_SUGGEST_K)?,
+    };
+    if request.batch == 0 || request.batch > sider::core::wire::MAX_SUGGEST_BATCH {
+        return Err(format!(
+            "--batch must be in 1..={}, got {}",
+            sider::core::wire::MAX_SUGGEST_BATCH,
+            request.batch
+        ));
+    }
+    if request.k == 0 || request.k > request.batch {
+        return Err(format!(
+            "--k must be in 1..=batch ({}), got {}",
+            request.batch, request.k
+        ));
+    }
+    let name = ds.name.clone();
+    println!(
+        "suggesting views for {name}: {} rows × {} columns",
+        ds.n(),
+        ds.d()
+    );
+
+    let mut session = EdaSession::new(ds, seed).map_err(|e| e.to_string())?;
+    if cli.flag("margins") {
+        session
+            .add_margin_constraints()
+            .map_err(|e| e.to_string())?;
+    }
+    if cli.flag("one-cluster") {
+        session
+            .add_one_cluster_constraint()
+            .map_err(|e| e.to_string())?;
+    }
+    if session.is_dirty() {
+        let report = session
+            .update_background(&FitOpts::default())
+            .map_err(|e| e.to_string())?;
+        println!("knowledge absorbed: {}", format_convergence(&report));
+    }
+
+    let response = sider::suggest::recommend(&session, &request).map_err(|e| e.to_string())?;
+    if cli.flag("json") {
+        println!(
+            "{}",
+            sider::core::wire::suggest_response_to_json(&response).dump_pretty()
+        );
+        return Ok(());
+    }
+    let mut table =
+        sider::core::report::TextTable::new(&["rank", "gain", "source", "view", "axis gains"]);
+    for (rank, s) in response.suggestions.iter().enumerate() {
+        table.row(vec![
+            format!("{}", rank + 1),
+            format!("{:.4}", s.gain),
+            s.source.to_string(),
+            s.label.clone(),
+            format!("{:.4} / {:.4}", s.axis_gains[0], s.axis_gains[1]),
+        ]);
+    }
+    println!(
+        "top {} of {} candidates (seed {}):",
+        response.suggestions.len(),
+        response.batch,
+        response.seed
+    );
+    println!("{}", table.render());
     Ok(())
 }
 
@@ -478,6 +583,7 @@ fn run() -> Result<(), String> {
             cmd_explore(&cli, ds)
         }
         "serve" => cmd_serve(&cli),
+        "suggest" => cmd_suggest(&cli),
         "loadgen" => cmd_loadgen(&cli),
         "store" => cmd_store(&cli),
         "help" | "--help" | "-h" => {

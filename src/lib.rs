@@ -29,6 +29,9 @@
 //! * [`loadgen`] — std-only open-loop load generator replaying a
 //!   deterministic mixed workload against a live server
 //!   (`sider loadgen`).
+//! * [`suggest`] — guided exploration: information-gain ranking of
+//!   candidate projections against the current background model
+//!   (`sider suggest`, `POST /api/sessions/{id}/suggest`).
 //!
 //! # Quick start
 //!
@@ -77,6 +80,7 @@ pub use sider_projection as projection;
 pub use sider_server as server;
 pub use sider_stats as stats;
 pub use sider_store as store;
+pub use sider_suggest as suggest;
 
 pub mod prelude {
     //! Commonly used items in one import.
